@@ -1,0 +1,163 @@
+package synscan
+
+// cli_test builds the three command binaries and drives them end to end:
+// syntelescope produces a pcap, synalyze analyzes it, syneval regenerates a
+// selected experiment. Run with -short to skip (it shells out to the Go
+// toolchain).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI build")
+	}
+	dir := t.TempDir()
+	syntelescope := buildTool(t, dir, "syntelescope")
+	synalyze := buildTool(t, dir, "synalyze")
+	syneval := buildTool(t, dir, "syneval")
+
+	pcapPath := filepath.Join(dir, "capture.pcap")
+	out, err := exec.Command(syntelescope,
+		"-year", "2019", "-seed", "4", "-scale", "0.0003",
+		"-telescope", "2048", "-out", pcapPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("syntelescope: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "accepted") {
+		t.Fatalf("syntelescope output:\n%s", out)
+	}
+	if fi, err := os.Stat(pcapPath); err != nil || fi.Size() < 1000 {
+		t.Fatalf("pcap not written: %v", err)
+	}
+
+	out, err = exec.Command(synalyze, "-telescope", "2048", pcapPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("synalyze: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"qualified campaigns", "campaigns by tool", "top ports by packets"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("synalyze output missing %q:\n%s", want, s)
+		}
+	}
+	// The capture must contain detectable campaigns.
+	if strings.Contains(s, "qualified campaigns 0\n") {
+		t.Fatalf("no campaigns detected from pcap:\n%s", s)
+	}
+
+	// Spool format round trip: write a flowlog spool and analyze it with
+	// the telescope size auto-read from the header.
+	spoolPath := filepath.Join(dir, "capture.spool")
+	out, err = exec.Command(syntelescope,
+		"-year", "2019", "-seed", "4", "-scale", "0.0003",
+		"-telescope", "2048", "-format", "spool", "-out", spoolPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("syntelescope spool: %v\n%s", err, out)
+	}
+	pcapInfo, _ := os.Stat(pcapPath)
+	spoolInfo, err := os.Stat(spoolPath)
+	if err != nil {
+		t.Fatalf("spool not written: %v", err)
+	}
+	if spoolInfo.Size() >= pcapInfo.Size() {
+		t.Fatalf("spool (%d B) not denser than pcap (%d B)", spoolInfo.Size(), pcapInfo.Size())
+	}
+	outSpool, err := exec.Command(synalyze, spoolPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("synalyze spool: %v\n%s", err, outSpool)
+	}
+	// Same capture, same analysis: the qualified-campaign line must match
+	// the pcap run's.
+	lineOf := func(s, prefix string) string {
+		for _, l := range strings.Split(s, "\n") {
+			if strings.Contains(l, prefix) {
+				return l
+			}
+		}
+		return ""
+	}
+	if a, b := lineOf(s, "qualified campaigns"), lineOf(string(outSpool), "qualified campaigns"); a != b || a == "" {
+		t.Fatalf("pcap and spool analyses disagree:\n pcap:  %q\n spool: %q", a, b)
+	}
+
+	out, err = exec.Command(syneval,
+		"-seed", "4", "-scale", "0.0002", "-telescope", "2048",
+		"-only", "fig8").CombinedOutput()
+	if err != nil {
+		t.Fatalf("syneval: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Censys") {
+		t.Fatalf("syneval fig8 output missing orgs:\n%s", out)
+	}
+
+	// pcapng round trip: write a pcapng capture and analyze it.
+	ngPath := filepath.Join(dir, "capture.pcapng")
+	out, err = exec.Command(syntelescope,
+		"-year", "2019", "-seed", "4", "-scale", "0.0003",
+		"-telescope", "2048", "-format", "pcapng", "-out", ngPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("syntelescope pcapng: %v\n%s", err, out)
+	}
+	outNG, err := exec.Command(synalyze, "-telescope", "2048", ngPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("synalyze pcapng: %v\n%s", err, outNG)
+	}
+
+	// Structured exports: JSON + CSV + Markdown in one invocation.
+	jsonPath := filepath.Join(dir, "eval.json")
+	csvDir := filepath.Join(dir, "csv")
+	mdPath := filepath.Join(dir, "eval.md")
+	out, err = exec.Command(syneval,
+		"-seed", "4", "-scale", "0.0001", "-telescope", "2048",
+		"-json", jsonPath, "-csv", csvDir, "-markdown", mdPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("syneval exports: %v\n%s", err, out)
+	}
+	j, err := os.ReadFile(jsonPath)
+	if err != nil || !strings.Contains(string(j), "\"table1\"") {
+		t.Fatalf("json export: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(csvDir, "table1.csv")); err != nil {
+		t.Fatalf("csv export: %v", err)
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil || !strings.Contains(string(md), "# synscan evaluation") {
+		t.Fatalf("markdown export: %v", err)
+	}
+}
+
+func TestCLISynalyzeBadInput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI build")
+	}
+	dir := t.TempDir()
+	synalyze := buildTool(t, dir, "synalyze")
+	bad := filepath.Join(dir, "not.pcap")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(synalyze, bad).CombinedOutput(); err == nil {
+		t.Fatalf("garbage input accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,207 @@
+// Command synalyze reads a telescope capture — pcap or compact flowlog
+// spool, detected by magic — and runs the paper's methodology over it: SYN
+// filtering, campaign detection (§3.4), tool fingerprinting (§3.3), and
+// summary reporting.
+//
+// Usage:
+//
+//	syntelescope -year 2020 -out capture.pcap
+//	syntelescope -year 2020 -format spool -out capture.spool
+//	synalyze -telescope 4096 capture.pcap
+//	synalyze capture.spool            # telescope size from the header
+//
+// For pcap input the -telescope flag must match the capture's monitored-
+// address count: rate and coverage extrapolation depend on it. Spools
+// carry it in their header.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/flowlog"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/pcap"
+	"github.com/synscan/synscan/internal/pcapng"
+	"github.com/synscan/synscan/internal/report"
+	"github.com/synscan/synscan/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synalyze: ")
+
+	telSize := flag.Int("telescope", 4096, "monitored address count of the capture")
+	minDsts := flag.Int("min-dsts", 0, "campaign threshold on distinct destinations (0 = paper default scaled)")
+	topN := flag.Int("top", 10, "ranking depth for the port tables")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		log.Fatal("usage: synalyze [flags] capture.{pcap,spool}")
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Auto-detect the capture format by magic: flowlog spools start with
+	// "SYNL", pcapng sections with 0x0A0D0D0A, anything else is treated as
+	// classic pcap.
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic, err := br.Peek(4)
+	if err != nil {
+		log.Fatalf("reading %s: %v", flag.Arg(0), err)
+	}
+	isSpool := [4]byte(magic) == flowlog.Magic
+	isNG := [4]byte(magic) == pcapng.Magic
+
+	var pcapR *pcap.Reader
+	var spoolR *flowlog.Reader
+	var ngR *pcapng.Reader
+	switch {
+	case isSpool:
+		spoolR, err = flowlog.NewReader(br)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The spool header records the telescope size; honor it unless the
+		// operator overrides explicitly.
+		if spoolR.TelescopeSize() > 0 && *telSize == 4096 {
+			*telSize = spoolR.TelescopeSize()
+		}
+	case isNG:
+		ngR, err = pcapng.NewReader(br)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		pcapR, err = pcap.NewReader(br)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cfg := core.Config{TelescopeSize: *telSize}
+	if *minDsts > 0 {
+		cfg.MinDistinctDsts = *minDsts
+	} else if scaled := core.DefaultMinDistinctDsts * *telSize / 71536; scaled >= 6 {
+		cfg.MinDistinctDsts = scaled
+	} else {
+		cfg.MinDistinctDsts = 6
+	}
+	// Scale the idle expiry with the telescope size like the simulator
+	// does: smaller telescopes see longer gaps between a scan's hits.
+	if *telSize < 71536 {
+		expiry := int64(float64(core.DefaultExpiry) * 71536 / float64(*telSize))
+		if max := int64(12 * time.Hour); expiry > max {
+			expiry = max
+		}
+		cfg.Expiry = expiry
+	}
+
+	var scans []*core.Scan
+	det := core.NewDetector(cfg, func(s *core.Scan) { scans = append(scans, s) })
+
+	packetsPerPort := stats.NewCounter[uint16]()
+	var total, parsed, syn uint64
+	var p packet.Probe
+	ingest := func() {
+		syn++
+		packetsPerPort.Inc(p.DstPort)
+		det.Ingest(&p)
+	}
+	switch {
+	case isSpool:
+		for {
+			if err := spoolR.Next(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				log.Fatal(err)
+			}
+			total++
+			parsed++
+			if p.IsSYN() {
+				ingest()
+			}
+		}
+	case isNG:
+		for {
+			ts, data, _, err := ngR.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			total++
+			if err := p.UnmarshalFrame(data); err != nil {
+				continue
+			}
+			parsed++
+			if !p.IsSYN() {
+				continue
+			}
+			p.Time = ts
+			ingest()
+		}
+	default:
+		for {
+			ts, data, err := pcapR.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			total++
+			if err := p.UnmarshalFrame(data); err != nil {
+				continue
+			}
+			parsed++
+			if !p.IsSYN() {
+				continue
+			}
+			p.Time = ts
+			ingest()
+		}
+	}
+	det.FlushAll()
+
+	qualified := 0
+	toolHist := map[string]uint64{}
+	var speeds []float64
+	for _, s := range scans {
+		if !s.Qualified {
+			continue
+		}
+		qualified++
+		toolHist[s.Tool.String()]++
+		speeds = append(speeds, s.RatePPS)
+	}
+
+	fmt.Printf("records %d, parsed %d, SYN %d\n", total, parsed, syn)
+	fmt.Printf("flows closed %d, qualified campaigns %d\n\n", len(scans), qualified)
+
+	report.Histogram(os.Stdout, "campaigns by tool", toolHist)
+	fmt.Println()
+
+	t := report.NewTable("port", "packets", "share")
+	for _, kv := range packetsPerPort.TopK(*topN) {
+		t.AddRow(fmt.Sprint(kv.Key), fmt.Sprint(kv.Count),
+			report.Pct(float64(kv.Count)/float64(packetsPerPort.Total())))
+	}
+	fmt.Println("top ports by packets:")
+	t.WriteTo(os.Stdout)
+
+	if len(speeds) > 0 {
+		fmt.Println()
+		report.CDF(os.Stdout, "extrapolated campaign speed (pps)", stats.NewECDF(speeds))
+	}
+}

@@ -1,0 +1,128 @@
+// Command syntelescope simulates one measurement year of telescope traffic
+// and writes the accepted capture to a pcap file (or just prints capture
+// statistics when no output is given).
+//
+// Usage:
+//
+//	syntelescope -year 2020 -out capture.pcap
+//	syntelescope -year 2024 -scale 0.001 -telescope 8192
+//
+// The produced pcap contains full Ethernet+IPv4+TCP frames with valid
+// checksums and nanosecond timestamps; synalyze (or any pcap tool) can read
+// it back.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/synscan/synscan/internal/flowlog"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/pcap"
+	"github.com/synscan/synscan/internal/pcapng"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("syntelescope: ")
+
+	year := flag.Int("year", 2020, "measurement year (2015-2024)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 0.002, "volume scale relative to the paper")
+	telSize := flag.Int("telescope", 4096, "monitored address count")
+	out := flag.String("out", "", "output path (omit for stats only)")
+	format := flag.String("format", "pcap", "output format: pcap, pcapng, or spool (compact flowlog)")
+	maxPackets := flag.Uint64("max-packets", 0, "stop after this many accepted packets (0 = all)")
+	flag.Parse()
+	if *format != "pcap" && *format != "pcapng" && *format != "spool" {
+		log.Fatalf("unknown format %q (want pcap, pcapng or spool)", *format)
+	}
+
+	s, err := workload.NewScenario(workload.Config{
+		Year: *year, Seed: *seed, Scale: *scale, TelescopeSize: *telSize,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var pcapW *pcap.Writer
+	var ngW *pcapng.Writer
+	var spoolW *flowlog.Writer
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		switch *format {
+		case "pcap":
+			pcapW, err = pcap.NewWriter(f)
+		case "pcapng":
+			ngW, err = pcapng.NewWriter(f, uint16(pcap.LinkTypeEthernet))
+		case "spool":
+			spoolW, err = flowlog.NewWriter(f, s.Telescope.Size())
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var accepted uint64
+	frame := make([]byte, 0, packet.FrameLen)
+	sum := s.Run(func(p *packet.Probe) {
+		if s.Telescope.Observe(p) != telescope.Accepted {
+			return
+		}
+		if *maxPackets > 0 && accepted >= *maxPackets {
+			return
+		}
+		accepted++
+		switch {
+		case pcapW != nil:
+			frame = p.AppendFrame(frame[:0])
+			if err := pcapW.WritePacket(p.Time, frame); err != nil {
+				log.Fatal(err)
+			}
+		case ngW != nil:
+			frame = p.AppendFrame(frame[:0])
+			if err := ngW.WritePacket(p.Time, frame); err != nil {
+				log.Fatal(err)
+			}
+		case spoolW != nil:
+			if err := spoolW.Write(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	if pcapW != nil {
+		if err := pcapW.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if ngW != nil {
+		if err := ngW.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if spoolW != nil {
+		if err := spoolW.Flush(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	st := s.Telescope.Stats()
+	fmt.Printf("year %d: window %d days, telescope %d addresses\n",
+		*year, s.Profile.Days, s.Telescope.Size())
+	fmt.Printf("generated  %12d probes (%d campaigns, %d background sources)\n",
+		sum.Probes, sum.Campaigns, sum.BackgroundSources)
+	fmt.Printf("accepted   %12d\n", accepted)
+	fmt.Printf("dropped    %12d not-monitored, %d policy, %d backscatter, %d non-tcp, %d outage\n",
+		st.NotMonitored, st.Policy, st.NotSYN, st.NotTCP, st.Outage)
+	if *out != "" {
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

@@ -1,0 +1,54 @@
+package synscan_test
+
+import (
+	"fmt"
+
+	synscan "github.com/synscan/synscan"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// ExampleAnalyzer feeds a hand-built Masscan sweep through the campaign
+// detector: 200 telescope hits in 40 seconds qualify as one campaign with
+// the Masscan fingerprint.
+func ExampleAnalyzer() {
+	a := synscan.NewAnalyzer(synscan.PaperTelescopeSize)
+	pr := tools.NewMasscan(0x0A000001, rng.New(1))
+	for i := 0; i < 200; i++ {
+		p := pr.Probe(0xC6336400|uint32(i), 443) // 198.51.100.0/24-ish targets
+		p.Time = int64(i) * 200e6                // 5 probes/s observed
+		a.Ingest(&p)
+	}
+	for _, s := range a.Finish() {
+		fmt.Printf("tool=%v dsts=%d qualified=%v\n", s.Tool, s.DistinctDsts, s.Qualified)
+	}
+	// Output: tool=Masscan dsts=200 qualified=true
+}
+
+// ExampleProbe_UnmarshalFrame decodes a raw Ethernet+IPv4+TCP frame — the
+// path synalyze takes for every pcap record.
+func ExampleProbe_UnmarshalFrame() {
+	in := synscan.Probe{Src: 0x01020304, Dst: 0x05060708, SrcPort: 40000,
+		DstPort: 23, Seq: 0x05060708, Flags: 0x02}
+	frame := in.MarshalFrame()
+
+	var out synscan.Probe
+	if err := out.UnmarshalFrame(frame); err != nil {
+		panic(err)
+	}
+	// seq == dst is the Mirai fingerprint (§3.3).
+	fmt.Printf("syn=%v mirai=%v\n", out.IsSYN(), out.Seq == out.Dst)
+	// Output: syn=true mirai=true
+}
+
+// ExampleSimulate runs a full measurement year; unchecked output because
+// volumes depend on the configuration.
+func ExampleSimulate() {
+	yd, err := synscan.Simulate(synscan.Config{
+		Year: 2020, Seed: 42, Scale: 0.0005, TelescopeSize: 2048,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("campaigns detected: %v", len(yd.QualifiedScans()) > 0)
+}

@@ -1,0 +1,83 @@
+// Fingerprints is a tour of the §3.3 tool-identification equations: it
+// generates live probes with each scanner implementation and shows which
+// relations hold on the wire — the exact signals the campaign classifier
+// votes over.
+package main
+
+import (
+	"fmt"
+
+	"github.com/synscan/synscan/internal/fingerprint"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+func main() {
+	r := rng.New(2024)
+	src := uint32(0x0A141E28)
+
+	probers := []tools.Prober{
+		tools.NewZMap(src, r.Derive("zmap")),
+		tools.NewMasscan(src, r.Derive("masscan")),
+		tools.NewNMap(src, r.Derive("nmap")),
+		tools.NewMirai(src, r.Derive("mirai")),
+		tools.NewUnicorn(src, r.Derive("unicorn")),
+		tools.NewCustom(src, r.Derive("custom")),
+	}
+
+	fmt.Println("per-packet and pairwise fingerprint relations (§3.3), 64 probes each:")
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s  %s\n",
+		"generator", "zmap", "masscan", "mirai", "nmap", "unicorn", "classified as")
+
+	tr := r.Derive("targets")
+	for _, pr := range probers {
+		var votes fingerprint.Votes
+		var sampleSeq, sampleIPID string
+		for i := 0; i < 64; i++ {
+			p := pr.Probe(tr.Uint32(), uint16(20+tr.Intn(8000)))
+			if i == 0 {
+				sampleSeq = fmt.Sprintf("seq=%08x", p.Seq)
+				sampleIPID = fmt.Sprintf("ipid=%05d", p.IPID)
+			}
+			votes.Add(&p)
+		}
+		pct := func(n uint32, of uint32) string {
+			if of == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d/%d", n, of)
+		}
+		fmt.Printf("%-12s %8s %8s %8s %8s %8s  %-10v (%s %s)\n",
+			pr.Tool(),
+			pct(votes.ZMap, votes.Packets),
+			pct(votes.Masscan, votes.Packets),
+			pct(votes.Mirai, votes.Packets),
+			pct(votes.NMap, votes.Pairs),
+			pct(votes.Unicorn, votes.Pairs),
+			votes.Classify(), sampleSeq, sampleIPID)
+	}
+
+	fmt.Println("\nthe relations, spelled out on one probe pair:")
+	n := tools.NewNMap(src, r.Derive("n2"))
+	a := n.Probe(0xC0A80001, 443)
+	b := n.Probe(0x08080808, 22)
+	x := a.Seq ^ b.Seq
+	fmt.Printf("  NMap:    seq1^seq2 = %08x — low half %04x == high half %04x: %v\n",
+		x, x&0xffff, x>>16, fingerprint.PairNMap(&a, &b))
+
+	m := tools.NewMasscan(src, r.Derive("m2"))
+	p := m.Probe(0xC0A80001, 443)
+	fmt.Printf("  Masscan: ipid %04x == (dst^dport^seq)&0xffff %04x: %v\n",
+		p.IPID, uint16(p.Dst^uint32(p.DstPort)^p.Seq), fingerprint.IsMasscan(&p))
+
+	mi := tools.NewMirai(src, r.Derive("mi2"))
+	q := mi.Probe(0xC0A80001, 23)
+	fmt.Printf("  Mirai:   seq %08x == dst %08x: %v\n", q.Seq, q.Dst, fingerprint.IsMirai(&q))
+
+	z := tools.NewZMap(src, r.Derive("z2"))
+	w := z.Probe(0xC0A80001, 443)
+	fmt.Printf("  ZMap:    ipid == 54321: %v\n", fingerprint.IsZMap(&w))
+
+	_ = packet.FlagSYN // (all generated probes are pure SYNs)
+}

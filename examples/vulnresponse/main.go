@@ -1,0 +1,54 @@
+// Vulnresponse reproduces the Figure-1 experiment of §4.3: after a
+// vulnerability disclosure, scanning for the affected port surges within
+// days — and, unlike in the 2014-era measurements, dies back down within
+// weeks. A two-sample Kolmogorov–Smirnov test confirms the return to the
+// pre-disclosure activity distribution.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	synscan "github.com/synscan/synscan"
+)
+
+func main() {
+	// A synthetic disclosure on day 12 of the 2019 window: an exploitable
+	// service on port 9898, with adversaries ramping up immediately and
+	// interest decaying with a 4-day half-life-ish e-folding time.
+	event := synscan.Disclosure{
+		Day:        12,
+		Port:       9898,
+		PeakPerDay: 60000, // paper-scale extra campaigns/day at the peak
+		DecayDays:  4,
+	}
+
+	res, err := synscan.DisclosureResponse(synscan.Config{
+		Year: 2019, Seed: 7, Scale: 0.001, TelescopeSize: 4096,
+	}, event)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("disclosure on day %d, port %d\n\n", event.Day, event.Port)
+	fmt.Println("daily activity relative to the pre-disclosure baseline:")
+	for day, rel := range res.RelativeActivity {
+		bar := strings.Repeat("#", int(rel))
+		if len(bar) > 60 {
+			bar = bar[:60] + "+"
+		}
+		fmt.Printf("  day %2d %7.2fx %s\n", day, rel, bar)
+	}
+
+	fmt.Printf("\npeak: %.1fx baseline on day %d (%d days after disclosure)\n",
+		res.PeakFactor, res.PeakDay, res.PeakDay-event.Day)
+	fmt.Printf("KS test, pre-disclosure vs final two weeks: D=%.3f p=%.3f\n",
+		res.KS.D, res.KS.P)
+	if res.KS.SameDistribution(0.05) {
+		fmt.Println("=> activity has returned to the baseline distribution:")
+		fmt.Println("   the Internet forgets fast (§4.3).")
+	} else {
+		fmt.Println("=> activity still elevated at the end of the window.")
+	}
+}

@@ -1,0 +1,163 @@
+package synscan
+
+// facade_test drives every public wrapper end to end on one small simulated
+// year, so the whole API surface is exercised from outside the internal
+// packages.
+
+import (
+	"sync"
+	"testing"
+)
+
+var (
+	facadeOnce sync.Once
+	facade2022 *YearData
+	facade2015 *YearData
+)
+
+func facadeData(t testing.TB) (*YearData, *YearData) {
+	t.Helper()
+	facadeOnce.Do(func() {
+		var err error
+		facade2022, err = Simulate(Config{Year: 2022, Seed: 2, Scale: 0.0005, TelescopeSize: 2048})
+		if err != nil {
+			panic(err)
+		}
+		facade2015, err = Simulate(Config{Year: 2015, Seed: 2, Scale: 0.0005, TelescopeSize: 2048})
+		if err != nil {
+			panic(err)
+		}
+	})
+	return facade2022, facade2015
+}
+
+func TestFacadeVolatility(t *testing.T) {
+	yd, _ := facadeData(t)
+	res := Volatility(yd)
+	if len(res.PacketRatios) == 0 || res.PacketsTwofold <= 0 {
+		t.Fatalf("volatility: %+v", res)
+	}
+}
+
+func TestFacadePortsPerSource(t *testing.T) {
+	yd, y15 := facadeData(t)
+	f22, f15 := PortsPerSource(yd), PortsPerSource(y15)
+	if f22.SinglePortShare >= f15.SinglePortShare {
+		t.Fatalf("single-port share must decline: %v -> %v",
+			f15.SinglePortShare, f22.SinglePortShare)
+	}
+}
+
+func TestFacadeToolAndTypeMix(t *testing.T) {
+	yd, _ := facadeData(t)
+	if rows := ToolMixByPort(yd, 10); len(rows) != 10 {
+		t.Fatalf("ToolMixByPort: %d rows", len(rows))
+	}
+	if rows := TypeMixByPort(yd, 15); len(rows) == 0 {
+		t.Fatal("TypeMixByPort empty")
+	}
+}
+
+func TestFacadeRecurrenceAndSpeed(t *testing.T) {
+	yd, _ := facadeData(t)
+	rec := Recurrence([]*YearData{yd})
+	if len(rec.ScansPerSource[TypeInstitutional]) == 0 {
+		t.Fatal("no institutional recurrence")
+	}
+	rows := SpeedAndCoverage(yd)
+	if len(rows) == 0 {
+		t.Fatal("no speed rows")
+	}
+}
+
+func TestFacadeSectionAnalyses(t *testing.T) {
+	yd, _ := facadeData(t)
+	if r := PortCoverage(yd, 2); r.PrivilegedCoverage <= 0 {
+		t.Fatalf("PortCoverage: %+v", r)
+	}
+	if r := VerticalScans(yd); r.LargestPortCount <= 0 {
+		t.Fatalf("VerticalScans: %+v", r)
+	}
+	if r := ToolSpeeds(yd); len(r.MedianPPS) == 0 {
+		t.Fatalf("ToolSpeeds: %+v", r)
+	}
+	if r := CoverageModes(yd, ToolMasscan); r.Tool != ToolMasscan {
+		t.Fatalf("CoverageModes: %+v", r)
+	}
+	if pr, err := SpeedPortsCorrelation(yd); err != nil || pr.N == 0 {
+		t.Fatalf("SpeedPortsCorrelation: %+v %v", pr, err)
+	}
+	if r := OriginStructure(yd); len(r.TopCountries) == 0 {
+		t.Fatalf("OriginStructure: %+v", r)
+	}
+	if r := InstitutionalBias(yd, 5); r.InstPacketShare <= 0 {
+		t.Fatalf("InstitutionalBias: %+v", r)
+	}
+	if r := BlockableShare(yd); r.Share <= 0 || r.Share > 1 {
+		t.Fatalf("BlockableShare: %+v", r)
+	}
+}
+
+func TestFacadeCollaboration(t *testing.T) {
+	yd, _ := facadeData(t)
+	groups := DetectCollaboration(yd.QualifiedScans(), CollabConfig{})
+	st := SummarizeCollaboration(groups)
+	if st.LogicalScans == 0 || st.RawScans < st.LogicalScans {
+		t.Fatalf("collab stats: %+v", st)
+	}
+}
+
+func TestFacadeBlocklistDecay(t *testing.T) {
+	res, err := BlocklistDecay(Config{Year: 2022, Seed: 2, Scale: 0.0003, TelescopeSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate[0] != 1 || res.HitRate[1] >= 1 {
+		t.Fatalf("hit rates: %v", res.HitRate)
+	}
+}
+
+func TestFacadeInstitutionalCoverage(t *testing.T) {
+	rows, err := InstitutionalCoverage(Config{Year: 2024, Seed: 2, Scale: 0.001, TelescopeSize: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d orgs", len(rows))
+	}
+	if rows[0].PortsCovered < rows[len(rows)-1].PortsCovered {
+		t.Fatal("rows must be sorted by coverage")
+	}
+}
+
+func TestFacadeCoverageDelta(t *testing.T) {
+	rows, err := InstitutionalCoverageDelta(2, 0.001, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 10 {
+		t.Fatalf("only %d orgs", len(rows))
+	}
+}
+
+func TestFacadeVantage(t *testing.T) {
+	res, err := CompareVantagePoints(2020, 2, 0.0003, 2048, 11, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PacketRatio <= 0 || res.TopPortOverlap < 0 {
+		t.Fatalf("vantage: %+v", res)
+	}
+}
+
+func TestFacadeDisclosure(t *testing.T) {
+	res, err := DisclosureResponse(
+		Config{Year: 2019, Seed: 2, Scale: 0.0005, TelescopeSize: 2048},
+		Disclosure{Day: 10, Port: 7777, PeakPerDay: 50000, DecayDays: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakFactor < 2 {
+		t.Fatalf("no surge: %+v", res.PeakFactor)
+	}
+}

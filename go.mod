@@ -1,0 +1,3 @@
+module github.com/synscan/synscan
+
+go 1.22

@@ -1,0 +1,181 @@
+package synscan
+
+// Integration tests across module boundaries: the full
+// simulate → pcap → parse → detect path, and property-based invariants on
+// campaign detection driven by random probe streams.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/pcap"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// TestPcapRoundTripPipeline simulates a capture, spools it through the pcap
+// format, re-parses every frame, re-runs campaign detection, and requires
+// the same campaigns as the direct in-memory path.
+func TestPcapRoundTripPipeline(t *testing.T) {
+	s, err := workload.NewScenario(workload.Config{
+		Year: 2018, Seed: 3, Scale: 0.0003, TelescopeSize: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path A: direct detection. Path B: through the pcap codec.
+	var direct []*core.Scan
+	detA := core.NewDetector(s.DetectorConfig, func(sc *core.Scan) { direct = append(direct, sc) })
+
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 0, packet.FrameLen)
+	var accepted uint64
+	s.Run(func(p *packet.Probe) {
+		if s.Telescope.Observe(p) != telescope.Accepted {
+			return
+		}
+		accepted++
+		detA.Ingest(p)
+		frame = p.AppendFrame(frame[:0])
+		if err := w.WritePacket(p.Time, frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	detA.FlushAll()
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromFile []*core.Scan
+	detB := core.NewDetector(s.DetectorConfig, func(sc *core.Scan) { fromFile = append(fromFile, sc) })
+	var parsed uint64
+	var p packet.Probe
+	for {
+		ts, data, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.UnmarshalFrame(data); err != nil {
+			t.Fatal(err)
+		}
+		p.Time = ts
+		parsed++
+		detB.Ingest(&p)
+	}
+	detB.FlushAll()
+
+	if parsed != accepted {
+		t.Fatalf("parsed %d != accepted %d", parsed, accepted)
+	}
+	if len(direct) != len(fromFile) {
+		t.Fatalf("campaign counts differ: %d direct vs %d from pcap", len(direct), len(fromFile))
+	}
+	for i := range direct {
+		a, b := direct[i], fromFile[i]
+		if a.Src != b.Src || a.Packets != b.Packets || a.Tool != b.Tool ||
+			a.Qualified != b.Qualified || a.DistinctDsts != b.DistinctDsts {
+			t.Fatalf("campaign %d differs:\n direct: %+v\n pcap:   %+v", i, a, b)
+		}
+	}
+}
+
+// TestCampaignInvariantsQuick feeds random probe streams through the
+// detector and checks structural invariants on every emitted scan.
+func TestCampaignInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw)%2000 + 10
+		r := rng.New(seed)
+		var scans []*core.Scan
+		det := core.NewDetector(core.Config{TelescopeSize: 4096},
+			func(sc *core.Scan) { scans = append(scans, sc) })
+		probers := make([]tools.Prober, 8)
+		for i := range probers {
+			probers[i] = tools.NewProber(tools.Tools[i%len(tools.Tools)],
+				uint32(i+1), r.DeriveN("p", uint64(i)))
+		}
+		tm := int64(0)
+		for i := 0; i < n; i++ {
+			p := probers[r.Intn(len(probers))].Probe(r.Uint32(), uint16(r.Intn(100)))
+			tm += int64(r.Intn(1e9))
+			if r.Intn(100) == 0 {
+				tm += 20 * 3600 * 1e9 // force expiries
+			}
+			p.Time = tm
+			det.Ingest(&p)
+		}
+		det.FlushAll()
+
+		var total uint64
+		for _, sc := range scans {
+			total += sc.Packets
+			if sc.Packets == 0 || sc.Start > sc.End {
+				return false
+			}
+			if uint64(sc.DistinctDsts) > sc.Packets || sc.DistinctDsts == 0 {
+				return false
+			}
+			if sc.Coverage < 0 || sc.Coverage > 1 || sc.RatePPS < 0 {
+				return false
+			}
+			for j := 1; j < len(sc.Ports); j++ {
+				if sc.Ports[j] <= sc.Ports[j-1] {
+					return false // must be sorted and distinct
+				}
+			}
+			if len(sc.Ports) == 0 || uint64(len(sc.Ports)) > sc.Packets {
+				return false
+			}
+		}
+		return total == uint64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVantageNoiseDeterminism: the vantage observation noise must be a pure
+// function of the telescope seed.
+func TestVantageNoiseDeterminism(t *testing.T) {
+	run := func(telSeed uint64) uint64 {
+		s, err := workload.NewScenario(workload.Config{
+			Year: 2020, Seed: 9, Scale: 0.0002, TelescopeSize: 2048,
+			TelescopeSeed: telSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n uint64
+		s.Run(func(*packet.Probe) { n++ })
+		return n
+	}
+	a1, a2, b := run(100), run(100), run(200)
+	if a1 != a2 {
+		t.Fatal("same telescope seed must reproduce the same stream")
+	}
+	if a1 == b {
+		t.Fatal("different telescope seeds should produce different samples")
+	}
+	// But the expectations match: within a few percent.
+	ratio := float64(a1) / float64(b)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("vantage volumes diverge too much: %d vs %d", a1, b)
+	}
+}

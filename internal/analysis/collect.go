@@ -1,0 +1,238 @@
+// Package analysis turns simulated telescope captures into the tables and
+// figures of the paper. Collect runs one scenario through the telescope and
+// campaign detector in a single streaming pass, retaining exactly the
+// aggregates the per-experiment functions (Table1, Figure2, ...) consume.
+package analysis
+
+import (
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// YearData is everything one simulated measurement year yields.
+type YearData struct {
+	// Year is the profile year.
+	Year int
+	// Days is the capture window length.
+	Days int
+	// TelescopeSize is the simulated monitored-address count.
+	TelescopeSize int
+	// Start is the window start (ns).
+	Start int64
+
+	// Scans are all closed flows, qualified or not, in close order.
+	Scans []*core.Scan
+	// ScanOrigins are the enriched origins, parallel to Scans.
+	ScanOrigins []enrich.Origin
+
+	// AcceptedPackets counts probes that entered the dataset.
+	AcceptedPackets uint64
+	// TelescopeStats are the capture drop counters.
+	TelescopeStats telescope.Stats
+	// PacketsPerDay is the accepted volume per window day.
+	PacketsPerDay []uint64
+
+	// PacketsPerPort tallies accepted probes per destination port.
+	PacketsPerPort *stats.Counter[uint16]
+	// SourcesPerPort tallies distinct sources per destination port.
+	SourcesPerPort *stats.Counter[uint16]
+	// DistinctSources is the number of distinct source addresses.
+	DistinctSources int
+	// PortsPerSource maps each source to its distinct-port count (Fig. 3).
+	PortsPerSource map[uint32]int
+
+	// PacketsPerToolPort tallies accepted probes per (tool, port) using the
+	// per-packet fingerprints plus campaign attribution (Fig. 4).
+	PacketsPerToolPort *stats.Counter[ToolPort]
+
+	// Weekly volatility (Fig. 2): per (source /16, week) aggregates.
+	WeeklySources *stats.Counter[BlockWeek]
+	WeeklyPackets *stats.Counter[BlockWeek]
+	WeeklyScans   *stats.Counter[BlockWeek]
+	Weeks         int
+
+	// CountryPackets tallies accepted probes per (port, country) for the
+	// §5.4 origin biases.
+	CountryPackets *stats.Counter[PortCountry]
+	// InstPacketsPerPort tallies accepted probes from institutional space
+	// per port, for the benign-scanner bias analysis (§7).
+	InstPacketsPerPort *stats.Counter[uint16]
+
+	reg *inetmodel.Registry
+}
+
+// ToolPort keys the per-tool-per-port packet tally.
+type ToolPort struct {
+	Tool tools.Tool
+	Port uint16
+}
+
+// BlockWeek keys weekly per-/16 aggregates.
+type BlockWeek struct {
+	Block uint16
+	Week  uint8
+}
+
+// PortCountry keys the geographic targeting tally.
+type PortCountry struct {
+	Port    uint16
+	Country string
+}
+
+// Registry returns the synthetic Internet behind the year.
+func (y *YearData) Registry() *inetmodel.Registry { return y.reg }
+
+// Collect simulates the scenario and gathers all aggregates in one pass.
+func Collect(s *workload.Scenario) *YearData {
+	yd := &YearData{
+		Year:               s.Profile.Year,
+		Days:               s.Profile.Days,
+		TelescopeSize:      s.Telescope.Size(),
+		Start:              s.Start,
+		PacketsPerDay:      make([]uint64, s.Profile.Days+1),
+		PacketsPerPort:     stats.NewCounter[uint16](),
+		SourcesPerPort:     stats.NewCounter[uint16](),
+		PortsPerSource:     make(map[uint32]int),
+		PacketsPerToolPort: stats.NewCounter[ToolPort](),
+		WeeklySources:      stats.NewCounter[BlockWeek](),
+		WeeklyPackets:      stats.NewCounter[BlockWeek](),
+		WeeklyScans:        stats.NewCounter[BlockWeek](),
+		CountryPackets:     stats.NewCounter[PortCountry](),
+		InstPacketsPerPort: stats.NewCounter[uint16](),
+		Weeks:              s.Profile.Days / 7,
+		reg:                s.Registry,
+	}
+	en := enrich.New(s.Registry)
+
+	det := core.NewDetector(s.DetectorConfig, func(sc *core.Scan) {
+		yd.Scans = append(yd.Scans, sc)
+		yd.ScanOrigins = append(yd.ScanOrigins, en.Origin(sc.Src))
+	})
+
+	// Dedup sets, keyed compactly.
+	srcPort := make(map[uint64]struct{}) // src<<16|port seen
+	weekSrc := make(map[uint64]struct{}) // block<<40|week<<32|srcLow seen
+	day := int64(24 * 3600 * 1e9)
+
+	s.Run(func(p *packet.Probe) {
+		if s.Telescope.Observe(p) != telescope.Accepted {
+			return
+		}
+		yd.AcceptedPackets++
+		d := int((p.Time - s.Start) / day)
+		if d >= 0 && d < len(yd.PacketsPerDay) {
+			yd.PacketsPerDay[d]++
+		}
+		yd.PacketsPerPort.Inc(p.DstPort)
+
+		spKey := uint64(p.Src)<<16 | uint64(p.DstPort)
+		if _, dup := srcPort[spKey]; !dup {
+			srcPort[spKey] = struct{}{}
+			yd.SourcesPerPort.Inc(p.DstPort)
+			yd.PortsPerSource[p.Src]++
+		}
+
+		// Per-packet tool attribution for the traffic mix: the per-packet
+		// fingerprints identify ZMap/Masscan/Mirai directly; everything
+		// else lands in Unknown here (campaign-level attribution refines
+		// NMap/Unicorn, but per-packet traffic shares are what Fig. 4
+		// plots).
+		tl := tools.ToolUnknown
+		switch {
+		case p.IPID == tools.ZMapIPID:
+			tl = tools.ToolZMap
+		case p.Seq == p.Dst:
+			tl = tools.ToolMirai
+		case p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq):
+			tl = tools.ToolMasscan
+		}
+		yd.PacketsPerToolPort.Inc(ToolPort{tl, p.DstPort})
+
+		week := uint8(int((p.Time - s.Start) / (7 * day)))
+		block := inetmodel.Block16(p.Src)
+		bw := BlockWeek{block, week}
+		yd.WeeklyPackets.Inc(bw)
+		wsKey := uint64(block)<<40 | uint64(week)<<32 | uint64(p.Src&0xffff)<<8 | uint64(p.Src>>24)
+		if _, dup := weekSrc[wsKey]; !dup {
+			weekSrc[wsKey] = struct{}{}
+			yd.WeeklySources.Inc(bw)
+		}
+
+		entry := s.Registry.Lookup(p.Src)
+		if entry.Country != "" {
+			yd.CountryPackets.Inc(PortCountry{p.DstPort, entry.Country})
+		}
+		if entry.Type == inetmodel.TypeInstitutional {
+			yd.InstPacketsPerPort.Inc(p.DstPort)
+		}
+
+		det.Ingest(p)
+	})
+	det.FlushAll()
+
+	yd.DistinctSources = len(yd.PortsPerSource)
+	yd.TelescopeStats = s.Telescope.Stats()
+
+	for i, sc := range yd.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		_ = i
+		week := uint8(int((sc.Start - s.Start) / (7 * day)))
+		yd.WeeklyScans.Inc(BlockWeek{inetmodel.Block16(sc.Src), week})
+	}
+	return yd
+}
+
+// QualifiedScans filters the campaign list.
+func (y *YearData) QualifiedScans() []*core.Scan {
+	out := make([]*core.Scan, 0, len(y.Scans))
+	for _, sc := range y.Scans {
+		if sc.Qualified {
+			out = append(out, sc)
+		}
+	}
+	return out
+}
+
+// ScansPerPort tallies qualified campaigns per targeted port (a multi-port
+// campaign counts once per port) — the "top ports by scans" ranking.
+func (y *YearData) ScansPerPort() *stats.Counter[uint16] {
+	c := stats.NewCounter[uint16]()
+	for _, sc := range y.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		for _, p := range sc.Ports {
+			c.Inc(p)
+		}
+	}
+	return c
+}
+
+// ToolScanShares returns each tool's share of qualified campaigns.
+func (y *YearData) ToolScanShares() map[tools.Tool]float64 {
+	counts := map[tools.Tool]int{}
+	total := 0
+	for _, sc := range y.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		counts[sc.Tool]++
+		total++
+	}
+	out := map[tools.Tool]float64{}
+	if total == 0 {
+		return out
+	}
+	for tl, n := range counts {
+		out[tl] = float64(n) / float64(total)
+	}
+	return out
+}

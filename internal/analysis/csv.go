@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// WriteCSVDir exports the evaluation's per-year series as CSV files —
+// gnuplot/pandas-ready data for replotting the paper's figures. One file
+// per experiment family is written into dir (created if missing).
+func (ev *Evaluation) WriteCSVDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, header []string, rows [][]string) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w := csv.NewWriter(f)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	}
+	ff := func(v float64) string { return fmt.Sprintf("%g", v) }
+
+	var t1 [][]string
+	for _, r := range ev.Table1 {
+		t1 = append(t1, []string{
+			fmt.Sprint(r.Year), ff(r.PacketsPerDay), ff(r.ScansPerMonth),
+			fmt.Sprint(r.DistinctSources),
+			ff(r.ToolShares[tools.ToolMasscan]), ff(r.ToolShares[tools.ToolNMap]),
+			ff(r.ToolShares[tools.ToolMirai]), ff(r.ToolShares[tools.ToolZMap]),
+		})
+	}
+	if err := write("table1.csv",
+		[]string{"year", "packets_per_day", "scans_per_month", "sources",
+			"masscan", "nmap", "mirai", "zmap"}, t1); err != nil {
+		return err
+	}
+
+	var t2 [][]string
+	for _, r := range ev.Table2 {
+		t2 = append(t2, []string{r.Type.String(), ff(r.Sources), ff(r.Scans), ff(r.Packets)})
+	}
+	if err := write("table2.csv", []string{"type", "sources", "scans", "packets"}, t2); err != nil {
+		return err
+	}
+
+	var f1 [][]string
+	for d, v := range ev.Figure1.RelativeActivity {
+		f1 = append(f1, []string{fmt.Sprint(d), ff(v)})
+	}
+	if err := write("figure1.csv", []string{"day", "relative_activity"}, f1); err != nil {
+		return err
+	}
+
+	var f2 [][]string
+	for _, v := range ev.Figure2.PacketRatios {
+		f2 = append(f2, []string{ff(v)})
+	}
+	if err := write("figure2_packet_ratios.csv", []string{"weekly_change_factor"}, f2); err != nil {
+		return err
+	}
+
+	var f3 [][]string
+	for _, r := range ev.Figure3 {
+		f3 = append(f3, []string{fmt.Sprint(r.Year), ff(r.SinglePortShare),
+			ff(r.ThreePlusShare), ff(r.FivePlusShare)})
+	}
+	if err := write("figure3.csv",
+		[]string{"year", "single_port", "three_plus", "five_plus"}, f3); err != nil {
+		return err
+	}
+
+	var f8 [][]string
+	for _, r := range ev.Figure8 {
+		f8 = append(f8, []string{r.Org, fmt.Sprint(r.PortsCovered), fmt.Sprint(r.Packets)})
+	}
+	if err := write("figure8.csv", []string{"org", "ports", "packets"}, f8); err != nil {
+		return err
+	}
+
+	var s51 [][]string
+	for _, r := range ev.Sec51 {
+		s51 = append(s51, []string{fmt.Sprint(r.Year), ff(r.PrivilegedCoverage),
+			ff(r.CoScan80_8080), ff(r.ThreePlusShare), ff(r.ServicesScansR.R)})
+	}
+	if err := write("sec51.csv",
+		[]string{"year", "privileged_coverage", "coscan_80_8080", "three_plus", "services_scans_r"}, s51); err != nil {
+		return err
+	}
+
+	var s63 [][]string
+	for _, r := range ev.Sec63 {
+		s63 = append(s63, []string{fmt.Sprint(r.Year),
+			ff(r.MedianPPS[tools.ToolZMap]), ff(r.MedianPPS[tools.ToolMasscan]),
+			ff(r.MedianPPS[tools.ToolNMap]), ff(r.MedianPPS[tools.ToolMirai]),
+			ff(r.Top100MeanPPS)})
+	}
+	if err := write("sec63.csv",
+		[]string{"year", "zmap_median", "masscan_median", "nmap_median", "mirai_median", "top100_mean"}, s63); err != nil {
+		return err
+	}
+
+	var bl [][]string
+	for k := range ev.Blocklist.HitRate {
+		bl = append(bl, []string{fmt.Sprint(k), ff(ev.Blocklist.HitRate[k]), ff(ev.Blocklist.InstHitRate[k])})
+	}
+	if err := write("blocklist.csv", []string{"weeks_old", "hit_rate", "inst_hit_rate"}, bl); err != nil {
+		return err
+	}
+
+	var cb [][]string
+	for i, st := range ev.Collab {
+		cb = append(cb, []string{fmt.Sprint(ev.Table1[i].Year), fmt.Sprint(st.RawScans),
+			fmt.Sprint(st.LogicalScans), ff(st.InflationFactor)})
+	}
+	return write("collab.csv", []string{"year", "raw_scans", "logical_scans", "inflation"}, cb)
+}

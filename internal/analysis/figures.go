@@ -1,0 +1,517 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1: vulnerability disclosures spike and decay (§4.3)
+
+// Figure1Result captures one disclosure event's activity trace.
+type Figure1Result struct {
+	Port uint16
+	// RelativeActivity[d] is the port's packet volume on day d divided by
+	// its pre-event daily average.
+	RelativeActivity []float64
+	// PeakDay and PeakFactor locate the surge.
+	PeakDay    int
+	PeakFactor float64
+	// KS compares the port-volume distribution of the last two window
+	// weeks against the pre-event weeks: SameDistribution(0.05) confirms
+	// the return to baseline.
+	KS stats.KSResult
+}
+
+// Figure1 injects a disclosure event into a scenario year and traces how
+// fast interest decays.
+func Figure1(seed uint64, scale float64, telescopeSize int, year int, ev workload.Disclosure) (*Figure1Result, error) {
+	s, err := workload.NewScenario(workload.Config{
+		Year: year, Seed: seed, Scale: scale, TelescopeSize: telescopeSize,
+		Disclosures: []workload.Disclosure{ev},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return traceEvent(ev, collectPortDaily(s, ev.Port)), nil
+}
+
+// traceEvent turns a per-day volume series for an event port into the
+// Figure-1 surge/decay trace.
+func traceEvent(ev workload.Disclosure, days []uint64) *Figure1Result {
+	res := &Figure1Result{Port: ev.Port, RelativeActivity: make([]float64, len(days))}
+	// Pre-event baseline: days before the disclosure.
+	var pre float64
+	n := 0
+	for d := 0; d < ev.Day && d < len(days); d++ {
+		pre += float64(days[d])
+		n++
+	}
+	if n > 0 {
+		pre /= float64(n)
+	}
+	if pre < 1 {
+		pre = 1
+	}
+	for d, v := range days {
+		rel := float64(v) / pre
+		res.RelativeActivity[d] = rel
+		if rel > res.PeakFactor {
+			res.PeakFactor = rel
+			res.PeakDay = d
+		}
+	}
+	// KS: daily volumes before the event vs the final two weeks.
+	var before, after []float64
+	for d := 0; d < ev.Day && d < len(days); d++ {
+		before = append(before, float64(days[d]))
+	}
+	for d := len(days) - 14; d < len(days); d++ {
+		if d >= 0 {
+			after = append(after, float64(days[d]))
+		}
+	}
+	if ks, err := stats.KS2Sample(before, after); err == nil {
+		res.KS = ks
+	}
+	return res
+}
+
+// collectPortDaily runs a scenario tallying one port's accepted volume/day.
+func collectPortDaily(s *workload.Scenario, port uint16) []uint64 {
+	days := make([]uint64, s.Profile.Days+1)
+	day := int64(24 * 3600 * 1e9)
+	s.Run(func(p *packet.Probe) {
+		if p.DstPort != port {
+			return
+		}
+		if s.Telescope.Observe(p) != telescope.Accepted {
+			return
+		}
+		d := int((p.Time - s.Start) / day)
+		if d >= 0 && d < len(days) {
+			days[d]++
+		}
+	})
+	return days
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: weekly volatility per /16 netblock (§4.4)
+
+// Figure2Result holds the weekly change-factor distributions.
+type Figure2Result struct {
+	// SourceRatios, ScanRatios, PacketRatios are week-over-week change
+	// factors per /16, expressed as max(new,old)/min(new,old) >= 1.
+	SourceRatios, ScanRatios, PacketRatios []float64
+	// ShareChangedTwofold is the fraction of ratios >= 2 per metric.
+	SourcesTwofold, ScansTwofold, PacketsTwofold float64
+	// Stable is the share of packet ratios below 1.25 ("do more or less
+	// the same week after week").
+	Stable float64
+}
+
+// Figure2 computes the weekly volatility CDF inputs from a collected year.
+func Figure2(yd *YearData) *Figure2Result {
+	res := &Figure2Result{}
+	res.SourceRatios = weeklyRatios(yd.WeeklySources, yd.Weeks)
+	res.ScanRatios = weeklyRatios(yd.WeeklyScans, yd.Weeks)
+	res.PacketRatios = weeklyRatios(yd.WeeklyPackets, yd.Weeks)
+	res.SourcesTwofold = shareAtLeast(res.SourceRatios, 2)
+	res.ScansTwofold = shareAtLeast(res.ScanRatios, 2)
+	res.PacketsTwofold = shareAtLeast(res.PacketRatios, 2)
+	res.Stable = 1 - shareAtLeast(res.PacketRatios, 1.25)
+	return res
+}
+
+func weeklyRatios(c *stats.Counter[BlockWeek], weeks int) []float64 {
+	if weeks < 2 {
+		return nil
+	}
+	// Gather blocks.
+	blocks := map[uint16]bool{}
+	for _, k := range c.Keys() {
+		blocks[k.Block] = true
+	}
+	var ratios []float64
+	for b := range blocks {
+		for w := 1; w < weeks; w++ {
+			prev := float64(c.Get(BlockWeek{b, uint8(w - 1)}))
+			cur := float64(c.Get(BlockWeek{b, uint8(w)}))
+			if prev == 0 && cur == 0 {
+				continue
+			}
+			if prev == 0 || cur == 0 {
+				// Appeared or vanished: maximal volatility; cap for CDFs.
+				ratios = append(ratios, 100)
+				continue
+			}
+			r := cur / prev
+			if r < 1 {
+				r = 1 / r
+			}
+			ratios = append(ratios, r)
+		}
+	}
+	sort.Float64s(ratios)
+	return ratios
+}
+
+func shareAtLeast(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: distinct ports per source (§5.1)
+
+// Figure3Result is the per-year ports-per-source distribution.
+type Figure3Result struct {
+	Year int
+	// CDF over distinct-port counts (not serialized; use the shares).
+	ECDF *stats.ECDF `json:"-"`
+	// SinglePortShare is P(source targets exactly one port).
+	SinglePortShare float64
+	// FivePlusShare is P(source targets >= 5 ports).
+	FivePlusShare float64
+	// ThreePlusShare is P(source targets >= 3 ports).
+	ThreePlusShare float64
+}
+
+// Figure3 computes the ports-per-source CDF of a collected year.
+func Figure3(yd *YearData) *Figure3Result {
+	xs := make([]float64, 0, len(yd.PortsPerSource))
+	single, five, three := 0, 0, 0
+	for _, n := range yd.PortsPerSource {
+		xs = append(xs, float64(n))
+		if n == 1 {
+			single++
+		}
+		if n >= 5 {
+			five++
+		}
+		if n >= 3 {
+			three++
+		}
+	}
+	total := float64(len(xs))
+	res := &Figure3Result{Year: yd.Year, ECDF: stats.NewECDF(xs)}
+	if total > 0 {
+		res.SinglePortShare = float64(single) / total
+		res.FivePlusShare = float64(five) / total
+		res.ThreePlusShare = float64(three) / total
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: top ports × tool mix (§6.1)
+
+// Figure4Port is one port's traffic with its tool decomposition.
+type Figure4Port struct {
+	Port    uint16
+	Packets uint64
+	// ToolShare maps per-packet-identifiable tools (ZMap, Masscan, Mirai)
+	// plus Unknown to their share of the port's traffic.
+	ToolShare map[tools.Tool]float64
+}
+
+// Figure4 returns the top-N ports by traffic with per-tool shares.
+func Figure4(yd *YearData, topN int) []Figure4Port {
+	top := yd.PacketsPerPort.TopK(topN)
+	out := make([]Figure4Port, 0, len(top))
+	for _, kv := range top {
+		fp := Figure4Port{Port: kv.Key, Packets: kv.Count, ToolShare: map[tools.Tool]float64{}}
+		for _, tl := range []tools.Tool{tools.ToolZMap, tools.ToolMasscan, tools.ToolMirai, tools.ToolUnknown} {
+			n := yd.PacketsPerToolPort.Get(ToolPort{tl, kv.Key})
+			if kv.Count > 0 {
+				fp.ToolShare[tl] = float64(n) / float64(kv.Count)
+			}
+		}
+		out = append(out, fp)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: scanner types per port (§6.7)
+
+// Figure5Port is one port's qualified-scan decomposition by scanner type.
+type Figure5Port struct {
+	Port      uint16
+	Scans     int
+	TypeShare map[inetmodel.ScannerType]float64
+}
+
+// Figure5 returns the top-N ports by scans with scanner-type shares.
+func Figure5(yd *YearData, topN int) []Figure5Port {
+	perPortType := stats.NewCounter[portType]()
+	perPort := stats.NewCounter[uint16]()
+	for i, sc := range yd.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		t := yd.ScanOrigins[i].Type
+		if t == inetmodel.TypeReserved {
+			t = inetmodel.TypeUnknown
+		}
+		for _, p := range sc.Ports {
+			perPort.Inc(p)
+			perPortType.Inc(portType{p, t})
+		}
+	}
+	top := perPort.TopK(topN)
+	out := make([]Figure5Port, 0, len(top))
+	for _, kv := range top {
+		fp := Figure5Port{Port: kv.Key, Scans: int(kv.Count), TypeShare: map[inetmodel.ScannerType]float64{}}
+		for _, t := range inetmodel.ScannerTypes {
+			fp.TypeShare[t] = float64(perPortType.Get(portType{kv.Key, t})) / float64(kv.Count)
+		}
+		out = append(out, fp)
+	}
+	return out
+}
+
+type portType struct {
+	Port uint16
+	Type inetmodel.ScannerType
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: scanner recurrence and downtime (§6.6)
+
+// Figure6Result holds recurrence distributions per scanner type.
+type Figure6Result struct {
+	// ScansPerSource maps type -> sample of per-source campaign counts.
+	ScansPerSource map[inetmodel.ScannerType][]float64
+	// DowntimeHours maps type -> sample of gaps between consecutive scans
+	// of one source, in hours.
+	DowntimeHours map[inetmodel.ScannerType][]float64
+	// DailyModeShare is, per type, the share of downtimes consistent with
+	// a daily rescan cadence (12–30 h idle between multi-hour daily
+	// scans) — the institutional "every day" mode.
+	DailyModeShare map[inetmodel.ScannerType]float64
+}
+
+// Figure6 computes recurrence statistics over one or more collected years.
+func Figure6(years []*YearData) *Figure6Result {
+	type srcKey struct {
+		src uint32
+	}
+	res := &Figure6Result{
+		ScansPerSource: map[inetmodel.ScannerType][]float64{},
+		DowntimeHours:  map[inetmodel.ScannerType][]float64{},
+		DailyModeShare: map[inetmodel.ScannerType]float64{},
+	}
+	for _, yd := range years {
+		// Per-source qualified scans in time order (Scans close in order).
+		perSrc := map[srcKey][]*core.Scan{}
+		typeOf := map[srcKey]inetmodel.ScannerType{}
+		for i, sc := range yd.Scans {
+			if !sc.Qualified {
+				continue
+			}
+			k := srcKey{sc.Src}
+			perSrc[k] = append(perSrc[k], sc)
+			t := yd.ScanOrigins[i].Type
+			if t == inetmodel.TypeReserved {
+				t = inetmodel.TypeUnknown
+			}
+			typeOf[k] = t
+		}
+		for k, scans := range perSrc {
+			t := typeOf[k]
+			res.ScansPerSource[t] = append(res.ScansPerSource[t], float64(len(scans)))
+			sort.Slice(scans, func(i, j int) bool { return scans[i].Start < scans[j].Start })
+			for i := 1; i < len(scans); i++ {
+				gap := float64(scans[i].Start-scans[i-1].End) / 3600e9
+				if gap > 0 {
+					res.DowntimeHours[t] = append(res.DowntimeHours[t], gap)
+				}
+			}
+		}
+	}
+	for t, gaps := range res.DowntimeHours {
+		daily := 0
+		for _, g := range gaps {
+			if g >= 12 && g <= 30 {
+				daily++
+			}
+		}
+		if len(gaps) > 0 {
+			res.DailyModeShare[t] = float64(daily) / float64(len(gaps))
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: speed and coverage per scanner type (§6.8)
+
+// Figure7Row is one scanner type's speed/coverage summary.
+type Figure7Row struct {
+	Type inetmodel.ScannerType
+	// MeanSpeedPPS and MedianSpeedPPS summarize per-scan extrapolated
+	// Internet-wide rates.
+	MeanSpeedPPS, MedianSpeedPPS float64
+	// Above1000PPS is the share of scans exceeding 1,000 pps (the paper:
+	// 84% of institutional vs 12% of residential scanning).
+	Above1000PPS float64
+	// MeanCoverage is the average estimated IPv4 coverage fraction.
+	MeanCoverage float64
+	Scans        int
+}
+
+// Figure7 summarizes scan speed and coverage per scanner type.
+func Figure7(yd *YearData) []Figure7Row {
+	speeds := map[inetmodel.ScannerType][]float64{}
+	covs := map[inetmodel.ScannerType][]float64{}
+	for i, sc := range yd.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		t := yd.ScanOrigins[i].Type
+		if t == inetmodel.TypeReserved {
+			t = inetmodel.TypeUnknown
+		}
+		speeds[t] = append(speeds[t], sc.RatePPS)
+		covs[t] = append(covs[t], sc.Coverage)
+	}
+	var rows []Figure7Row
+	for _, t := range inetmodel.ScannerTypes {
+		ss := speeds[t]
+		if len(ss) == 0 {
+			continue
+		}
+		rows = append(rows, Figure7Row{
+			Type:           t,
+			MeanSpeedPPS:   stats.Mean(ss),
+			MedianSpeedPPS: stats.Median(ss),
+			Above1000PPS:   shareAtLeast(ss, 1000),
+			MeanCoverage:   stats.Mean(covs[t]),
+			Scans:          len(ss),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Figures 8, 9, 10: institutional port coverage (§6.8, Appendix A)
+
+// Figure8Row is one organization's observed port coverage in a year.
+type Figure8Row struct {
+	Org          string
+	Kind         inetmodel.OrgKind
+	PortsCovered int
+	FullRange    bool
+	Packets      uint64
+	// Density holds the covered fraction of each 1024-port bucket — the
+	// data behind the appendix port-map figures.
+	Density [64]float64
+}
+
+// Figure8 measures per-organization port coverage from the raw capture.
+// It runs the scenario itself because the per-org port bitmaps are too
+// large to retain in YearData for every analysis. Port-coverage accounting
+// intentionally bypasses the ingress port policy: the question is what the
+// org scans, not what the telescope keeps.
+func Figure8(s *workload.Scenario) []Figure8Row {
+	reg := s.Registry
+	orgs := reg.Orgs()
+	sets := make([]inetmodel.PortSet, len(orgs))
+	packets := make([]uint64, len(orgs))
+	s.Run(func(p *packet.Probe) {
+		e := reg.Lookup(p.Src)
+		if e.OrgID < 0 {
+			return
+		}
+		sets[e.OrgID].Add(p.DstPort)
+		packets[e.OrgID]++
+	})
+	var rows []Figure8Row
+	for i, org := range orgs {
+		if packets[i] == 0 {
+			continue
+		}
+		row := Figure8Row{
+			Org:          org.Name,
+			Kind:         org.Kind,
+			PortsCovered: sets[i].Len(),
+			FullRange:    sets[i].Len() >= 65000,
+			Packets:      packets[i],
+		}
+		for _, port := range sets[i].Ports() {
+			row.Density[port>>10] += 1.0 / 1024
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].PortsCovered != rows[j].PortsCovered {
+			return rows[i].PortsCovered > rows[j].PortsCovered
+		}
+		return rows[i].Org < rows[j].Org
+	})
+	return rows
+}
+
+// Figure910 produces the appendix comparison: per-org coverage in 2023 vs
+// 2024, keyed by organization name.
+type Figure910Row struct {
+	Org                  string
+	Ports2023, Ports2024 int
+}
+
+// Figure910 builds both years' scenarios with the same seed/registry and
+// joins their coverage maps.
+func Figure910(seed uint64, scale float64, telescopeSize int, reg *inetmodel.Registry) ([]Figure910Row, error) {
+	cover := func(year int) (map[string]int, error) {
+		s, err := workload.NewScenario(workload.Config{
+			Year: year, Seed: seed, Scale: scale,
+			TelescopeSize: telescopeSize, Registry: reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		m := map[string]int{}
+		for _, row := range Figure8(s) {
+			m[row.Org] = row.PortsCovered
+		}
+		return m, nil
+	}
+	c23, err := cover(2023)
+	if err != nil {
+		return nil, err
+	}
+	c24, err := cover(2024)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]bool{}
+	for n := range c23 {
+		names[n] = true
+	}
+	for n := range c24 {
+		names[n] = true
+	}
+	var rows []Figure910Row
+	for n := range names {
+		rows = append(rows, Figure910Row{Org: n, Ports2023: c23[n], Ports2024: c24[n]})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Ports2024 > rows[j].Ports2024 })
+	return rows, nil
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/sketch"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// SketchedResult is the memory-bounded counterpart of the exact YearData
+// headline quantities: at the paper's real scale (45 B packets, 45 M
+// sources) exact per-port and per-source tables do not fit on one machine,
+// so a production telescope computes them with sketches. The simulator uses
+// it to validate that the sketched pipeline reproduces the exact tables.
+type SketchedResult struct {
+	Year int
+	// AcceptedPackets is exact (a single counter).
+	AcceptedPackets uint64
+	// DistinctSources is the HyperLogLog estimate (±~1%).
+	DistinctSources uint64
+	// TopPortsByPackets comes from a Space-Saving tracker: shares are
+	// upper-bound estimates.
+	TopPortsByPackets []PortShare
+}
+
+// Sketched runs the scenario once, summarizing with O(KB) state instead of
+// the exact collector's O(sources + ports) maps.
+func Sketched(s *workload.Scenario, topN int) *SketchedResult {
+	res := &SketchedResult{Year: s.Profile.Year}
+	hll := sketch.NewHyperLogLog()
+	// 4k counters comfortably exceeds the heavy-hitter bound for a top-10
+	// table over 65536 ports.
+	ports := sketch.NewTopK(4096)
+	s.Run(func(p *packet.Probe) {
+		if s.Telescope.Observe(p) != telescope.Accepted {
+			return
+		}
+		res.AcceptedPackets++
+		hll.AddUint32(p.Src)
+		ports.Add(uint64(p.DstPort))
+	})
+	res.DistinctSources = hll.Estimate()
+	for _, it := range ports.Top(topN) {
+		res.TopPortsByPackets = append(res.TopPortsByPackets, PortShare{
+			Port:  uint16(it.Key),
+			Share: float64(it.Count) / float64(res.AcceptedPackets),
+		})
+	}
+	return res
+}

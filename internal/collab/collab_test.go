@@ -1,0 +1,139 @@
+package collab
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// mkScan builds a qualified campaign for grouping tests.
+func mkScan(src uint32, tool tools.Tool, ports []uint16, start, dur int64, packets uint64, rate float64) *core.Scan {
+	return &core.Scan{
+		Src: src, Start: start, End: start + dur,
+		Packets: packets, DistinctDsts: int(packets),
+		Ports: ports, Tool: tool, Qualified: true,
+		RatePPS: rate, Coverage: 0.1,
+	}
+}
+
+const hour = int64(time.Hour)
+
+func TestDetectGroupsSlash24Shards(t *testing.T) {
+	base := uint32(0x0A0B0C00)
+	ports := []uint16{443}
+	var scans []*core.Scan
+	for i := 0; i < 4; i++ {
+		scans = append(scans, mkScan(base|uint32(i+1), tools.ToolZMap, ports,
+			int64(i)*hour/4, 10*hour, 500, 20000))
+	}
+	// An unrelated singleton far away in time.
+	scans = append(scans, mkScan(0xC0FFEE01, tools.ToolZMap, ports, 100*hour, hour, 300, 9000))
+
+	groups := Detect(scans, Config{})
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	st := Summarize(groups)
+	if st.Collaborative != 1 || st.LargestGroup != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+	for _, g := range groups {
+		if len(g.Scans) == 4 {
+			if !g.SameSlash24 {
+				t.Fatal("shard group must be flagged same-/24")
+			}
+			if g.TotalPackets != 2000 {
+				t.Fatalf("TotalPackets = %d", g.TotalPackets)
+			}
+		}
+	}
+	if st.InflationFactor < 2 {
+		t.Fatalf("inflation factor = %v", st.InflationFactor)
+	}
+}
+
+func TestDetectGroupsEqualSliceShards(t *testing.T) {
+	// Shards scattered across the Internet but with equal rates/sizes and
+	// synchronized windows.
+	ports := []uint16{80, 8080}
+	var scans []*core.Scan
+	srcs := []uint32{0x01000001, 0x42000001, 0x7B000001}
+	for i, src := range srcs {
+		scans = append(scans, mkScan(src, tools.ToolMasscan, ports,
+			int64(i)*hour, 12*hour, 400, 15000))
+	}
+	groups := Detect(scans, Config{})
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	if groups[0].SameSlash24 {
+		t.Fatal("scattered shards must not be flagged same-/24")
+	}
+}
+
+func TestDetectSeparatesTools(t *testing.T) {
+	ports := []uint16{22}
+	a := mkScan(1, tools.ToolZMap, ports, 0, 10*hour, 500, 20000)
+	b := mkScan(2, tools.ToolMasscan, ports, 0, 10*hour, 500, 20000)
+	groups := Detect([]*core.Scan{a, b}, Config{})
+	if len(groups) != 2 {
+		t.Fatalf("different tools merged: %d groups", len(groups))
+	}
+}
+
+func TestDetectSeparatesPortSets(t *testing.T) {
+	a := mkScan(1, tools.ToolZMap, []uint16{22}, 0, 10*hour, 500, 20000)
+	b := mkScan(2, tools.ToolZMap, []uint16{22, 2222}, 0, 10*hour, 500, 20000)
+	if groups := Detect([]*core.Scan{a, b}, Config{}); len(groups) != 2 {
+		t.Fatalf("different port sets merged: %d groups", len(groups))
+	}
+}
+
+func TestDetectSeparatesDisjointWindows(t *testing.T) {
+	ports := []uint16{443}
+	a := mkScan(1, tools.ToolZMap, ports, 0, hour, 500, 20000)
+	b := mkScan(2, tools.ToolZMap, ports, 48*hour, hour, 500, 20000)
+	if groups := Detect([]*core.Scan{a, b}, Config{}); len(groups) != 2 {
+		t.Fatalf("disjoint windows merged: %d groups", len(groups))
+	}
+}
+
+func TestDetectRateMismatch(t *testing.T) {
+	ports := []uint16{443}
+	// Scattered sources with a 10x rate gap: not equal slices.
+	a := mkScan(0x01000001, tools.ToolZMap, ports, 0, 10*hour, 500, 2000)
+	b := mkScan(0x50000001, tools.ToolZMap, ports, 0, 10*hour, 5000, 20000)
+	if groups := Detect([]*core.Scan{a, b}, Config{}); len(groups) != 2 {
+		t.Fatalf("rate-mismatched scans merged: %d groups", len(groups))
+	}
+}
+
+func TestDetectIgnoresUnqualified(t *testing.T) {
+	s := mkScan(1, tools.ToolZMap, []uint16{80}, 0, hour, 500, 20000)
+	s.Qualified = false
+	if groups := Detect([]*core.Scan{s}, Config{}); len(groups) != 0 {
+		t.Fatal("unqualified flows must be ignored")
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	var scans []*core.Scan
+	for i := 0; i < 50; i++ {
+		scans = append(scans, mkScan(uint32(i*1000+1), tools.ToolZMap, []uint16{443},
+			int64(i%5)*hour, 10*hour, uint64(400+i%3*10), 15000))
+	}
+	a := Summarize(Detect(scans, Config{}))
+	b := Summarize(Detect(scans, Config{}))
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	st := Summarize(nil)
+	if st.LogicalScans != 0 || st.InflationFactor != 0 {
+		t.Fatalf("empty stats: %+v", st)
+	}
+}

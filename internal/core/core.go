@@ -1,0 +1,257 @@
+// Package core implements the paper's primary methodological contribution:
+// grouping the individual SYN probes arriving at a telescope into scan
+// campaigns (§3.4) and attributing each campaign to a scanning tool (§3.3,
+// via internal/fingerprint).
+//
+// A scan campaign is a sequence of probes from one source address that hits
+// at least MinDistinctDsts distinct telescope addresses at an extrapolated
+// Internet-wide rate of at least MinRatePPS packets per second; a flow that
+// stays silent for the Expiry window is closed. The detector is a streaming,
+// single-pass structure: per-source state lives in a hash table threaded
+// onto an intrusive LRU list ordered by last activity, so expiry is O(1)
+// amortized per packet regardless of how many sources are live.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/synscan/synscan/internal/fingerprint"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// Default thresholds from §3.4.
+const (
+	// DefaultMinDistinctDsts is the minimum number of distinct telescope
+	// addresses a campaign must hit.
+	DefaultMinDistinctDsts = 100
+	// DefaultMinRatePPS is the minimum extrapolated Internet-wide probe
+	// rate in packets per second.
+	DefaultMinRatePPS = 100.0
+	// DefaultExpiry closes flows after one hour of silence.
+	DefaultExpiry = int64(time.Hour)
+	// probeWireBits is the on-the-wire cost of one minimal SYN probe
+	// (54-byte frame + 20 bytes Ethernet preamble/IFG/FCS overhead), used
+	// to convert probe rates into link speeds as the paper reports them.
+	probeWireBits = (packet.FrameLen + 20) * 8
+)
+
+// Config parameterizes the detector. The zero value is completed with the
+// paper's defaults by NewDetector; TelescopeSize is mandatory.
+type Config struct {
+	// TelescopeSize is the number of monitored addresses, used to
+	// extrapolate telescope-local observations to Internet-wide rates.
+	TelescopeSize int
+	// MinDistinctDsts is the campaign qualification threshold on distinct
+	// destinations (default 100).
+	MinDistinctDsts int
+	// MinRatePPS is the qualification threshold on the extrapolated
+	// Internet-wide rate (default 100 pps).
+	MinRatePPS float64
+	// Expiry is the idle time after which a flow closes, in nanoseconds
+	// (default 1 hour).
+	Expiry int64
+}
+
+// Scan is one closed flow: a campaign if Qualified, otherwise background
+// noise that did not meet the §3.4 thresholds (analyses still need those
+// sources for the "top ports by sources" style tallies).
+type Scan struct {
+	// Src is the scanning source address.
+	Src uint32
+	// Start and End are the first and last probe times (ns).
+	Start, End int64
+	// Packets is the number of probes observed.
+	Packets uint64
+	// DistinctDsts is the number of distinct telescope addresses hit.
+	DistinctDsts int
+	// Ports are the distinct destination ports probed, ascending.
+	Ports []uint16
+	// Tool is the fingerprint classification.
+	Tool tools.Tool
+	// Qualified reports whether the flow met the campaign thresholds.
+	Qualified bool
+	// RatePPS is the extrapolated Internet-wide probe rate.
+	RatePPS float64
+	// Coverage is the estimated fraction of the IPv4 space targeted.
+	Coverage float64
+}
+
+// Duration returns the scan's observed duration in seconds (at least zero).
+func (s *Scan) Duration() float64 {
+	return float64(s.End-s.Start) / float64(time.Second)
+}
+
+// SpeedMbps converts the extrapolated rate into megabits per second the way
+// the paper reports scanning speeds (§5.2, §6.3).
+func (s *Scan) SpeedMbps() float64 {
+	return s.RatePPS * probeWireBits / 1e6
+}
+
+// flow is live per-source state, threaded on the LRU list.
+type flow struct {
+	src        uint32
+	start, end int64
+	packets    uint64
+	dsts       map[uint32]struct{}
+	ports      map[uint16]struct{}
+	votes      fingerprint.Votes
+
+	prev, next *flow
+}
+
+// Detector is the streaming campaign detector. Not safe for concurrent use.
+type Detector struct {
+	cfg   Config
+	flows map[uint32]*flow
+	// LRU list: head is the least recently active flow.
+	head, tail *flow
+	emit       func(*Scan)
+	now        int64
+
+	opened, closed, qualified uint64
+}
+
+// NewDetector returns a detector that calls emit for every closed flow.
+// Zero Config fields are filled with the paper's defaults.
+func NewDetector(cfg Config, emit func(*Scan)) *Detector {
+	if cfg.TelescopeSize <= 0 {
+		panic("core: Config.TelescopeSize must be positive")
+	}
+	if cfg.MinDistinctDsts == 0 {
+		cfg.MinDistinctDsts = DefaultMinDistinctDsts
+	}
+	if cfg.MinRatePPS == 0 {
+		cfg.MinRatePPS = DefaultMinRatePPS
+	}
+	if cfg.Expiry == 0 {
+		cfg.Expiry = DefaultExpiry
+	}
+	return &Detector{
+		cfg:   cfg,
+		flows: make(map[uint32]*flow),
+		emit:  emit,
+	}
+}
+
+// Ingest processes one accepted telescope probe. Probes must arrive in
+// non-decreasing time order (the capture layer guarantees this); small
+// reordering is tolerated by expiring against the maximum time seen.
+func (d *Detector) Ingest(p *packet.Probe) {
+	if p.Time > d.now {
+		d.now = p.Time
+	}
+	d.expireBefore(d.now - d.cfg.Expiry)
+
+	f := d.flows[p.Src]
+	if f == nil {
+		f = &flow{
+			src:   p.Src,
+			start: p.Time,
+			dsts:  make(map[uint32]struct{}),
+			ports: make(map[uint16]struct{}),
+		}
+		d.flows[p.Src] = f
+		d.opened++
+	} else {
+		d.lruUnlink(f)
+	}
+	f.end = p.Time
+	f.packets++
+	f.dsts[p.Dst] = struct{}{}
+	f.ports[p.DstPort] = struct{}{}
+	f.votes.Add(p)
+	d.lruAppend(f)
+}
+
+// expireBefore closes every flow whose last activity predates cutoff.
+func (d *Detector) expireBefore(cutoff int64) {
+	for d.head != nil && d.head.end < cutoff {
+		f := d.head
+		d.lruUnlink(f)
+		delete(d.flows, f.src)
+		d.close(f)
+	}
+}
+
+// FlushAll closes all remaining flows (end of capture).
+func (d *Detector) FlushAll() {
+	for d.head != nil {
+		f := d.head
+		d.lruUnlink(f)
+		delete(d.flows, f.src)
+		d.close(f)
+	}
+}
+
+// close finalizes a flow into a Scan and emits it.
+func (d *Detector) close(f *flow) {
+	d.closed++
+	s := &Scan{
+		Src:          f.src,
+		Start:        f.start,
+		End:          f.end,
+		Packets:      f.packets,
+		DistinctDsts: len(f.dsts),
+		Tool:         f.votes.Classify(),
+	}
+	s.Ports = make([]uint16, 0, len(f.ports))
+	for p := range f.ports {
+		s.Ports = append(s.Ports, p)
+	}
+	sort.Slice(s.Ports, func(i, j int) bool { return s.Ports[i] < s.Ports[j] })
+
+	// Rate estimation: observed packets over observed duration, floored at
+	// one second so single-burst flows do not produce infinite rates, then
+	// extrapolated from the telescope to the full IPv4 space.
+	durSec := s.Duration()
+	if durSec < 1 {
+		durSec = 1
+	}
+	observedPPS := float64(s.Packets) / durSec
+	s.RatePPS = inetmodel.ExtrapolateRate(observedPPS, d.cfg.TelescopeSize)
+	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, d.cfg.TelescopeSize)
+
+	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
+	if s.Qualified {
+		d.qualified++
+	}
+	if d.emit != nil {
+		d.emit(s)
+	}
+}
+
+// ActiveFlows returns the number of currently open flows.
+func (d *Detector) ActiveFlows() int { return len(d.flows) }
+
+// Counts returns (flows opened, flows closed, campaigns qualified).
+func (d *Detector) Counts() (opened, closed, qualified uint64) {
+	return d.opened, d.closed, d.qualified
+}
+
+func (d *Detector) lruAppend(f *flow) {
+	f.prev = d.tail
+	f.next = nil
+	if d.tail != nil {
+		d.tail.next = f
+	} else {
+		d.head = f
+	}
+	d.tail = f
+}
+
+func (d *Detector) lruUnlink(f *flow) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		d.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		d.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// NaiveDetector is the ablation baseline for the streaming Detector: the
+// same campaign semantics, but expiry is implemented as a periodic full
+// sweep over the flow table instead of the intrusive LRU list. With many
+// live flows the sweep cost dominates; BenchmarkAblationExpiry quantifies
+// the difference. Results are identical to Detector's given the same input
+// (both close a flow the first time the stream's high-water mark passes the
+// flow's last activity plus the expiry window, and the sweep runs on every
+// packet).
+type NaiveDetector struct {
+	cfg   Config
+	flows map[uint32]*flow
+	emit  func(*Scan)
+	now   int64
+}
+
+// NewNaiveDetector mirrors NewDetector for the sweep-based variant.
+func NewNaiveDetector(cfg Config, emit func(*Scan)) *NaiveDetector {
+	if cfg.TelescopeSize <= 0 {
+		panic("core: Config.TelescopeSize must be positive")
+	}
+	if cfg.MinDistinctDsts == 0 {
+		cfg.MinDistinctDsts = DefaultMinDistinctDsts
+	}
+	if cfg.MinRatePPS == 0 {
+		cfg.MinRatePPS = DefaultMinRatePPS
+	}
+	if cfg.Expiry == 0 {
+		cfg.Expiry = DefaultExpiry
+	}
+	return &NaiveDetector{cfg: cfg, flows: make(map[uint32]*flow), emit: emit}
+}
+
+// Ingest processes one probe, sweeping the whole table for expired flows.
+func (d *NaiveDetector) Ingest(p *packet.Probe) {
+	if p.Time > d.now {
+		d.now = p.Time
+	}
+	cutoff := d.now - d.cfg.Expiry
+	// Full sweep: the O(flows) cost the LRU design avoids. Expired flows
+	// are closed in deterministic (source) order.
+	var expired []uint32
+	for src, f := range d.flows {
+		if f.end < cutoff {
+			expired = append(expired, src)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, src := range expired {
+		f := d.flows[src]
+		delete(d.flows, src)
+		d.close(f)
+	}
+
+	f := d.flows[p.Src]
+	if f == nil {
+		f = &flow{
+			src:   p.Src,
+			start: p.Time,
+			dsts:  make(map[uint32]struct{}),
+			ports: make(map[uint16]struct{}),
+		}
+		d.flows[p.Src] = f
+	}
+	f.end = p.Time
+	f.packets++
+	f.dsts[p.Dst] = struct{}{}
+	f.ports[p.DstPort] = struct{}{}
+	f.votes.Add(p)
+}
+
+// FlushAll closes all remaining flows in source order.
+func (d *NaiveDetector) FlushAll() {
+	var srcs []uint32
+	for src := range d.flows {
+		srcs = append(srcs, src)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+	for _, src := range srcs {
+		f := d.flows[src]
+		delete(d.flows, src)
+		d.close(f)
+	}
+}
+
+// close duplicates Detector.close's qualification math.
+func (d *NaiveDetector) close(f *flow) {
+	s := &Scan{
+		Src:          f.src,
+		Start:        f.start,
+		End:          f.end,
+		Packets:      f.packets,
+		DistinctDsts: len(f.dsts),
+		Tool:         f.votes.Classify(),
+	}
+	s.Ports = make([]uint16, 0, len(f.ports))
+	for p := range f.ports {
+		s.Ports = append(s.Ports, p)
+	}
+	sort.Slice(s.Ports, func(i, j int) bool { return s.Ports[i] < s.Ports[j] })
+	durSec := s.Duration()
+	if durSec < 1 {
+		durSec = 1
+	}
+	s.RatePPS = inetmodel.ExtrapolateRate(float64(s.Packets)/durSec, d.cfg.TelescopeSize)
+	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, d.cfg.TelescopeSize)
+	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
+	if d.emit != nil {
+		d.emit(s)
+	}
+}
+
+// ActiveFlows returns the number of currently open flows.
+func (d *NaiveDetector) ActiveFlows() int { return len(d.flows) }

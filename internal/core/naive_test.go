@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// scanKey canonicalizes a Scan for cross-detector comparison.
+func scanKey(s *Scan) string {
+	return fmt.Sprintf("%d/%d/%d/%d/%d/%v/%v/%v",
+		s.Src, s.Start, s.End, s.Packets, s.DistinctDsts, s.Ports, s.Tool, s.Qualified)
+}
+
+// TestNaiveDetectorEquivalence drives both detector implementations with an
+// identical multi-source stream (including expiry-inducing gaps) and
+// requires identical closed-flow sets.
+func TestNaiveDetectorEquivalence(t *testing.T) {
+	cfg := Config{TelescopeSize: 65536}
+	var a, b []*Scan
+	lru := NewDetector(cfg, func(s *Scan) { a = append(a, s) })
+	naive := NewNaiveDetector(cfg, func(s *Scan) { b = append(b, s) })
+
+	r := rng.New(5)
+	probers := make([]tools.Prober, 16)
+	for i := range probers {
+		tool := tools.Tools[i%len(tools.Tools)]
+		probers[i] = tools.NewProber(tool, uint32(i+1), r.DeriveN("p", uint64(i)))
+	}
+	var stream []packet.Probe
+	tm := int64(0)
+	for i := 0; i < 5000; i++ {
+		src := i % len(probers)
+		p := probers[src].Probe(uint32(0xC0000000|i), uint16(80+i%3))
+		tm += int64(r.Intn(50)) * int64(time.Millisecond)
+		// Occasionally jump past the expiry window to force closures.
+		if i%977 == 0 && i > 0 {
+			tm += 2 * int64(time.Hour)
+		}
+		p.Time = tm
+		stream = append(stream, p)
+	}
+	for i := range stream {
+		lru.Ingest(&stream[i])
+		naive.Ingest(&stream[i])
+	}
+	lru.FlushAll()
+	naive.FlushAll()
+
+	if len(a) != len(b) {
+		t.Fatalf("closed-flow counts differ: lru=%d naive=%d", len(a), len(b))
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i] = scanKey(a[i])
+		kb[i] = scanKey(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("scan %d differs:\n lru:   %s\n naive: %s", i, ka[i], kb[i])
+		}
+	}
+}
+
+func TestNaiveDetectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero TelescopeSize must panic")
+		}
+	}()
+	NewNaiveDetector(Config{}, nil)
+}
+
+func TestNaiveDetectorActiveFlows(t *testing.T) {
+	d := NewNaiveDetector(Config{TelescopeSize: 1000}, nil)
+	p := packet.Probe{Time: 1, Src: 7, Dst: 9, DstPort: 80, Flags: packet.FlagSYN}
+	d.Ingest(&p)
+	if d.ActiveFlows() != 1 {
+		t.Fatal("flow not opened")
+	}
+	d.FlushAll()
+	if d.ActiveFlows() != 0 {
+		t.Fatal("flush incomplete")
+	}
+}

@@ -1,0 +1,186 @@
+// Package enrich attributes scan sources to countries, autonomous systems,
+// scanner types and — for known institutional scanners — organizations.
+//
+// Two layers exist. Enricher is the straightforward lookup used by all
+// analyses (the stand-in for the paper's Greynoise/IPinfo joins). ETL
+// reproduces the Appendix-A data-warehousing pipeline that *derives* those
+// labels from raw feeds: Phase 1 matches source addresses directly against
+// known-scanner IP lists, Phase 2 falls back to keyword matching over
+// reverse-DNS and WHOIS text using a keyword list harvested from Phase-1
+// actors plus manual additions.
+package enrich
+
+import (
+	"strings"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+)
+
+// Origin is everything the enrichment knows about a source address.
+type Origin struct {
+	// Country is the ISO code, or "" for reserved space.
+	Country string
+	// ASN is the announcing autonomous system.
+	ASN uint32
+	// Type is the scanner-type classification of Table 2.
+	Type inetmodel.ScannerType
+	// OrgID indexes the institutional roster, or -1.
+	OrgID int16
+	// OrgName is the organization name, or "".
+	OrgName string
+}
+
+// Enricher answers Origin lookups against a registry.
+type Enricher struct {
+	reg *inetmodel.Registry
+}
+
+// New creates an Enricher over the registry.
+func New(reg *inetmodel.Registry) *Enricher {
+	return &Enricher{reg: reg}
+}
+
+// Origin classifies one source address.
+func (e *Enricher) Origin(ip uint32) Origin {
+	entry := e.reg.Lookup(ip)
+	o := Origin{
+		Country: entry.Country,
+		ASN:     entry.ASN,
+		Type:    entry.Type,
+		OrgID:   entry.OrgID,
+	}
+	if entry.OrgID >= 0 {
+		o.OrgName = e.reg.Orgs()[entry.OrgID].Name
+	}
+	return o
+}
+
+// Registry exposes the underlying registry (analyses need the roster).
+func (e *Enricher) Registry() *inetmodel.Registry { return e.reg }
+
+// Feed is the raw data the ETL consumes: a known-scanner IP list (the
+// Greynoise-like source), reverse DNS names, and WHOIS-ish text per /16.
+type Feed struct {
+	// KnownIPs maps source addresses to actor names, as a commercial
+	// known-scanner list would.
+	KnownIPs map[uint32]string
+	// RDNS maps source addresses to their reverse DNS names.
+	RDNS map[uint32]string
+	// WHOIS maps /16 block numbers to registration text.
+	WHOIS map[uint16]string
+}
+
+// ETLResult is the outcome of the Appendix-A pipeline.
+type ETLResult struct {
+	// IPOrg maps matched source addresses to roster org IDs.
+	IPOrg map[uint32]int16
+	// Phase1 and Phase2 count how many addresses each phase attributed.
+	Phase1, Phase2 int
+	// Orgs is the set of distinct organizations identified.
+	Orgs map[int16]bool
+	// Keywords is the final keyword list (harvested + manual).
+	Keywords []string
+}
+
+// RunETL executes the three-phase pipeline over the observed source
+// addresses: extract (the feed), transform (Phase-1 IP matching, then
+// Phase-2 keyword matching over rDNS and WHOIS), load (the result maps).
+func RunETL(feed *Feed, roster []inetmodel.Org, sources []uint32) *ETLResult {
+	res := &ETLResult{
+		IPOrg: make(map[uint32]int16),
+		Orgs:  make(map[int16]bool),
+	}
+
+	// Actor-name → org resolution for Phase 1: normalize and match against
+	// roster names and keywords.
+	orgByToken := make(map[string]int16)
+	for i, org := range roster {
+		orgByToken[normalize(org.Name)] = int16(i)
+		for _, kw := range org.Keywords {
+			orgByToken[normalize(kw)] = int16(i)
+		}
+	}
+
+	// Phase 1: direct IP matching. Also harvests the keyword list from the
+	// actors seen, which seeds Phase 2.
+	harvested := make(map[string]bool)
+	for _, ip := range sources {
+		actor, ok := feed.KnownIPs[ip]
+		if !ok {
+			continue
+		}
+		tok := normalize(actor)
+		id, known := orgByToken[tok]
+		if !known {
+			continue
+		}
+		res.IPOrg[ip] = id
+		res.Orgs[id] = true
+		res.Phase1++
+		harvested[tok] = true
+		for _, kw := range roster[id].Keywords {
+			harvested[normalize(kw)] = true
+		}
+	}
+
+	// Manual additions: every roster keyword is fair game, as the appendix
+	// enriches the harvested list by hand.
+	for _, org := range roster {
+		for _, kw := range org.Keywords {
+			harvested[normalize(kw)] = true
+		}
+	}
+	for kw := range harvested {
+		res.Keywords = append(res.Keywords, kw)
+	}
+
+	// Phase 2: keyword matching over rDNS and WHOIS for sources Phase 1
+	// did not attribute.
+	for _, ip := range sources {
+		if _, done := res.IPOrg[ip]; done {
+			continue
+		}
+		var texts []string
+		if name, ok := feed.RDNS[ip]; ok {
+			texts = append(texts, name)
+		}
+		if rec, ok := feed.WHOIS[uint16(ip>>16)]; ok {
+			texts = append(texts, rec)
+		}
+		id, ok := matchKeywords(texts, orgByToken)
+		if !ok {
+			continue
+		}
+		res.IPOrg[ip] = id
+		res.Orgs[id] = true
+		res.Phase2++
+	}
+	return res
+}
+
+// matchKeywords scans the texts for any known token.
+func matchKeywords(texts []string, orgByToken map[string]int16) (int16, bool) {
+	for _, txt := range texts {
+		n := normalize(txt)
+		for tok, id := range orgByToken {
+			if tok != "" && strings.Contains(n, tok) {
+				return id, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// normalize lowercases and strips separators so "Palo Alto Networks"
+// matches "paloaltonetworks.com".
+func normalize(s string) string {
+	var b strings.Builder
+	for _, ch := range strings.ToLower(s) {
+		switch ch {
+		case ' ', '-', '_', '.':
+		default:
+			b.WriteRune(ch)
+		}
+	}
+	return b.String()
+}

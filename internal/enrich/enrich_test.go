@@ -1,0 +1,155 @@
+package enrich
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+func TestOriginLookup(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	e := New(reg)
+	r := rng.New(2)
+
+	ip, ok := reg.RandomIP(r, "CN", inetmodel.TypeResidential)
+	if !ok {
+		t.Fatal("no CN residential space")
+	}
+	o := e.Origin(ip)
+	if o.Country != "CN" || o.Type != inetmodel.TypeResidential || o.OrgID != -1 || o.OrgName != "" {
+		t.Fatalf("origin = %+v", o)
+	}
+	if o.ASN == 0 {
+		t.Fatal("ASN missing")
+	}
+
+	// Institutional source resolves to the org.
+	censys, _ := reg.OrgByName("Censys")
+	instIP := uint32(censys.Block)<<16 | 0x1234
+	o = e.Origin(instIP)
+	if o.Type != inetmodel.TypeInstitutional || o.OrgName != "Censys" {
+		t.Fatalf("institutional origin = %+v", o)
+	}
+	if e.Registry() != reg {
+		t.Fatal("Registry accessor")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		"Palo Alto Networks":           "paloaltonetworks",
+		"scanner-1.censys-scanner.com": "scanner1censysscannercom",
+		"TU_Delft":                     "tudelft",
+		"":                             "",
+	}
+	for in, want := range cases {
+		if got := normalize(in); got != want {
+			t.Errorf("normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestETLRecoversInstitutionalSources(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	r := rng.New(3)
+	orgs := reg.Orgs()
+
+	// 40 sources from each of five orgs plus 200 background sources.
+	var sources []uint32
+	wantOrg := make(map[uint32]int16)
+	for id := 0; id < 5; id++ {
+		for i := 0; i < 40; i++ {
+			ip := reg.OrgIP(r, id)
+			sources = append(sources, ip)
+			wantOrg[ip] = int16(id)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		ip, _ := reg.RandomIP(r, "US", inetmodel.TypeResidential)
+		sources = append(sources, ip)
+	}
+
+	feed := SyntheticFeed(reg, sources, 7)
+	res := RunETL(feed, orgs, sources)
+
+	if res.Phase1 == 0 {
+		t.Fatal("Phase 1 matched nothing")
+	}
+	if res.Phase2 == 0 {
+		t.Fatal("Phase 2 matched nothing: keyword path dead")
+	}
+	correct, wrong := 0, 0
+	for ip, id := range res.IPOrg {
+		want, isInst := wantOrg[ip]
+		if !isInst {
+			wrong++
+		} else if id == want {
+			correct++
+		} else {
+			wrong++
+		}
+	}
+	if wrong > 0 {
+		t.Fatalf("%d misattributions", wrong)
+	}
+	// The WHOIS per-/16 records make recovery essentially complete.
+	if correct < len(wantOrg)*9/10 {
+		t.Fatalf("recovered only %d/%d institutional sources", correct, len(wantOrg))
+	}
+	if len(res.Orgs) != 5 {
+		t.Fatalf("identified %d orgs, want 5", len(res.Orgs))
+	}
+	if len(res.Keywords) == 0 {
+		t.Fatal("keyword list empty")
+	}
+}
+
+func TestETLPhase1BeforePhase2(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	orgs := reg.Orgs()
+	ip := reg.OrgIP(rng.New(1), 0)
+	feed := &Feed{
+		KnownIPs: map[uint32]string{ip: orgs[0].Name},
+		RDNS:     map[uint32]string{ip: "scanner." + orgs[1].Keywords[0] + ".net"},
+		WHOIS:    map[uint16]string{},
+	}
+	res := RunETL(feed, orgs, []uint32{ip})
+	if res.Phase1 != 1 || res.Phase2 != 0 {
+		t.Fatalf("phase counts: %d/%d", res.Phase1, res.Phase2)
+	}
+	if res.IPOrg[ip] != 0 {
+		t.Fatal("Phase 1 attribution must win")
+	}
+}
+
+func TestETLUnknownActorIgnored(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	orgs := reg.Orgs()
+	feed := &Feed{
+		KnownIPs: map[uint32]string{42: "Mystery Actor"},
+		RDNS:     map[uint32]string{},
+		WHOIS:    map[uint16]string{},
+	}
+	res := RunETL(feed, orgs, []uint32{42})
+	if len(res.IPOrg) != 0 {
+		t.Fatal("unknown actor must not be attributed")
+	}
+}
+
+func TestETLNoFeeds(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	feed := &Feed{KnownIPs: map[uint32]string{}, RDNS: map[uint32]string{}, WHOIS: map[uint16]string{}}
+	res := RunETL(feed, reg.Orgs(), []uint32{1, 2, 3})
+	if len(res.IPOrg) != 0 || res.Phase1 != 0 || res.Phase2 != 0 {
+		t.Fatal("empty feeds must match nothing")
+	}
+}
+
+func BenchmarkOrigin(b *testing.B) {
+	reg := inetmodel.BuildRegistry(1)
+	e := New(reg)
+	for i := 0; i < b.N; i++ {
+		_ = e.Origin(uint32(i * 2654435761))
+	}
+}

@@ -1,0 +1,53 @@
+package enrich
+
+import (
+	"fmt"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+// SyntheticFeed fabricates the raw enrichment feeds for a set of observed
+// source addresses, with realistic incompleteness:
+//
+//   - the known-IP list covers only part of each org's sources (commercial
+//     lists lag behind infrastructure churn), so Phase 1 alone is not enough;
+//   - reverse DNS names embed org keywords for most institutional sources
+//     ("scanner-12.censys-scanner.com" style), recovering the rest in
+//     Phase 2;
+//   - non-institutional sources get generic rDNS (or none), exercising the
+//     negative path.
+func SyntheticFeed(reg *inetmodel.Registry, sources []uint32, seed uint64) *Feed {
+	r := rng.New(seed).Derive("enrich/feed")
+	f := &Feed{
+		KnownIPs: make(map[uint32]string),
+		RDNS:     make(map[uint32]string),
+		WHOIS:    make(map[uint16]string),
+	}
+	orgs := reg.Orgs()
+	for _, ip := range sources {
+		e := reg.Lookup(ip)
+		if e.OrgID >= 0 {
+			org := orgs[e.OrgID]
+			// 40% directly on the known-scanner list.
+			if r.Bool(0.40) {
+				f.KnownIPs[ip] = org.Name
+			}
+			// 85% have a keyword-bearing rDNS name.
+			if r.Bool(0.85) {
+				f.RDNS[ip] = fmt.Sprintf("scanner-%d.%s-research.net",
+					ip&0xff, org.Keywords[0])
+			}
+			f.WHOIS[uint16(ip>>16)] = fmt.Sprintf(
+				"netname: %s-NET\ndescr: %s scanning infrastructure\nabuse: abuse@%s.example",
+				org.Keywords[0], org.Name, org.Keywords[0])
+			continue
+		}
+		// Background sources: generic or missing rDNS.
+		if r.Bool(0.5) {
+			f.RDNS[ip] = fmt.Sprintf("host-%s.isp.example", packet.FormatIPv4(ip))
+		}
+	}
+	return f
+}

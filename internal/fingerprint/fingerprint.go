@@ -1,0 +1,147 @@
+// Package fingerprint implements the scanning-tool identification of §3.3.
+//
+// Two kinds of tests exist. Per-packet tests check a relation between header
+// fields of a single probe (ZMap's constant IP identification, Masscan's
+// IPID = dstIP ^ dstPort ^ seq relation, Mirai's seq = dstIP). Pairwise
+// tests need two probes from the same source (NMap's session-secret
+// structure, Unicornscan's source/destination encoding) because the per-
+// session secret cancels out under XOR.
+//
+// Single-packet relations have false-positive rates around 2^-16 against
+// random traffic, so classification is done per campaign by majority voting
+// over all of its packets (Votes), never from one packet.
+package fingerprint
+
+import (
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// IsZMap reports the ZMap per-packet fingerprint: IP identification 54321.
+func IsZMap(p *packet.Probe) bool {
+	return p.IPID == tools.ZMapIPID
+}
+
+// IsMasscan reports the Masscan per-packet fingerprint:
+// IPid = destIP ^ destPort ^ SeqNum (folded to 16 bits).
+func IsMasscan(p *packet.Probe) bool {
+	return p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq)
+}
+
+// IsMirai reports the Mirai per-packet fingerprint: the TCP sequence number
+// equals the destination address.
+func IsMirai(p *packet.Probe) bool {
+	return p.Seq == p.Dst
+}
+
+// PairNMap reports the NMap pairwise fingerprint for two probes of one
+// source: (Seq1 ^ Seq2) & 0xFFFF == ((Seq1 ^ Seq2) >> 16) & 0xFFFF, which
+// holds because NMap's sequence numbers are (nfo‖nfo) XOR a reused session
+// secret.
+func PairNMap(a, b *packet.Probe) bool {
+	x := a.Seq ^ b.Seq
+	return x&0xffff == x>>16&0xffff
+}
+
+// PairUnicorn reports the Unicornscan pairwise fingerprint:
+// Seq1^Seq2 = dstIP1^dstIP2 ^ srcPort1^srcPort2 ^ ((dstPort1^dstPort2)<<16).
+func PairUnicorn(a, b *packet.Probe) bool {
+	want := (a.Dst ^ b.Dst) ^ uint32(a.SrcPort) ^ uint32(b.SrcPort) ^
+		uint32(a.DstPort^b.DstPort)<<16
+	return a.Seq^b.Seq == want
+}
+
+// Votes accumulates fingerprint evidence over the packets of one campaign.
+// The pairwise tests compare each packet against the previous one from the
+// same source — O(1) memory per flow (the pair-cache design; see the
+// ablation benchmarks for the alternative).
+type Votes struct {
+	// Packets is the number of probes examined.
+	Packets uint32
+	// Pairs is the number of consecutive-probe comparisons performed.
+	Pairs uint32
+	// ZMap, Masscan, Mirai count per-packet matches.
+	ZMap, Masscan, Mirai uint32
+	// NMap, Unicorn count pairwise matches.
+	NMap, Unicorn uint32
+
+	prev    packet.Probe
+	hasPrev bool
+}
+
+// Add folds one probe into the vote tally.
+func (v *Votes) Add(p *packet.Probe) {
+	v.Packets++
+	if IsZMap(p) {
+		v.ZMap++
+	}
+	if IsMasscan(p) {
+		v.Masscan++
+	}
+	if IsMirai(p) {
+		v.Mirai++
+	}
+	if v.hasPrev {
+		v.Pairs++
+		// Identical sequence numbers satisfy both pairwise relations
+		// trivially (x == 0); only count them when the sequence actually
+		// varies, otherwise a constant-seq custom scanner would be
+		// misclassified as NMap.
+		if x := v.prev.Seq ^ p.Seq; x != 0 {
+			if PairNMap(&v.prev, p) {
+				v.NMap++
+			}
+		}
+		if PairUnicorn(&v.prev, p) && p.Seq != v.prev.Seq {
+			v.Unicorn++
+		}
+	}
+	v.prev = *p
+	v.hasPrev = true
+}
+
+// Merge folds another tally into v (used when two flow fragments of the
+// same source are joined). The pair cache of other is discarded.
+func (v *Votes) Merge(other *Votes) {
+	v.Packets += other.Packets
+	v.Pairs += other.Pairs
+	v.ZMap += other.ZMap
+	v.Masscan += other.Masscan
+	v.Mirai += other.Mirai
+	v.NMap += other.NMap
+	v.Unicorn += other.Unicorn
+}
+
+// classifyThreshold is the fraction of packets (or pairs) that must match a
+// tool's relation for the campaign to be attributed to that tool.
+const classifyThreshold = 0.5
+
+// Classify attributes the campaign to a tool, or ToolCustom when no
+// fingerprint reaches the majority threshold. Per-packet fingerprints take
+// precedence over pairwise ones: they are the stronger signal (the paper's
+// method relies on ZMap/Masscan/Mirai markers first, and the pairwise
+// relations require at least two probes).
+func (v *Votes) Classify() tools.Tool {
+	if v.Packets == 0 {
+		return tools.ToolUnknown
+	}
+	pk := float64(v.Packets)
+	switch {
+	case float64(v.ZMap) >= classifyThreshold*pk:
+		return tools.ToolZMap
+	case float64(v.Mirai) >= classifyThreshold*pk:
+		return tools.ToolMirai
+	case float64(v.Masscan) >= classifyThreshold*pk:
+		return tools.ToolMasscan
+	}
+	if v.Pairs > 0 {
+		pr := float64(v.Pairs)
+		switch {
+		case float64(v.Unicorn) >= classifyThreshold*pr:
+			return tools.ToolUnicorn
+		case float64(v.NMap) >= classifyThreshold*pr:
+			return tools.ToolNMap
+		}
+	}
+	return tools.ToolCustom
+}

@@ -1,0 +1,79 @@
+package fingerprint
+
+import (
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// HistoryVotes is the ablation baseline for Votes: instead of comparing each
+// probe against only the previous one (the O(1)-memory pair cache), it keeps
+// the full probe history per flow and evaluates the pairwise relations
+// against every earlier probe. Classification quality is essentially the
+// same — the relations hold for *all* pairs of a session, so one pair per
+// packet is sufficient evidence — while memory and time grow linearly and
+// quadratically with flow length. BenchmarkAblationPairCache measures the
+// gap.
+type HistoryVotes struct {
+	Packets              uint32
+	Pairs                uint32
+	ZMap, Masscan, Mirai uint32
+	NMap, Unicorn        uint32
+
+	history []packet.Probe
+	// MaxHistory bounds the retained probes (0 = unbounded).
+	MaxHistory int
+}
+
+// Add folds one probe into the tally, comparing it against the full history.
+func (v *HistoryVotes) Add(p *packet.Probe) {
+	v.Packets++
+	if IsZMap(p) {
+		v.ZMap++
+	}
+	if IsMasscan(p) {
+		v.Masscan++
+	}
+	if IsMirai(p) {
+		v.Mirai++
+	}
+	for i := range v.history {
+		prev := &v.history[i]
+		v.Pairs++
+		if x := prev.Seq ^ p.Seq; x != 0 && PairNMap(prev, p) {
+			v.NMap++
+		}
+		if PairUnicorn(prev, p) && p.Seq != prev.Seq {
+			v.Unicorn++
+		}
+	}
+	if v.MaxHistory == 0 || len(v.history) < v.MaxHistory {
+		v.history = append(v.history, *p)
+	}
+}
+
+// Classify mirrors Votes.Classify with pair counts normalized by the number
+// of comparisons.
+func (v *HistoryVotes) Classify() tools.Tool {
+	if v.Packets == 0 {
+		return tools.ToolUnknown
+	}
+	pk := float64(v.Packets)
+	switch {
+	case float64(v.ZMap) >= classifyThreshold*pk:
+		return tools.ToolZMap
+	case float64(v.Mirai) >= classifyThreshold*pk:
+		return tools.ToolMirai
+	case float64(v.Masscan) >= classifyThreshold*pk:
+		return tools.ToolMasscan
+	}
+	if v.Pairs > 0 {
+		pr := float64(v.Pairs)
+		switch {
+		case float64(v.Unicorn) >= classifyThreshold*pr:
+			return tools.ToolUnicorn
+		case float64(v.NMap) >= classifyThreshold*pr:
+			return tools.ToolNMap
+		}
+	}
+	return tools.ToolCustom
+}

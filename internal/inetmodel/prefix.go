@@ -1,0 +1,140 @@
+// Package inetmodel models the IPv4 Internet as the measurement needs it:
+// address prefixes, a synthetic-but-realistic registry mapping address space
+// to countries, autonomous systems and scanner types, the roster of known
+// institutional scanning organizations, a service-population model for
+// vertical-scan comparisons, and the geometric network-telescope sensitivity
+// model of Moore et al. that the paper uses to justify its campaign
+// thresholds (§3.4).
+//
+// The registry substitutes for the commercial enrichment feeds (Greynoise,
+// IPinfo, Censys metadata) the paper consumed: the classification *logic*
+// downstream is identical, only the lookup table is synthetic.
+package inetmodel
+
+import (
+	"fmt"
+
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// Prefix is an IPv4 CIDR block.
+type Prefix struct {
+	// Base is the network address; bits below Bits are zero.
+	Base uint32
+	// Bits is the prefix length, 0..32.
+	Bits uint8
+}
+
+// MustPrefix parses "a.b.c.d/n" and panics on malformed input; intended for
+// static tables.
+func MustPrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses "a.b.c.d/n" CIDR notation.
+func ParsePrefix(s string) (Prefix, error) {
+	slash := -1
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			slash = i
+			break
+		}
+	}
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("inetmodel: missing / in prefix %q", s)
+	}
+	base, err := packet.ParseIPv4(s[:slash])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits := 0
+	for _, ch := range s[slash+1:] {
+		if ch < '0' || ch > '9' {
+			return Prefix{}, fmt.Errorf("inetmodel: invalid prefix length in %q", s)
+		}
+		bits = bits*10 + int(ch-'0')
+		if bits > 32 {
+			return Prefix{}, fmt.Errorf("inetmodel: prefix length out of range in %q", s)
+		}
+	}
+	if len(s[slash+1:]) == 0 {
+		return Prefix{}, fmt.Errorf("inetmodel: empty prefix length in %q", s)
+	}
+	p := Prefix{Base: base & mask(uint8(bits)), Bits: uint8(bits)}
+	if p.Base != base {
+		return Prefix{}, fmt.Errorf("inetmodel: %q has host bits set", s)
+	}
+	return p, nil
+}
+
+func mask(bits uint8) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip uint32) bool {
+	return ip&mask(p.Bits) == p.Base
+}
+
+// Size returns the number of addresses covered by the prefix.
+func (p Prefix) Size() uint64 { return 1 << (32 - p.Bits) }
+
+// First returns the lowest address in the prefix.
+func (p Prefix) First() uint32 { return p.Base }
+
+// Last returns the highest address in the prefix.
+func (p Prefix) Last() uint32 { return p.Base | ^mask(p.Bits) }
+
+// Nth returns the n-th address of the prefix (0-based). It panics if n is
+// out of range.
+func (p Prefix) Nth(n uint64) uint32 {
+	if n >= p.Size() {
+		panic("inetmodel: Prefix.Nth out of range")
+	}
+	return p.Base + uint32(n)
+}
+
+// Overlaps reports whether two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Contains(q.Base) || q.Contains(p.Base)
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", packet.FormatIPv4(p.Base), p.Bits)
+}
+
+// Block16 returns the /16 block index (upper 16 address bits) of ip. The
+// volatility analysis of §4.4 aggregates activity per /16 netblock.
+func Block16(ip uint32) uint16 { return uint16(ip >> 16) }
+
+// reservedPrefixes is the bogon space scanners skip and telescopes never see
+// as sources.
+var reservedPrefixes = []Prefix{
+	MustPrefix("0.0.0.0/8"),
+	MustPrefix("10.0.0.0/8"),
+	MustPrefix("100.64.0.0/10"),
+	MustPrefix("127.0.0.0/8"),
+	MustPrefix("169.254.0.0/16"),
+	MustPrefix("172.16.0.0/12"),
+	MustPrefix("192.168.0.0/16"),
+	MustPrefix("224.0.0.0/4"),
+	MustPrefix("240.0.0.0/4"),
+}
+
+// IsReserved reports whether ip lies in non-routable or multicast space.
+func IsReserved(ip uint32) bool {
+	for _, p := range reservedPrefixes {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+package inetmodel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("192.168.0.0/16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Base != 0xC0A80000 || p.Bits != 16 {
+		t.Fatalf("got %+v", p)
+	}
+	if p.String() != "192.168.0.0/16" {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestParsePrefixErrors(t *testing.T) {
+	bad := []string{
+		"",             // empty
+		"1.2.3.4",      // no slash
+		"1.2.3.4/",     // empty length
+		"1.2.3.4/33",   // out of range
+		"1.2.3.4/ab",   // not a number
+		"1.2.3.4/24",   // host bits set
+		"300.2.3.4/24", // bad address
+	}
+	for _, s := range bad {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPrefix should panic on bad input")
+		}
+	}()
+	MustPrefix("nope")
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := MustPrefix("10.0.0.0/8")
+	in, _ := ParsePrefix("10.255.255.255/32")
+	if !p.Contains(in.Base) {
+		t.Fatal("10.255.255.255 should be inside 10/8")
+	}
+	if p.Contains(0x0B000000) { // 11.0.0.0
+		t.Fatal("11.0.0.0 should be outside 10/8")
+	}
+	all := MustPrefix("0.0.0.0/0")
+	if !all.Contains(0) || !all.Contains(0xffffffff) {
+		t.Fatal("/0 must contain everything")
+	}
+}
+
+func TestPrefixSizeFirstLast(t *testing.T) {
+	p := MustPrefix("192.168.4.0/22")
+	if p.Size() != 1024 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.First() != 0xC0A80400 {
+		t.Fatalf("First = %#x", p.First())
+	}
+	if p.Last() != 0xC0A807FF {
+		t.Fatalf("Last = %#x", p.Last())
+	}
+	if p.Nth(0) != p.First() || p.Nth(1023) != p.Last() {
+		t.Fatal("Nth endpoints")
+	}
+	host := MustPrefix("1.2.3.4/32")
+	if host.Size() != 1 || host.First() != host.Last() {
+		t.Fatal("/32 size")
+	}
+}
+
+func TestPrefixNthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Nth out of range should panic")
+		}
+	}()
+	MustPrefix("1.2.3.0/24").Nth(256)
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := MustPrefix("10.0.0.0/8")
+	b := MustPrefix("10.1.0.0/16")
+	c := MustPrefix("11.0.0.0/8")
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+}
+
+func TestPrefixContainsQuick(t *testing.T) {
+	p := MustPrefix("172.16.0.0/12")
+	f := func(ip uint32) bool {
+		want := ip >= 0xAC100000 && ip <= 0xAC1FFFFF
+		return p.Contains(ip) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlock16(t *testing.T) {
+	if Block16(0xC0A80102) != 0xC0A8 {
+		t.Fatal("Block16")
+	}
+	if Block16(0) != 0 {
+		t.Fatal("Block16 zero")
+	}
+}
+
+func TestIsReserved(t *testing.T) {
+	reserved := []string{"0.0.0.1", "10.1.2.3", "127.0.0.1", "169.254.1.1",
+		"172.16.0.1", "192.168.1.1", "224.0.0.1", "255.255.255.255", "100.64.0.1"}
+	for _, s := range reserved {
+		ip := MustPrefix(s + "/32").Base
+		if !IsReserved(ip) {
+			t.Errorf("%s should be reserved", s)
+		}
+	}
+	public := []string{"8.8.8.8", "1.1.1.1", "185.0.0.1", "100.128.0.1", "172.32.0.1"}
+	for _, s := range public {
+		ip := MustPrefix(s + "/32").Base
+		if IsReserved(ip) {
+			t.Errorf("%s should be public", s)
+		}
+	}
+}

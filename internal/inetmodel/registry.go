@@ -1,0 +1,267 @@
+package inetmodel
+
+import (
+	"github.com/synscan/synscan/internal/rng"
+)
+
+// ScannerType classifies the origin of a scan source, following §6.6 of the
+// paper: institutional scanners publicize their activity (Censys, Shodan,
+// universities, ...), hosting means cloud/VPS space, enterprise is corporate
+// AS space, residential is consumer access networks, unknown is everything
+// the enrichment could not attribute.
+type ScannerType uint8
+
+// Scanner types in the order used by Table 2.
+const (
+	TypeUnknown ScannerType = iota
+	TypeResidential
+	TypeHosting
+	TypeEnterprise
+	TypeInstitutional
+	TypeReserved
+	numTypes
+)
+
+// ScannerTypes lists the classifiable types (excluding Reserved) in display
+// order.
+var ScannerTypes = []ScannerType{
+	TypeHosting, TypeEnterprise, TypeInstitutional, TypeResidential, TypeUnknown,
+}
+
+// MarshalText renders the label in JSON map keys and values.
+func (t ScannerType) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// String returns the label used in tables.
+func (t ScannerType) String() string {
+	switch t {
+	case TypeUnknown:
+		return "Unknown"
+	case TypeResidential:
+		return "Residential"
+	case TypeHosting:
+		return "Hosting"
+	case TypeEnterprise:
+		return "Enterprise"
+	case TypeInstitutional:
+		return "Institutional"
+	case TypeReserved:
+		return "Reserved"
+	default:
+		return "Invalid"
+	}
+}
+
+// Entry describes one /16 block of the synthetic registry.
+type Entry struct {
+	// Country is the ISO-3166 alpha-2 code of the block's operator.
+	Country string
+	// ASN is the autonomous system the block is announced from.
+	ASN uint32
+	// Type is the scanner-type classification of the block.
+	Type ScannerType
+	// OrgID indexes into the institutional roster, or -1.
+	OrgID int16
+}
+
+// countryShare approximates the relative amount of active address space per
+// country. The exact values do not matter; what matters is that a handful of
+// countries dominate (as in the real registry data the paper enriches with)
+// and that the set is stable across the simulated decade.
+var countryShare = []struct {
+	code   string
+	weight float64
+}{
+	{"US", 28}, {"CN", 12}, {"JP", 5}, {"DE", 4.5}, {"GB", 4}, {"KR", 3.8},
+	{"BR", 3.5}, {"FR", 3.3}, {"IN", 3}, {"RU", 3}, {"NL", 2.5}, {"CA", 2.4},
+	{"IT", 2.2}, {"AU", 2}, {"TW", 1.9}, {"ID", 1.7}, {"VN", 1.6}, {"MX", 1.5},
+	{"IR", 1.4}, {"TR", 1.3}, {"PL", 1.2}, {"ES", 1.2}, {"AR", 1.1}, {"TH", 1},
+	{"UA", 0.9}, {"EG", 0.8}, {"ZA", 0.8}, {"CO", 0.7}, {"MY", 0.7}, {"RO", 0.6},
+	{"SE", 0.6}, {"CH", 0.6}, {"SG", 0.5}, {"HK", 0.5}, {"BE", 0.5},
+}
+
+// typeShare is the scanner-type mix within a country's address space.
+var typeShare = []struct {
+	typ    ScannerType
+	weight float64
+}{
+	{TypeResidential, 0.52},
+	{TypeEnterprise, 0.21},
+	{TypeHosting, 0.15},
+	{TypeUnknown, 0.12},
+}
+
+// Registry maps every /16 of the IPv4 space to an Entry and provides
+// weighted random source selection for the workload generator.
+type Registry struct {
+	blocks [65536]Entry
+	orgs   []Org
+	// groupBlocks indexes the /16 block numbers per (country, type).
+	groupBlocks map[groupKey][]uint16
+	// typeBlocks indexes block numbers per type across countries.
+	typeBlocks map[ScannerType][]uint16
+	countries  []string
+}
+
+type groupKey struct {
+	country string
+	typ     ScannerType
+}
+
+// BuildRegistry constructs the deterministic synthetic registry for the
+// given seed. The same seed always yields the same Internet.
+func BuildRegistry(seed uint64) *Registry {
+	r := rng.New(seed).Derive("inetmodel/registry")
+	reg := &Registry{
+		groupBlocks: make(map[groupKey][]uint16),
+		typeBlocks:  make(map[ScannerType][]uint16),
+	}
+
+	countryChoice := make([]float64, len(countryShare))
+	for i, c := range countryShare {
+		countryChoice[i] = c.weight
+	}
+	countryPick := rng.NewWeightedChoice(countryChoice)
+
+	typeChoice := make([]float64, len(typeShare))
+	for i, tshare := range typeShare {
+		typeChoice[i] = tshare.weight
+	}
+	typePick := rng.NewWeightedChoice(typeChoice)
+
+	// Each country gets a pool of ASNs proportional to its share.
+	asnPools := make(map[string][]uint32)
+	nextASN := uint32(100)
+	for _, c := range countryShare {
+		n := int(c.weight*40) + 4
+		pool := make([]uint32, n)
+		for i := range pool {
+			pool[i] = nextASN
+			nextASN++
+		}
+		asnPools[c.code] = pool
+		reg.countries = append(reg.countries, c.code)
+	}
+
+	for b := 0; b < 65536; b++ {
+		base := uint32(b) << 16
+		if IsReserved(base) {
+			reg.blocks[b] = Entry{Country: "", ASN: 0, Type: TypeReserved, OrgID: -1}
+			continue
+		}
+		c := countryShare[countryPick.Sample(r)].code
+		tshare := typeShare[typePick.Sample(r)].typ
+		pool := asnPools[c]
+		e := Entry{
+			Country: c,
+			ASN:     pool[int(r.Uint32())%len(pool)],
+			Type:    tshare,
+			OrgID:   -1,
+		}
+		reg.blocks[b] = e
+	}
+
+	reg.placeOrgs(r)
+
+	// Build the group indexes after org placement so institutional blocks
+	// land in the right buckets.
+	for b := 0; b < 65536; b++ {
+		e := reg.blocks[b]
+		if e.Type == TypeReserved {
+			continue
+		}
+		k := groupKey{e.Country, e.Type}
+		reg.groupBlocks[k] = append(reg.groupBlocks[k], uint16(b))
+		reg.typeBlocks[e.Type] = append(reg.typeBlocks[e.Type], uint16(b))
+	}
+	return reg
+}
+
+// placeOrgs assigns each institutional organization a dedicated /16 in its
+// home country. Real institutional scanners use smaller blocks; a /16 keeps
+// lookup O(1) and the per-source behavior identical.
+func (reg *Registry) placeOrgs(r *rng.Rand) {
+	reg.orgs = buildRoster()
+	// Collect candidate blocks by country.
+	byCountry := make(map[string][]int)
+	for b := 0; b < 65536; b++ {
+		e := &reg.blocks[b]
+		if e.Type == TypeReserved || e.Type == TypeInstitutional {
+			continue
+		}
+		byCountry[e.Country] = append(byCountry[e.Country], b)
+	}
+	used := make(map[int]bool)
+	for i := range reg.orgs {
+		org := &reg.orgs[i]
+		cands := byCountry[org.Country]
+		if len(cands) == 0 {
+			cands = byCountry["US"]
+		}
+		// Deterministic pick: walk from a seeded offset to an unused block.
+		start := int(r.Uint32()) % len(cands)
+		for j := 0; ; j++ {
+			b := cands[(start+j)%len(cands)]
+			if !used[b] {
+				used[b] = true
+				org.Block = uint16(b)
+				reg.blocks[b].Type = TypeInstitutional
+				reg.blocks[b].OrgID = int16(i)
+				break
+			}
+		}
+	}
+}
+
+// Lookup returns the registry entry for ip.
+func (reg *Registry) Lookup(ip uint32) Entry { return reg.blocks[ip>>16] }
+
+// Countries returns the country codes in registry order.
+func (reg *Registry) Countries() []string { return reg.countries }
+
+// Orgs returns the institutional roster.
+func (reg *Registry) Orgs() []Org { return reg.orgs }
+
+// OrgByName returns the roster entry with the given name.
+func (reg *Registry) OrgByName(name string) (Org, bool) {
+	for _, o := range reg.orgs {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return Org{}, false
+}
+
+// RandomIP draws a uniform host address from the blocks of (country, typ).
+// ok is false when that combination has no address space.
+func (reg *Registry) RandomIP(r *rng.Rand, country string, typ ScannerType) (uint32, bool) {
+	blocks := reg.groupBlocks[groupKey{country, typ}]
+	if len(blocks) == 0 {
+		return 0, false
+	}
+	b := blocks[int(r.Uint32())%len(blocks)]
+	return uint32(b)<<16 | r.Uint32()&0xffff, true
+}
+
+// RandomIPOfType draws a uniform host address of the given type from any
+// country.
+func (reg *Registry) RandomIPOfType(r *rng.Rand, typ ScannerType) (uint32, bool) {
+	blocks := reg.typeBlocks[typ]
+	if len(blocks) == 0 {
+		return 0, false
+	}
+	b := blocks[int(r.Uint32())%len(blocks)]
+	return uint32(b)<<16 | r.Uint32()&0xffff, true
+}
+
+// OrgIP draws a source address from an institutional organization's block.
+func (reg *Registry) OrgIP(r *rng.Rand, orgID int) uint32 {
+	b := reg.orgs[orgID].Block
+	return uint32(b)<<16 | r.Uint32()&0xffff
+}
+
+// ChurnIP models DHCP churn: the same physical device reappears under a
+// different address within its /16 (§4.2 attributes inflated source counts
+// on Mirai-heavy ports to exactly this effect).
+func ChurnIP(r *rng.Rand, ip uint32) uint32 {
+	return ip&0xffff0000 | r.Uint32()&0xffff
+}

@@ -1,0 +1,218 @@
+package inetmodel
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/rng"
+)
+
+func testRegistry(t testing.TB) *Registry {
+	t.Helper()
+	return BuildRegistry(1)
+}
+
+func TestRegistryDeterministic(t *testing.T) {
+	a := BuildRegistry(7)
+	b := BuildRegistry(7)
+	for blk := 0; blk < 65536; blk += 97 {
+		ea, eb := a.blocks[blk], b.blocks[blk]
+		if ea != eb {
+			t.Fatalf("block %d differs: %+v vs %+v", blk, ea, eb)
+		}
+	}
+}
+
+func TestRegistryReservedBlocks(t *testing.T) {
+	reg := testRegistry(t)
+	for _, s := range []string{"10.0.0.1", "127.0.0.1", "224.0.0.1", "240.0.0.1"} {
+		ip := MustPrefix(s + "/32").Base
+		if e := reg.Lookup(ip); e.Type != TypeReserved {
+			t.Errorf("%s classified %v, want Reserved", s, e.Type)
+		}
+	}
+}
+
+func TestRegistryPublicBlocksClassified(t *testing.T) {
+	reg := testRegistry(t)
+	counts := make(map[ScannerType]int)
+	for b := 0; b < 65536; b++ {
+		e := reg.blocks[b]
+		if e.Type == TypeReserved {
+			continue
+		}
+		if e.Country == "" {
+			t.Fatalf("block %d has no country", b)
+		}
+		if e.ASN == 0 {
+			t.Fatalf("block %d has no ASN", b)
+		}
+		counts[e.Type]++
+	}
+	// Residential must dominate, all types present.
+	if counts[TypeResidential] < counts[TypeHosting] ||
+		counts[TypeResidential] < counts[TypeEnterprise] {
+		t.Fatalf("type mix implausible: %v", counts)
+	}
+	for _, typ := range []ScannerType{TypeResidential, TypeHosting, TypeEnterprise, TypeUnknown, TypeInstitutional} {
+		if counts[typ] == 0 {
+			t.Fatalf("no blocks of type %v", typ)
+		}
+	}
+}
+
+func TestRegistryCountryDistribution(t *testing.T) {
+	reg := testRegistry(t)
+	us, cn, ro := 0, 0, 0
+	total := 0
+	for b := 0; b < 65536; b++ {
+		e := reg.blocks[b]
+		if e.Type == TypeReserved {
+			continue
+		}
+		total++
+		switch e.Country {
+		case "US":
+			us++
+		case "CN":
+			cn++
+		case "RO":
+			ro++
+		}
+	}
+	if us < cn || cn < ro {
+		t.Fatalf("country weighting not respected: US=%d CN=%d RO=%d", us, cn, ro)
+	}
+	if float64(us)/float64(total) < 0.15 {
+		t.Fatalf("US share too small: %d/%d", us, total)
+	}
+}
+
+func TestRegistryOrgPlacement(t *testing.T) {
+	reg := testRegistry(t)
+	orgs := reg.Orgs()
+	if len(orgs) < 20 {
+		t.Fatalf("roster too small: %d", len(orgs))
+	}
+	seen := make(map[uint16]bool)
+	for i, o := range orgs {
+		if seen[o.Block] {
+			t.Fatalf("org %s shares a block", o.Name)
+		}
+		seen[o.Block] = true
+		e := reg.blocks[o.Block]
+		if e.Type != TypeInstitutional {
+			t.Fatalf("org %s block not institutional: %v", o.Name, e.Type)
+		}
+		if int(e.OrgID) != i {
+			t.Fatalf("org %s OrgID mismatch: %d != %d", o.Name, e.OrgID, i)
+		}
+	}
+}
+
+func TestOrgByName(t *testing.T) {
+	reg := testRegistry(t)
+	o, ok := reg.OrgByName("Censys")
+	if !ok || o.Ports2024 != 65536 {
+		t.Fatalf("Censys lookup: %+v ok=%v", o, ok)
+	}
+	if _, ok := reg.OrgByName("No Such Org"); ok {
+		t.Fatal("nonexistent org found")
+	}
+}
+
+func TestRandomIP(t *testing.T) {
+	reg := testRegistry(t)
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		ip, ok := reg.RandomIP(r, "CN", TypeResidential)
+		if !ok {
+			t.Fatal("CN residential space must exist")
+		}
+		e := reg.Lookup(ip)
+		if e.Country != "CN" || e.Type != TypeResidential {
+			t.Fatalf("RandomIP returned %s -> %+v", "CN", e)
+		}
+	}
+	if _, ok := reg.RandomIP(r, "XX", TypeResidential); ok {
+		t.Fatal("unknown country should fail")
+	}
+}
+
+func TestRandomIPOfType(t *testing.T) {
+	reg := testRegistry(t)
+	r := rng.New(4)
+	for _, typ := range []ScannerType{TypeHosting, TypeEnterprise, TypeResidential, TypeUnknown, TypeInstitutional} {
+		ip, ok := reg.RandomIPOfType(r, typ)
+		if !ok {
+			t.Fatalf("no space of type %v", typ)
+		}
+		if got := reg.Lookup(ip).Type; got != typ {
+			t.Fatalf("type %v got %v", typ, got)
+		}
+	}
+	if _, ok := reg.RandomIPOfType(r, TypeReserved); ok {
+		t.Fatal("reserved space should not be sampled")
+	}
+}
+
+func TestOrgIP(t *testing.T) {
+	reg := testRegistry(t)
+	r := rng.New(5)
+	for id := range reg.Orgs() {
+		ip := reg.OrgIP(r, id)
+		e := reg.Lookup(ip)
+		if int(e.OrgID) != id {
+			t.Fatalf("OrgIP(%d) landed in org %d", id, e.OrgID)
+		}
+	}
+}
+
+func TestChurnIP(t *testing.T) {
+	r := rng.New(6)
+	ip := uint32(0xC0A81234)
+	for i := 0; i < 100; i++ {
+		n := ChurnIP(r, ip)
+		if n>>16 != ip>>16 {
+			t.Fatalf("churned address left the /16: %#x -> %#x", ip, n)
+		}
+	}
+}
+
+func TestScannerTypeString(t *testing.T) {
+	want := map[ScannerType]string{
+		TypeUnknown: "Unknown", TypeResidential: "Residential",
+		TypeHosting: "Hosting", TypeEnterprise: "Enterprise",
+		TypeInstitutional: "Institutional", TypeReserved: "Reserved",
+		ScannerType(200): "Invalid",
+	}
+	for typ, s := range want {
+		if typ.String() != s {
+			t.Errorf("%d.String() = %q, want %q", typ, typ.String(), s)
+		}
+	}
+}
+
+func TestCountries(t *testing.T) {
+	reg := testRegistry(t)
+	cs := reg.Countries()
+	if len(cs) != len(countryShare) {
+		t.Fatalf("Countries() length %d", len(cs))
+	}
+	if cs[0] != "US" {
+		t.Fatalf("first country %q", cs[0])
+	}
+}
+
+func BenchmarkBuildRegistry(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = BuildRegistry(uint64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	reg := BuildRegistry(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Lookup(uint32(i * 2654435761))
+	}
+}

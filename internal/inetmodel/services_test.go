@@ -1,0 +1,141 @@
+package inetmodel
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/rng"
+)
+
+func TestServiceModelWellKnownPortsDominate(t *testing.T) {
+	m := NewServiceModel(1)
+	if m.OpenProbability(80) < 0.05 {
+		t.Fatalf("P(80 open) = %v", m.OpenProbability(80))
+	}
+	if m.OpenProbability(80) <= m.OpenProbability(47321) {
+		t.Fatal("port 80 must dominate a random high port")
+	}
+	// Every port has strictly positive probability (services live anywhere,
+	// per Izhikevich et al.).
+	for _, p := range []uint16{1, 1024, 33333, 65535} {
+		if m.OpenProbability(p) <= 0 {
+			t.Fatalf("P(%d) must be positive", p)
+		}
+	}
+}
+
+func TestServiceModelDeterministic(t *testing.T) {
+	a := NewServiceModel(5)
+	b := NewServiceModel(5)
+	for p := 0; p < 65536; p += 1009 {
+		if a.OpenProbability(uint16(p)) != b.OpenProbability(uint16(p)) {
+			t.Fatal("same seed should give same model")
+		}
+	}
+}
+
+func TestServiceModelExpectedServices(t *testing.T) {
+	m := NewServiceModel(1)
+	exp := m.ExpectedServices()
+	// ~0.15 tail mass + ~0.27 well-known mass: must be in a sane band.
+	if exp < 0.2 || exp > 1.0 {
+		t.Fatalf("ExpectedServices = %v, outside plausible band", exp)
+	}
+}
+
+func TestVerticalScan(t *testing.T) {
+	m := NewServiceModel(1)
+	r := rng.New(2)
+	n := 100000
+	counts := m.VerticalScan(r, n)
+	if len(counts) != 65536 {
+		t.Fatalf("counts length %d", len(counts))
+	}
+	// Port 80 expectation: n * P(80).
+	want := float64(n) * m.OpenProbability(80)
+	got := float64(counts[80])
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("port 80 count %v, want ~%v", got, want)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	wantTotal := float64(n) * m.ExpectedServices()
+	if float64(total) < wantTotal*0.9 || float64(total) > wantTotal*1.1 {
+		t.Fatalf("total services %d, want ~%v", total, wantTotal)
+	}
+}
+
+func TestOrgPortsInYear(t *testing.T) {
+	roster := buildRoster()
+	var censys, onyphe, tum Org
+	for _, o := range roster {
+		switch o.Name {
+		case "Censys":
+			censys = o
+		case "Onyphe":
+			onyphe = o
+		case "TU Munich":
+			tum = o
+		}
+	}
+	if censys.PortsInYear(2024) != 65536 || censys.PortsInYear(2023) != 65536 {
+		t.Fatal("Censys covers the full range in 2023-2024")
+	}
+	if censys.PortsInYear(2015) != 0 {
+		t.Fatal("Censys starts in 2016")
+	}
+	if got := censys.PortsInYear(2018); got <= 0 || got >= 65536 {
+		t.Fatalf("Censys 2018 = %d, want partial coverage", got)
+	}
+	// Onyphe scales up from below half to the full range (§6.8).
+	if onyphe.PortsInYear(2023) >= 32768 {
+		t.Fatal("Onyphe 2023 must be below half the range")
+	}
+	if onyphe.PortsInYear(2024) != 65536 {
+		t.Fatal("Onyphe 2024 must be the full range")
+	}
+	// Universities do not grow.
+	if tum.PortsInYear(2018) != tum.PortsInYear(2023) {
+		t.Fatal("university port coverage must be flat")
+	}
+	if tum.PortsInYear(2025) != tum.PortsInYear(2024) {
+		t.Fatal("beyond-2024 years clamp to 2024")
+	}
+}
+
+func TestOrgKindString(t *testing.T) {
+	if KindCompany.String() != "company" || KindNonprofit.String() != "nonprofit" ||
+		KindUniversity.String() != "university" || OrgKind(9).String() != "invalid" {
+		t.Fatal("OrgKind.String broken")
+	}
+}
+
+func TestRosterSane(t *testing.T) {
+	roster := buildRoster()
+	names := make(map[string]bool)
+	for _, o := range roster {
+		if names[o.Name] {
+			t.Fatalf("duplicate org %q", o.Name)
+		}
+		names[o.Name] = true
+		if o.Ports2024 <= 0 || o.Ports2024 > 65536 {
+			t.Fatalf("%s Ports2024 = %d", o.Name, o.Ports2024)
+		}
+		if o.SpeedPPS <= 0 || o.Sources <= 0 {
+			t.Fatalf("%s has no speed/sources", o.Name)
+		}
+		if o.StartYear < 2015 || o.StartYear > 2024 {
+			t.Fatalf("%s StartYear = %d", o.Name, o.StartYear)
+		}
+		if len(o.Keywords) == 0 {
+			t.Fatalf("%s has no ETL keywords", o.Name)
+		}
+	}
+	// The paper's full-range scanners must all be present.
+	for _, name := range []string{"Censys", "Palo Alto Networks", "Shodan", "Rapid7", "Shadowserver", "Onyphe"} {
+		if !names[name] {
+			t.Fatalf("roster missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package inetmodel
+
+import "math"
+
+// This file implements the network-telescope sensitivity model of Moore et
+// al. (CAIDA TR CS2004-0795) that §3.4 of the paper uses to justify its
+// campaign definition: a scanner probing random IPv4 addresses at 100 pps
+// appears in a telescope of ~71,536 addresses within one hour with
+// probability 99.9%.
+
+// IPv4SpaceSize is the number of possible IPv4 addresses.
+const IPv4SpaceSize = 1 << 32
+
+// HitProbability returns the probability that a single uniformly random
+// probe lands inside a telescope of the given size.
+func HitProbability(telescopeSize int) float64 {
+	return float64(telescopeSize) / float64(IPv4SpaceSize)
+}
+
+// DetectionProbability returns the probability that a scanner probing
+// uniformly random addresses at ratePPS for the given number of seconds hits
+// the telescope at least once. The number of probes until the first hit is
+// geometric with parameter p = telescopeSize/2^32, so
+// P(detect) = 1 - (1-p)^(rate*seconds).
+func DetectionProbability(ratePPS float64, telescopeSize int, seconds float64) float64 {
+	if ratePPS <= 0 || seconds <= 0 || telescopeSize <= 0 {
+		return 0
+	}
+	p := HitProbability(telescopeSize)
+	n := ratePPS * seconds
+	return 1 - math.Pow(1-p, n)
+}
+
+// TimeToDetection returns the number of seconds after which a scanner at
+// ratePPS is seen with the given confidence (e.g. 0.999).
+func TimeToDetection(ratePPS float64, telescopeSize int, confidence float64) float64 {
+	if ratePPS <= 0 || telescopeSize <= 0 || confidence <= 0 || confidence >= 1 {
+		return math.Inf(1)
+	}
+	p := HitProbability(telescopeSize)
+	// Solve 1-(1-p)^(r*t) = c for t.
+	return math.Log(1-confidence) / math.Log(1-p) / ratePPS
+}
+
+// ExpectedObservations returns how many probes of a scan covering the given
+// fraction of the IPv4 space (with one probe per covered address and port)
+// are expected to land in the telescope.
+func ExpectedObservations(coverage float64, telescopeSize int, ports int) float64 {
+	if coverage < 0 {
+		coverage = 0
+	}
+	if coverage > 1 {
+		coverage = 1
+	}
+	return coverage * float64(telescopeSize) * float64(ports)
+}
+
+// ExtrapolateRate converts a rate observed at the telescope into the
+// scanner's Internet-wide probing rate — the quantity the §3.4 campaign
+// threshold (100 pps Internet-wide) is expressed in.
+func ExtrapolateRate(observedPPS float64, telescopeSize int) float64 {
+	if telescopeSize <= 0 {
+		return 0
+	}
+	return observedPPS * float64(IPv4SpaceSize) / float64(telescopeSize)
+}
+
+// ExtrapolateCoverage estimates the fraction of the IPv4 space a scan
+// covered from the number of distinct telescope addresses it hit.
+func ExtrapolateCoverage(distinctDsts, telescopeSize int) float64 {
+	if telescopeSize <= 0 {
+		return 0
+	}
+	c := float64(distinctDsts) / float64(telescopeSize)
+	if c > 1 {
+		c = 1
+	}
+	return c
+}

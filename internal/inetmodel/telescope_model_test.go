@@ -1,0 +1,121 @@
+package inetmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHitProbability(t *testing.T) {
+	if got := HitProbability(1 << 16); math.Abs(got-1.0/65536.0) > 1e-12 {
+		t.Fatalf("HitProbability(/16) = %v", got)
+	}
+}
+
+func TestDetectionProbabilityPaperClaim(t *testing.T) {
+	// §3.4 claims a scanner at 100 pps appears in the 71,536-address
+	// telescope within 1 hour with probability "99.9%". The exact geometric
+	// computation gives 1 - (1 - 71536/2^32)^360000 = 0.99751 — the paper's
+	// figure is rounded. Assert the exact value.
+	p := DetectionProbability(100, 71536, 3600)
+	if p < 0.997 || p > 0.998 {
+		t.Fatalf("P = %v, want ~0.9975", p)
+	}
+	// And the claim is tight-ish: a much slower scanner is not detected
+	// with the same confidence.
+	if q := DetectionProbability(1, 71536, 3600); q >= 0.999 {
+		t.Fatalf("1 pps should not reach 0.999 in an hour: %v", q)
+	}
+}
+
+func TestDetectionProbabilityEdges(t *testing.T) {
+	if DetectionProbability(0, 71536, 10) != 0 {
+		t.Fatal("zero rate")
+	}
+	if DetectionProbability(10, 0, 10) != 0 {
+		t.Fatal("zero telescope")
+	}
+	if DetectionProbability(10, 71536, 0) != 0 {
+		t.Fatal("zero window")
+	}
+	// Monotone in each argument.
+	if DetectionProbability(10, 71536, 100) >= DetectionProbability(100, 71536, 100) {
+		t.Fatal("not monotone in rate")
+	}
+	if DetectionProbability(10, 1000, 100) >= DetectionProbability(10, 100000, 100) {
+		t.Fatal("not monotone in telescope size")
+	}
+}
+
+func TestTimeToDetection(t *testing.T) {
+	// Round trip with DetectionProbability.
+	secs := TimeToDetection(100, 71536, 0.999)
+	if secs <= 0 || math.IsInf(secs, 1) {
+		t.Fatalf("TimeToDetection = %v", secs)
+	}
+	p := DetectionProbability(100, 71536, secs)
+	if math.Abs(p-0.999) > 1e-6 {
+		t.Fatalf("round trip: P(t*) = %v", p)
+	}
+	// 99.9% detection takes ~4147 s — the same order as the paper's 1-hour
+	// expiry window (which corresponds to ~99.75% confidence).
+	if secs < 3600 || secs > 5000 {
+		t.Fatalf("99.9%% detection time = %v s, want ~4147", secs)
+	}
+	if !math.IsInf(TimeToDetection(0, 71536, 0.999), 1) {
+		t.Fatal("zero rate must be infinite")
+	}
+	if !math.IsInf(TimeToDetection(100, 71536, 1), 1) {
+		t.Fatal("confidence 1 must be infinite")
+	}
+}
+
+func TestExpectedObservations(t *testing.T) {
+	// A full Internet-wide single-port scan against a /16-sized telescope.
+	if got := ExpectedObservations(1.0, 65536, 1); got != 65536 {
+		t.Fatalf("full scan = %v", got)
+	}
+	if got := ExpectedObservations(0.5, 65536, 2); got != 65536 {
+		t.Fatalf("half scan, two ports = %v", got)
+	}
+	if got := ExpectedObservations(-1, 65536, 1); got != 0 {
+		t.Fatalf("negative coverage = %v", got)
+	}
+	if got := ExpectedObservations(2, 65536, 1); got != 65536 {
+		t.Fatalf("coverage clamped = %v", got)
+	}
+}
+
+func TestExtrapolateRate(t *testing.T) {
+	// Observing 1 probe/s at a 1/65536 telescope means ~65536 pps global.
+	got := ExtrapolateRate(1, 65536)
+	if math.Abs(got-65536) > 1e-6 {
+		t.Fatalf("ExtrapolateRate = %v", got)
+	}
+	if ExtrapolateRate(1, 0) != 0 {
+		t.Fatal("zero telescope")
+	}
+}
+
+func TestExtrapolateCoverage(t *testing.T) {
+	if got := ExtrapolateCoverage(50, 100); got != 0.5 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := ExtrapolateCoverage(200, 100); got != 1 {
+		t.Fatalf("coverage must clamp: %v", got)
+	}
+	if ExtrapolateCoverage(1, 0) != 0 {
+		t.Fatal("zero telescope")
+	}
+}
+
+func TestConsistencyRateCoverage(t *testing.T) {
+	// A scan covering fraction c at Internet-wide rate R observed through a
+	// telescope of size m: observed rate = R*m/2^32; extrapolating back
+	// must recover R.
+	R := 5000.0
+	m := 71536
+	observed := R * float64(m) / float64(IPv4SpaceSize)
+	if got := ExtrapolateRate(observed, m); math.Abs(got-R) > 1e-6 {
+		t.Fatalf("rate round trip: %v != %v", got, R)
+	}
+}

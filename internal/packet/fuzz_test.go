@@ -1,0 +1,48 @@
+package packet
+
+import "testing"
+
+// FuzzUnmarshalFrame hardens the frame parser against arbitrary bytes: it
+// must never panic and never read out of bounds, whatever a capture file
+// contains. Run with `go test -fuzz=FuzzUnmarshalFrame` for a real fuzzing
+// session; the seed corpus runs in every ordinary `go test`.
+func FuzzUnmarshalFrame(f *testing.F) {
+	valid := (&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Flags: FlagSYN}).MarshalFrame()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 14))
+	udp := (&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoUDP}).MarshalFrame()
+	f.Add(udp)
+	icmp := (&Probe{Src: 1, Dst: 2, Flags: ICMPEchoRequest, Proto: ProtoICMP}).MarshalFrame()
+	f.Add(icmp)
+	// Truncations and corruptions of a valid frame.
+	for cut := 1; cut < len(valid); cut += 7 {
+		f.Add(valid[:cut])
+	}
+	corrupt := append([]byte{}, valid...)
+	corrupt[14] = 0x45 | 0x0a // absurd IHL
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Probe
+		if err := p.UnmarshalFrame(data); err != nil {
+			return // errors are fine; panics are not
+		}
+		// On success the probe must self-describe consistently.
+		if p.Proto != 0 && p.Proto != ProtoTCP && p.Proto != ProtoUDP && p.Proto != ProtoICMP {
+			t.Fatalf("accepted unknown proto %d", p.Proto)
+		}
+	})
+}
+
+// FuzzDecodeBinary does the same for the compact fixed-width codec.
+func FuzzDecodeBinary(f *testing.F) {
+	valid := (&Probe{Time: 1, Src: 2, Dst: 3}).AppendBinary(nil)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Probe
+		_ = p.DecodeBinary(data)
+	})
+}

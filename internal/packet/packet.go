@@ -1,0 +1,304 @@
+// Package packet implements a minimal, allocation-conscious codec for the
+// three layers a network telescope cares about: Ethernet II, IPv4 and TCP.
+//
+// The design follows the gopacket DecodingLayer idiom: each layer type has a
+// DecodeFromBytes method that parses into preallocated struct fields (no
+// per-packet allocation) and an AppendTo method that serializes the layer
+// onto a byte slice. On top of the generic layers, the package provides
+// Probe — the compact decoded tuple (timestamp, addresses, ports, header
+// fields) that the campaign detector and fingerprint engine operate on — with
+// a fused fast-path marshal/unmarshal for full Ethernet+IPv4+TCP frames.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated input")
+	ErrNotIPv4     = errors.New("packet: not an IPv4 packet")
+	ErrBadIHL      = errors.New("packet: IPv4 header length out of range")
+	ErrNotTCP      = errors.New("packet: not a TCP segment")
+	ErrBadDataOff  = errors.New("packet: TCP data offset out of range")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86DD
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+	ProtoICMP uint8 = 1
+)
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+	FlagURG uint8 = 1 << 5
+)
+
+// Header sizes for the no-options fast path.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20
+	TCPHeaderLen      = 20
+	// FrameLen is the size of a minimal Ethernet+IPv4+TCP frame.
+	FrameLen = EthernetHeaderLen + IPv4HeaderLen + TCPHeaderLen
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	DstMAC    [6]byte
+	SrcMAC    [6]byte
+	EtherType uint16
+}
+
+// DecodeFromBytes parses an Ethernet header from data.
+func (e *Ethernet) DecodeFromBytes(data []byte) error {
+	if len(data) < EthernetHeaderLen {
+		return ErrTruncated
+	}
+	copy(e.DstMAC[:], data[0:6])
+	copy(e.SrcMAC[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return nil
+}
+
+// AppendTo serializes the header onto b and returns the extended slice.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.DstMAC[:]...)
+	b = append(b, e.SrcMAC[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// IPv4 is an IPv4 header. Options are preserved verbatim.
+type IPv4 struct {
+	TOS        uint8
+	TotalLen   uint16
+	ID         uint16
+	Flags      uint8 // 3 bits: reserved, DF, MF
+	FragOffset uint16
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src, Dst   uint32
+	Options    []byte
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (ip *IPv4) HeaderLen() int { return IPv4HeaderLen + (len(ip.Options)+3)&^3 }
+
+// DecodeFromBytes parses an IPv4 header. The Options slice aliases data.
+func (ip *IPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < IPv4HeaderLen {
+		return ErrTruncated
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return ErrNotIPv4
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl < IPv4HeaderLen {
+		return ErrBadIHL
+	}
+	if len(data) < ihl {
+		return ErrTruncated
+	}
+	ip.TOS = data[1]
+	ip.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOffset = ff & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = binary.BigEndian.Uint32(data[12:16])
+	ip.Dst = binary.BigEndian.Uint32(data[16:20])
+	if ihl > IPv4HeaderLen {
+		ip.Options = data[IPv4HeaderLen:ihl]
+	} else {
+		ip.Options = nil
+	}
+	return nil
+}
+
+// AppendTo serializes the header (with a freshly computed checksum) onto b.
+// TotalLen must already be set by the caller.
+func (ip *IPv4) AppendTo(b []byte) []byte {
+	optLen := (len(ip.Options) + 3) &^ 3
+	ihl := (IPv4HeaderLen + optLen) / 4
+	start := len(b)
+	b = append(b, byte(4<<4|ihl), ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, ip.TotalLen)
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	b = append(b, ip.TTL, ip.Protocol, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, ip.Src)
+	b = binary.BigEndian.AppendUint32(b, ip.Dst)
+	b = append(b, ip.Options...)
+	for i := len(ip.Options); i < optLen; i++ {
+		b = append(b, 0)
+	}
+	cs := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+10:start+12], cs)
+	return b
+}
+
+// VerifyChecksum reports whether the header checksum over data (one full
+// IPv4 header) is valid.
+func (ip *IPv4) VerifyChecksum(header []byte) bool {
+	return Checksum(header) == 0
+}
+
+// TCP is a TCP header. Options are preserved verbatim (already padded).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (t *TCP) HeaderLen() int { return TCPHeaderLen + (len(t.Options)+3)&^3 }
+
+// DecodeFromBytes parses a TCP header. The Options slice aliases data.
+func (t *TCP) DecodeFromBytes(data []byte) error {
+	if len(data) < TCPHeaderLen {
+		return ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < TCPHeaderLen {
+		return ErrBadDataOff
+	}
+	if len(data) < off {
+		return ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	if off > TCPHeaderLen {
+		t.Options = data[TCPHeaderLen:off]
+	} else {
+		t.Options = nil
+	}
+	return nil
+}
+
+// AppendTo serializes the header onto b with the checksum computed over the
+// IPv4 pseudo-header (src, dst) and an empty payload.
+func (t *TCP) AppendTo(b []byte, src, dst uint32) []byte {
+	optLen := (len(t.Options) + 3) &^ 3
+	off := (TCPHeaderLen + optLen) / 4
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, byte(off<<4), t.Flags&0x3f)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	b = append(b, t.Options...)
+	for i := len(t.Options); i < optLen; i++ {
+		b = append(b, 0)
+	}
+	cs := tcpChecksum(b[start:], src, dst)
+	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
+	return b
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// tcpChecksum computes the TCP checksum including the IPv4 pseudo-header.
+func tcpChecksum(segment []byte, src, dst uint32) uint16 {
+	var sum uint32
+	sum += src >> 16
+	sum += src & 0xffff
+	sum += dst >> 16
+	sum += dst & 0xffff
+	sum += uint32(ProtoTCP)
+	sum += uint32(len(segment))
+	n := len(segment)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(segment[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// FormatIPv4 renders a uint32 address in dotted-quad notation.
+func FormatIPv4(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// ParseIPv4 parses a dotted-quad address into a uint32.
+func ParseIPv4(s string) (uint32, error) {
+	var parts [4]uint32
+	idx := 0
+	var cur uint32
+	digits := 0
+	for i := 0; i < len(s); i++ {
+		switch ch := s[i]; {
+		case ch >= '0' && ch <= '9':
+			cur = cur*10 + uint32(ch-'0')
+			digits++
+			if cur > 255 || digits > 3 {
+				return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+			}
+		case ch == '.':
+			if digits == 0 || idx >= 3 {
+				return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+			}
+			parts[idx] = cur
+			idx++
+			cur, digits = 0, 0
+		default:
+			return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+		}
+	}
+	if digits == 0 || idx != 3 {
+		return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	parts[3] = cur
+	return parts[0]<<24 | parts[1]<<16 | parts[2]<<8 | parts[3], nil
+}

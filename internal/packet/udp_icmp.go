@@ -1,0 +1,105 @@
+package packet
+
+import "encoding/binary"
+
+// UDP and ICMP codecs complete the telescope's view of unsolicited traffic:
+// TCP dominates (98% of TCP being SYN scans is the paper's premise), but a
+// real capture also carries UDP probes (SSDP/DNS/NTP reflection sweeps) and
+// ICMP echo sweeps. The telescope counts and drops them; the workload
+// generator emits a small share of both so that filtering is exercised.
+
+// UDPHeaderLen is the fixed UDP header size.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	// Length covers header plus payload.
+	Length   uint16
+	Checksum uint16
+}
+
+// DecodeFromBytes parses a UDP header.
+func (u *UDP) DecodeFromBytes(data []byte) error {
+	if len(data) < UDPHeaderLen {
+		return ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	return nil
+}
+
+// AppendTo serializes the header and payload with a checksum over the IPv4
+// pseudo-header.
+func (u *UDP) AppendTo(b []byte, src, dst uint32, payload []byte) []byte {
+	start := len(b)
+	length := UDPHeaderLen + len(payload)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(length))
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, payload...)
+	cs := udpChecksum(b[start:], src, dst)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[start+6:start+8], cs)
+	return b
+}
+
+func udpChecksum(segment []byte, src, dst uint32) uint16 {
+	var sum uint32
+	sum += src>>16 + src&0xffff + dst>>16 + dst&0xffff
+	sum += uint32(ProtoUDP) + uint32(len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i : i+2]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ICMP echo types.
+const (
+	ICMPEchoRequest uint8 = 8
+	ICMPEchoReply   uint8 = 0
+	ICMPHeaderLen         = 8
+)
+
+// ICMPEcho is an ICMP echo request/reply header.
+type ICMPEcho struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID, Seq  uint16
+}
+
+// DecodeFromBytes parses an ICMP echo header.
+func (ic *ICMPEcho) DecodeFromBytes(data []byte) error {
+	if len(data) < ICMPHeaderLen {
+		return ErrTruncated
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	return nil
+}
+
+// AppendTo serializes the header with its checksum (no payload).
+func (ic *ICMPEcho) AppendTo(b []byte) []byte {
+	start := len(b)
+	b = append(b, ic.Type, ic.Code, 0, 0)
+	b = binary.BigEndian.AppendUint16(b, ic.ID)
+	b = binary.BigEndian.AppendUint16(b, ic.Seq)
+	cs := Checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+2:start+4], cs)
+	return b
+}

@@ -1,0 +1,39 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader hardens the pcap parser against malformed capture files.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WritePacket(1e9, []byte{1, 2, 3})
+	w.WritePacket(2e9, bytes.Repeat([]byte{9}, 100))
+	w.Flush()
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:fileHeaderLen])
+	f.Add(valid[:len(valid)-1])
+	swapped := append([]byte{}, valid...)
+	swapped[0], swapped[3] = swapped[3], swapped[0] // endianness flip
+	f.Add(swapped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			if _, _, err := r.Next(); err != nil {
+				if err == io.EOF {
+					return
+				}
+				return
+			}
+		}
+	})
+}

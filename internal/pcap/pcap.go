@@ -1,0 +1,224 @@
+// Package pcap reads and writes the classic libpcap capture file format,
+// which is how telescope operators archive raw traffic. Both the microsecond
+// (magic 0xa1b2c3d4) and nanosecond (0xa1b23c4d) variants are supported, in
+// either byte order on the read side; the writer emits the nanosecond
+// little-endian variant.
+//
+// Only the standard library is used. For the modern pcapng container (the
+// Wireshark default) see the sibling internal/pcapng package, which provides
+// a read-only decoder.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Link types (a small subset of the registry).
+const (
+	LinkTypeNull     uint32 = 0
+	LinkTypeEthernet uint32 = 1
+	LinkTypeRaw      uint32 = 101
+)
+
+const (
+	magicMicro        uint32 = 0xa1b2c3d4
+	magicNano         uint32 = 0xa1b23c4d
+	magicMicroSwapped uint32 = 0xd4c3b2a1
+	magicNanoSwapped  uint32 = 0x4d3cb2a1
+
+	versionMajor = 2
+	versionMinor = 4
+
+	fileHeaderLen   = 24
+	recordHeaderLen = 16
+)
+
+// Errors specific to the format.
+var (
+	ErrBadMagic     = errors.New("pcap: bad magic number")
+	ErrBadVersion   = errors.New("pcap: unsupported version")
+	ErrRecordTooBig = errors.New("pcap: record exceeds snap length")
+)
+
+// Writer writes packets to a pcap stream.
+type Writer struct {
+	w       *bufio.Writer
+	snaplen uint32
+	hdr     [recordHeaderLen]byte
+	err     error
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*writerConfig)
+
+type writerConfig struct {
+	snaplen  uint32
+	linkType uint32
+}
+
+// WithSnaplen sets the snap length recorded in the file header (default 65535).
+func WithSnaplen(n uint32) WriterOption {
+	return func(c *writerConfig) { c.snaplen = n }
+}
+
+// WithLinkType sets the link type (default LinkTypeEthernet).
+func WithLinkType(lt uint32) WriterOption {
+	return func(c *writerConfig) { c.linkType = lt }
+}
+
+// NewWriter writes a pcap file header to w and returns a packet writer.
+// Timestamps are stored with nanosecond resolution.
+func NewWriter(w io.Writer, opts ...WriterOption) (*Writer, error) {
+	cfg := writerConfig{snaplen: 65535, linkType: LinkTypeEthernet}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var hdr [fileHeaderLen]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:4], magicNano)
+	le.PutUint16(hdr[4:6], versionMajor)
+	le.PutUint16(hdr[6:8], versionMinor)
+	// thiszone and sigfigs stay zero.
+	le.PutUint32(hdr[16:20], cfg.snaplen)
+	le.PutUint32(hdr[20:24], cfg.linkType)
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, snaplen: cfg.snaplen}, nil
+}
+
+// WritePacket appends one record with the given capture timestamp in
+// nanoseconds since the Unix epoch.
+func (w *Writer) WritePacket(tsNanos int64, data []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if uint32(len(data)) > w.snaplen {
+		return ErrRecordTooBig
+	}
+	le := binary.LittleEndian
+	sec := tsNanos / 1e9
+	nsec := tsNanos % 1e9
+	if nsec < 0 {
+		sec--
+		nsec += 1e9
+	}
+	le.PutUint32(w.hdr[0:4], uint32(sec))
+	le.PutUint32(w.hdr[4:8], uint32(nsec))
+	le.PutUint32(w.hdr[8:12], uint32(len(data)))
+	le.PutUint32(w.hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader reads packets from a pcap stream.
+type Reader struct {
+	r        *bufio.Reader
+	order    binary.ByteOrder
+	nano     bool
+	snaplen  uint32
+	linkType uint32
+	buf      []byte
+}
+
+// NewReader parses the file header from r and returns a packet reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [fileHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pcap: file header: %w", io.ErrUnexpectedEOF)
+		}
+		return nil, err
+	}
+	magic := binary.LittleEndian.Uint32(hdr[0:4])
+	var order binary.ByteOrder
+	var nano bool
+	switch magic {
+	case magicMicro:
+		order, nano = binary.LittleEndian, false
+	case magicNano:
+		order, nano = binary.LittleEndian, true
+	case magicMicroSwapped:
+		order, nano = binary.BigEndian, false
+	case magicNanoSwapped:
+		order, nano = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	if order.Uint16(hdr[4:6]) != versionMajor {
+		return nil, ErrBadVersion
+	}
+	return &Reader{
+		r:        br,
+		order:    order,
+		nano:     nano,
+		snaplen:  order.Uint32(hdr[16:20]),
+		linkType: order.Uint32(hdr[20:24]),
+	}, nil
+}
+
+// LinkType returns the capture's link type.
+func (r *Reader) LinkType() uint32 { return r.linkType }
+
+// Snaplen returns the capture's snap length.
+func (r *Reader) Snaplen() uint32 { return r.snaplen }
+
+// Nanosecond reports whether timestamps carry nanosecond resolution.
+func (r *Reader) Nanosecond() bool { return r.nano }
+
+// Next returns the next record's timestamp (nanoseconds since the epoch) and
+// its data. The returned slice is reused by subsequent calls; callers that
+// keep it must copy. At end of stream Next returns io.EOF.
+func (r *Reader) Next() (tsNanos int64, data []byte, err error) {
+	var hdr [recordHeaderLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("pcap: truncated record header: %w", err)
+		}
+		return 0, nil, err
+	}
+	sec := r.order.Uint32(hdr[0:4])
+	sub := r.order.Uint32(hdr[4:8])
+	incl := r.order.Uint32(hdr[8:12])
+	if incl > r.snaplen && r.snaplen > 0 {
+		return 0, nil, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
+	}
+	if cap(r.buf) < int(incl) {
+		r.buf = make([]byte, incl)
+	}
+	r.buf = r.buf[:incl]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("pcap: truncated record body: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, err
+	}
+	ts := int64(sec) * 1e9
+	if r.nano {
+		ts += int64(sub)
+	} else {
+		ts += int64(sub) * 1e3
+	}
+	return ts, r.buf, nil
+}

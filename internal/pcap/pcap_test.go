@@ -1,0 +1,378 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := [][]byte{
+		{1, 2, 3},
+		{},
+		bytes.Repeat([]byte{0xab}, 1500),
+	}
+	times := []int64{0, 1_000_000_001, 1700000000_123456789}
+	for i, p := range packets {
+		if err := w.WritePacket(times[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkTypeEthernet {
+		t.Fatalf("LinkType = %d", r.LinkType())
+	}
+	if !r.Nanosecond() {
+		t.Fatal("writer should emit nanosecond format")
+	}
+	for i := range packets {
+		ts, data, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if ts != times[i] {
+			t.Fatalf("record %d: ts = %d, want %d", i, ts, times[i])
+		}
+		if !bytes.Equal(data, packets[i]) {
+			t.Fatalf("record %d: data mismatch", i)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(tsRaw int64, payload []byte) bool {
+		// The classic pcap format stores seconds in 32 bits; constrain the
+		// generated timestamp to the representable range.
+		const maxTS = int64(1)<<32*1e9 - 1
+		ts := tsRaw % maxTS
+		if ts < 0 {
+			ts = -ts
+		}
+		if len(payload) > 65535 {
+			payload = payload[:65535]
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.WritePacket(ts, payload); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, data, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return got == ts && bytes.Equal(data, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterOptions(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithSnaplen(100), WithLinkType(LinkTypeRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePacket(0, make([]byte, 101)); err != ErrRecordTooBig {
+		t.Fatalf("oversized record: %v", err)
+	}
+	if err := w.WritePacket(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Snaplen() != 100 || r.LinkType() != LinkTypeRaw {
+		t.Fatalf("snaplen=%d linktype=%d", r.Snaplen(), r.LinkType())
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 24))); err != ErrBadMagic {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReaderShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(make([]byte, 10))); err == nil {
+		t.Fatal("short header should error")
+	}
+}
+
+func TestReaderBadVersion(t *testing.T) {
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNano)
+	binary.LittleEndian.PutUint16(hdr[4:6], 3)
+	if _, err := NewReader(bytes.NewReader(hdr)); err != ErrBadVersion {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// buildFile writes a capture in the specified endianness/precision by hand.
+func buildFile(order binary.ByteOrder, nano bool, tsSec, tsSub uint32, payload []byte) []byte {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	magic := magicMicro
+	if nano {
+		magic = magicNano
+	}
+	// Write the magic in the target order: a reader using LittleEndian
+	// sees the swapped constant when the file is big-endian.
+	order.PutUint32(hdr[0:4], magic)
+	order.PutUint16(hdr[4:6], versionMajor)
+	order.PutUint16(hdr[6:8], versionMinor)
+	order.PutUint32(hdr[16:20], 65535)
+	order.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	order.PutUint32(rec[0:4], tsSec)
+	order.PutUint32(rec[4:8], tsSub)
+	order.PutUint32(rec[8:12], uint32(len(payload)))
+	order.PutUint32(rec[12:16], uint32(len(payload)))
+	buf.Write(rec)
+	buf.Write(payload)
+	return buf.Bytes()
+}
+
+func TestReaderBigEndianMicro(t *testing.T) {
+	file := buildFile(binary.BigEndian, false, 10, 500, []byte{9, 9})
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nanosecond() {
+		t.Fatal("micro variant misdetected")
+	}
+	ts, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(10)*1e9 + 500*1e3; ts != want {
+		t.Fatalf("ts = %d, want %d", ts, want)
+	}
+	if !bytes.Equal(data, []byte{9, 9}) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestReaderLittleEndianMicro(t *testing.T) {
+	file := buildFile(binary.LittleEndian, false, 7, 123, nil)
+	r, err := NewReader(bytes.NewReader(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(7)*1e9 + 123*1e3; ts != want {
+		t.Fatalf("ts = %d, want %d", ts, want)
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	file := buildFile(binary.LittleEndian, true, 0, 0, []byte{1, 2, 3, 4})
+	// Chop mid-payload.
+	r, err := NewReader(bytes.NewReader(file[:len(file)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("truncated body should error")
+	}
+	// Chop mid-header.
+	r, err = NewReader(bytes.NewReader(file[:24+8]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("truncated record header should error")
+	}
+}
+
+func TestReaderRecordExceedsSnaplen(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNano)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint32(hdr[16:20], 10) // snaplen 10
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 100) // incl_len 100 > snaplen
+	buf.Write(rec)
+	buf.Write(make([]byte, 100))
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("record exceeding snaplen should error")
+	}
+}
+
+func TestReaderBufferReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WritePacket(1, []byte{1, 1, 1})
+	w.WritePacket(2, []byte{2, 2, 2})
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first, _ := r.Next()
+	saved := make([]byte, len(first))
+	copy(saved, first)
+	_, second, _ := r.Next()
+	if bytes.Equal(first, saved) && &first[0] != &second[0] {
+		// Buffer may or may not alias depending on capacity growth; the
+		// documented contract is only that callers must copy. Just verify
+		// the second read is correct.
+	}
+	if !bytes.Equal(second, []byte{2, 2, 2}) {
+		t.Fatal("second record corrupted")
+	}
+}
+
+func BenchmarkWritePacket(b *testing.B) {
+	w, _ := NewWriter(io.Discard)
+	data := make([]byte, 54)
+	b.SetBytes(54 + 16)
+	for i := 0; i < b.N; i++ {
+		if err := w.WritePacket(int64(i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadPacket(b *testing.B) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	data := make([]byte, 54)
+	for i := 0; i < 10000; i++ {
+		w.WritePacket(int64(i), data)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+	b.SetBytes(54 + 16)
+	b.ResetTimer()
+	var r *Reader
+	for i := 0; i < b.N; i++ {
+		if i%10000 == 0 {
+			var err error
+			r, err = NewReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, _, err := r.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// failWriter fails after n bytes to exercise error propagation.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errFail
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errFail
+	}
+	return n, nil
+}
+
+var errFail = &failError{}
+
+type failError struct{}
+
+func (*failError) Error() string { return "synthetic write failure" }
+
+func TestWriterErrorSticky(t *testing.T) {
+	// Enough room for the header; fail during record flush.
+	fw := &failWriter{left: fileHeaderLen}
+	w, err := NewWriter(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes land in the bufio buffer; Flush must surface the failure.
+	big := make([]byte, 60000)
+	if err := w.WritePacket(0, big); err != nil {
+		// Buffered writers may fail during WritePacket once the buffer
+		// spills — that is fine too.
+		return
+	}
+	if err := w.WritePacket(1, big); err == nil {
+		if err := w.Flush(); err == nil {
+			t.Fatal("write failure never surfaced")
+		}
+	}
+	// After a failure the writer stays failed.
+	if err := w.Flush(); err == nil {
+		t.Fatal("error must be sticky via Flush")
+	}
+}
+
+func TestWriterHeaderError(t *testing.T) {
+	if _, err := NewWriter(&failWriter{left: 0}); err != nil {
+		// bufio may buffer the header; acceptable either way — force
+		// the flush path if construction succeeded.
+		return
+	}
+}
+
+func TestReaderEOFCleanAfterRecords(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.WritePacket(5, []byte{1})
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := r.Next(); err != io.EOF {
+			t.Fatalf("repeated Next after EOF: %v", err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package pcapng
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// Writer emits a minimal single-section pcapng stream: one Section Header
+// Block, one Interface Description Block (nanosecond resolution), then one
+// Enhanced Packet Block per packet. Wireshark and tcpdump read the output
+// directly.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter writes the section and interface headers and returns a writer.
+func NewWriter(w io.Writer, linkType uint16) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	pw := &Writer{w: bw}
+
+	// Section Header Block.
+	shb := make([]byte, 16)
+	binary.LittleEndian.PutUint32(shb[0:4], byteOrderMagic)
+	binary.LittleEndian.PutUint16(shb[4:6], 1)
+	binary.LittleEndian.PutUint64(shb[8:16], ^uint64(0)) // length unknown
+	pw.block(blockSectionHeader, shb)
+
+	// Interface Description Block with if_tsresol = 9 (nanoseconds).
+	idb := make([]byte, 8)
+	binary.LittleEndian.PutUint16(idb[0:2], linkType)
+	binary.LittleEndian.PutUint32(idb[4:8], 65535)
+	opt := make([]byte, 8)
+	binary.LittleEndian.PutUint16(opt[0:2], 9) // if_tsresol
+	binary.LittleEndian.PutUint16(opt[2:4], 1)
+	opt[4] = 9 // 10^-9
+	// trailing bytes stay zero: padding + opt_endofopt
+	pw.block(blockInterfaceDesc, append(idb, opt...))
+	if pw.err != nil {
+		return nil, pw.err
+	}
+	return pw, nil
+}
+
+// block frames and writes one body.
+func (pw *Writer) block(typ uint32, body []byte) {
+	if pw.err != nil {
+		return
+	}
+	for len(body)%4 != 0 {
+		body = append(body, 0)
+	}
+	total := uint32(len(body) + 12)
+	var b [4]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[:], typ)
+	if _, err := pw.w.Write(b[:]); err != nil {
+		pw.err = err
+		return
+	}
+	le.PutUint32(b[:], total)
+	if _, err := pw.w.Write(b[:]); err != nil {
+		pw.err = err
+		return
+	}
+	if _, err := pw.w.Write(body); err != nil {
+		pw.err = err
+		return
+	}
+	le.PutUint32(b[:], total)
+	if _, err := pw.w.Write(b[:]); err != nil {
+		pw.err = err
+	}
+}
+
+// WritePacket appends one Enhanced Packet Block with a nanosecond timestamp.
+func (pw *Writer) WritePacket(tsNanos int64, data []byte) error {
+	if pw.err != nil {
+		return pw.err
+	}
+	body := make([]byte, 20+len(data))
+	le := binary.LittleEndian
+	le.PutUint32(body[0:4], 0) // interface 0
+	le.PutUint32(body[4:8], uint32(uint64(tsNanos)>>32))
+	le.PutUint32(body[8:12], uint32(uint64(tsNanos)))
+	le.PutUint32(body[12:16], uint32(len(data)))
+	le.PutUint32(body[16:20], uint32(len(data)))
+	copy(body[20:], data)
+	pw.block(blockEnhancedPkt, body)
+	return pw.err
+}
+
+// Flush flushes buffered blocks.
+func (pw *Writer) Flush() error {
+	if pw.err != nil {
+		return pw.err
+	}
+	return pw.w.Flush()
+}

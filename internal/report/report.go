@@ -1,0 +1,289 @@
+// Package report renders analysis results as aligned text tables and CDF
+// dumps — the output format of cmd/syneval and the examples.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.header) {
+		cells = append(cells, "")
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var n int64
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		m, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		n += int64(m)
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return n, err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return n, err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// Count formats large counts compactly (12.3K, 4.5M).
+func Count(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// Table1 renders the headline table, one column block per year.
+func Table1(w io.Writer, rows []analysis.Table1Row) {
+	t := NewTable("year", "pkts/day", "scans/month", "top by pkts", "top by srcs", "top by scans",
+		"masscan", "nmap", "mirai", "zmap")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprint(r.Year),
+			Count(r.PacketsPerDay),
+			Count(r.ScansPerMonth),
+			portList(r.TopPortsByPackets),
+			portList(r.TopPortsBySources),
+			portList(r.TopPortsByScans),
+			Pct(r.ToolShares[tools.ToolMasscan]),
+			Pct(r.ToolShares[tools.ToolNMap]),
+			Pct(r.ToolShares[tools.ToolMirai]),
+			Pct(r.ToolShares[tools.ToolZMap]),
+		)
+	}
+	t.WriteTo(w)
+}
+
+func portList(ps []analysis.PortShare) string {
+	parts := make([]string, 0, len(ps))
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%d(%.1f%%)", p.Port, p.Share*100))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table2 renders the scanner-type breakdown.
+func Table2(w io.Writer, rows []analysis.Table2Row) {
+	t := NewTable("scanner type", "sources", "scans", "packets")
+	for _, r := range rows {
+		t.AddRow(r.Type.String(), Pct(r.Sources), Pct(r.Scans), Pct(r.Packets))
+	}
+	t.WriteTo(w)
+}
+
+// CDF renders an ECDF at canonical probe points.
+func CDF(w io.Writer, name string, e *stats.ECDF) {
+	fmt.Fprintf(w, "%s (n=%d):\n", name, e.Len())
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+		fmt.Fprintf(w, "  p%-4.0f %12.4g\n", q*100, e.Quantile(q))
+	}
+}
+
+// Series renders (x, y) pairs one per line.
+func Series(w io.Writer, name string, xs, ys []float64) {
+	fmt.Fprintf(w, "%s:\n", name)
+	for i := range xs {
+		fmt.Fprintf(w, "  %12.4g %12.4g\n", xs[i], ys[i])
+	}
+}
+
+// PortLabel renders a port with its service name when one is well known
+// ("3389/rdp", plain "9222" otherwise).
+func PortLabel(port uint16) string {
+	if name := packet.ServiceName(port); name != "" {
+		return fmt.Sprintf("%d/%s", port, name)
+	}
+	return fmt.Sprint(port)
+}
+
+// Figure4 renders the top-ports × tool-mix figure.
+func Figure4(w io.Writer, year int, ports []analysis.Figure4Port) {
+	t := NewTable("port", "packets", "zmap", "masscan", "mirai", "other")
+	for _, fp := range ports {
+		t.AddRow(
+			PortLabel(fp.Port),
+			Count(float64(fp.Packets)),
+			Pct(fp.ToolShare[tools.ToolZMap]),
+			Pct(fp.ToolShare[tools.ToolMasscan]),
+			Pct(fp.ToolShare[tools.ToolMirai]),
+			Pct(fp.ToolShare[tools.ToolUnknown]),
+		)
+	}
+	fmt.Fprintf(w, "Figure 4 — top ports by traffic and tool mix, %d\n", year)
+	t.WriteTo(w)
+}
+
+// Figure5 renders the scanner-type-per-port figure.
+func Figure5(w io.Writer, rows []analysis.Figure5Port) {
+	t := NewTable("port", "scans", "hosting", "enterprise", "institutional", "residential", "unknown")
+	for _, fp := range rows {
+		t.AddRow(
+			PortLabel(fp.Port),
+			fmt.Sprint(fp.Scans),
+			Pct(fp.TypeShare[inetmodel.TypeHosting]),
+			Pct(fp.TypeShare[inetmodel.TypeEnterprise]),
+			Pct(fp.TypeShare[inetmodel.TypeInstitutional]),
+			Pct(fp.TypeShare[inetmodel.TypeResidential]),
+			Pct(fp.TypeShare[inetmodel.TypeUnknown]),
+		)
+	}
+	t.WriteTo(w)
+}
+
+// Figure7 renders the speed/coverage-by-type figure.
+func Figure7(w io.Writer, rows []analysis.Figure7Row) {
+	t := NewTable("scanner type", "scans", "mean pps", "median pps", ">1000pps", "mean coverage")
+	for _, r := range rows {
+		t.AddRow(r.Type.String(), fmt.Sprint(r.Scans),
+			Count(r.MeanSpeedPPS), Count(r.MedianSpeedPPS),
+			Pct(r.Above1000PPS), Pct(r.MeanCoverage))
+	}
+	t.WriteTo(w)
+}
+
+// Figure8 renders the institutional port-coverage figure, with a 64-bucket
+// port map per organization — the textual form of the appendix figures
+// (each cell is a 1024-port slice of the range; darker means denser).
+func Figure8(w io.Writer, rows []analysis.Figure8Row) {
+	t := NewTable("organization", "kind", "ports", "full range", "packets", "port map 0..65535")
+	for _, r := range rows {
+		full := ""
+		if r.FullRange {
+			full = "yes"
+		}
+		t.AddRow(r.Org, r.Kind.String(), fmt.Sprint(r.PortsCovered), full,
+			Count(float64(r.Packets)), PortMap(r.Density[:]))
+	}
+	t.WriteTo(w)
+}
+
+// portMapGlyphs maps coverage density to a shade ramp.
+var portMapGlyphs = []byte(" .:oO@")
+
+// PortMap renders per-bucket coverage densities as a shade string.
+func PortMap(density []float64) string {
+	out := make([]byte, len(density))
+	for i, d := range density {
+		idx := int(d * float64(len(portMapGlyphs)))
+		if idx >= len(portMapGlyphs) {
+			idx = len(portMapGlyphs) - 1
+		}
+		if d > 0 && idx == 0 {
+			idx = 1 // any coverage at all must be visible
+		}
+		out[i] = portMapGlyphs[idx]
+	}
+	return string(out)
+}
+
+// Figure910 renders the appendix year-over-year comparison.
+func Figure910(w io.Writer, rows []analysis.Figure910Row) {
+	t := NewTable("organization", "ports 2023", "ports 2024", "delta")
+	for _, r := range rows {
+		t.AddRow(r.Org, fmt.Sprint(r.Ports2023), fmt.Sprint(r.Ports2024),
+			fmt.Sprintf("%+d", r.Ports2024-r.Ports2023))
+	}
+	t.WriteTo(w)
+}
+
+// Histogram renders counts per label, sorted descending.
+func Histogram(w io.Writer, name string, m map[string]uint64) {
+	type kv struct {
+		k string
+		v uint64
+	}
+	var all []kv
+	var max uint64
+	for k, v := range m {
+		all = append(all, kv{k, v})
+		if v > max {
+			max = v
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	fmt.Fprintf(w, "%s:\n", name)
+	for _, e := range all {
+		bar := ""
+		if max > 0 {
+			bar = strings.Repeat("#", int(e.v*40/max))
+		}
+		fmt.Fprintf(w, "  %-20s %10d %s\n", e.k, e.v, bar)
+	}
+}

@@ -1,0 +1,210 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/collab"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("a", "bbbb", "c")
+	tb.AddRow("xxxxxx", "y")
+	tb.AddRow("1", "2", "3")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "------") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+	// Column "bbbb" must start at the same offset in every row.
+	idx := strings.Index(lines[0], "bbbb")
+	if idx < 0 {
+		t.Fatal("header missing")
+	}
+	if lines[2][idx] != 'y' {
+		t.Fatalf("misaligned row: %q", lines[2])
+	}
+}
+
+func TestPctCount(t *testing.T) {
+	if Pct(0.1234) != "12.34%" {
+		t.Fatalf("Pct = %q", Pct(0.1234))
+	}
+	cases := map[float64]string{
+		5:      "5",
+		1500:   "1.5K",
+		2.5e6:  "2.50M",
+		3.1e9:  "3.10B",
+		999:    "999",
+		1000:   "1.0K",
+		999999: "1000.0K",
+	}
+	for in, want := range cases {
+		if got := Count(in); got != want {
+			t.Errorf("Count(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	rows := []analysis.Table1Row{{
+		Year:              2020,
+		PacketsPerDay:     1.2e6,
+		ScansPerMonth:     400,
+		TopPortsByPackets: []analysis.PortShare{{Port: 3389, Share: 0.26}},
+		TopPortsBySources: []analysis.PortShare{{Port: 80, Share: 0.35}},
+		TopPortsByScans:   []analysis.PortShare{{Port: 80, Share: 0.16}},
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.2, tools.ToolZMap: 0.13,
+		},
+	}}
+	var b strings.Builder
+	Table1(&b, rows)
+	out := b.String()
+	for _, want := range []string{"2020", "1.20M", "3389(26.0%)", "20.00%", "13.00%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTable2(t *testing.T) {
+	var b strings.Builder
+	Table2(&b, []analysis.Table2Row{
+		{Type: inetmodel.TypeInstitutional, Sources: 0.0016, Scans: 0.0745, Packets: 0.3263},
+	})
+	out := b.String()
+	if !strings.Contains(out, "Institutional") || !strings.Contains(out, "32.63%") {
+		t.Fatalf("Table2 output:\n%s", out)
+	}
+}
+
+func TestRenderCDFAndSeries(t *testing.T) {
+	var b strings.Builder
+	CDF(&b, "speeds", stats.NewECDF([]float64{1, 2, 3, 4, 100}))
+	if !strings.Contains(b.String(), "p50") {
+		t.Fatalf("CDF output:\n%s", b.String())
+	}
+	b.Reset()
+	Series(&b, "trend", []float64{1, 2}, []float64{10, 20})
+	if !strings.Contains(b.String(), "trend:") {
+		t.Fatal("Series output missing name")
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	var b strings.Builder
+	Figure4(&b, 2020, []analysis.Figure4Port{{
+		Port: 80, Packets: 1000,
+		ToolShare: map[tools.Tool]float64{tools.ToolZMap: 0.5, tools.ToolUnknown: 0.5},
+	}})
+	if !strings.Contains(b.String(), "Figure 4") || !strings.Contains(b.String(), "50.00%") {
+		t.Fatalf("Figure4:\n%s", b.String())
+	}
+
+	b.Reset()
+	Figure5(&b, []analysis.Figure5Port{{
+		Port: 443, Scans: 10,
+		TypeShare: map[inetmodel.ScannerType]float64{inetmodel.TypeInstitutional: 0.41},
+	}})
+	if !strings.Contains(b.String(), "443") || !strings.Contains(b.String(), "41.00%") {
+		t.Fatalf("Figure5:\n%s", b.String())
+	}
+
+	b.Reset()
+	Figure7(&b, []analysis.Figure7Row{{
+		Type: inetmodel.TypeInstitutional, Scans: 5, MeanSpeedPPS: 90000,
+		MedianSpeedPPS: 50000, Above1000PPS: 0.84, MeanCoverage: 0.4,
+	}})
+	if !strings.Contains(b.String(), "84.00%") {
+		t.Fatalf("Figure7:\n%s", b.String())
+	}
+
+	b.Reset()
+	Figure8(&b, []analysis.Figure8Row{{
+		Org: "Censys", Kind: inetmodel.KindCompany, PortsCovered: 65536, FullRange: true, Packets: 12345,
+	}})
+	if !strings.Contains(b.String(), "Censys") || !strings.Contains(b.String(), "yes") {
+		t.Fatalf("Figure8:\n%s", b.String())
+	}
+
+	b.Reset()
+	Figure910(&b, []analysis.Figure910Row{{Org: "Onyphe", Ports2023: 29000, Ports2024: 65536}})
+	if !strings.Contains(b.String(), "+36536") {
+		t.Fatalf("Figure910:\n%s", b.String())
+	}
+}
+
+func TestHistogramSortedBars(t *testing.T) {
+	var b strings.Builder
+	Histogram(&b, "tools", map[string]uint64{"a": 1, "b": 10, "c": 5})
+	out := b.String()
+	ia, ib, ic := strings.Index(out, "a "), strings.Index(out, "b "), strings.Index(out, "c ")
+	if !(ib < ic && ic < ia) {
+		t.Fatalf("histogram not sorted desc:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Fatal("bars missing")
+	}
+}
+
+func TestPortMap(t *testing.T) {
+	density := []float64{0, 0.001, 0.2, 0.5, 0.99, 1.0}
+	got := PortMap(density)
+	if len(got) != 6 {
+		t.Fatalf("length %d", len(got))
+	}
+	if got[0] != ' ' {
+		t.Fatalf("zero density must be blank: %q", got)
+	}
+	if got[1] == ' ' {
+		t.Fatalf("tiny density must be visible: %q", got)
+	}
+	if got[5] != '@' {
+		t.Fatalf("full density must be darkest: %q", got)
+	}
+	// Monotone shading.
+	rank := map[byte]int{' ': 0, '.': 1, ':': 2, 'o': 3, 'O': 4, '@': 5}
+	for i := 1; i < len(got); i++ {
+		if rank[got[i]] < rank[got[i-1]] {
+			t.Fatalf("shading not monotone: %q", got)
+		}
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	ev := &analysis.Evaluation{
+		Seed: 1, Scale: 0.001, TelescopeSize: 2048,
+		Table1: []analysis.Table1Row{{Year: 2020, PacketsPerDay: 1000,
+			ToolShares: map[tools.Tool]float64{tools.ToolZMap: 0.13}}},
+		Table2:    []analysis.Table2Row{{Type: inetmodel.TypeInstitutional, Packets: 0.32}},
+		Figure1:   &analysis.Figure1Result{PeakFactor: 12, PeakDay: 10},
+		Figure2:   &analysis.Figure2Result{PacketsTwofold: 0.6, Stable: 0.28},
+		Figure3:   []*analysis.Figure3Result{{Year: 2020, SinglePortShare: 0.74}},
+		Figure7:   []analysis.Figure7Row{{Type: inetmodel.TypeInstitutional, Scans: 5}},
+		Figure8:   []analysis.Figure8Row{{Org: "Censys", PortsCovered: 65536}},
+		Sec51:     []*analysis.Sec51Result{{Year: 2020, CoScan80_8080: 0.87}},
+		Sec63:     []*analysis.Sec63Result{{Year: 2020, MedianPPS: map[tools.Tool]float64{tools.ToolZMap: 25000}}},
+		Bias:      []*analysis.BiasResult{{Year: 2020, InstPacketShare: 0.2}},
+		Blockable: []*analysis.BlockableResult{{Year: 2020, Share: 0.85}},
+		Collab:    []collab.Stats{{RawScans: 10, LogicalScans: 8, InflationFactor: 1.25}},
+		Blocklist: &analysis.BlocklistResult{
+			HitRate: []float64{1, 0.6}, InstHitRate: []float64{1, 0.99}, Weeks: 2},
+	}
+	var b strings.Builder
+	Markdown(&b, ev)
+	out := b.String()
+	for _, want := range []string{"# synscan evaluation", "| year |", "Censys",
+		"Institutional", "87.00%", "1.25x", "| --- |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

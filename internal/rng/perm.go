@@ -1,0 +1,235 @@
+package rng
+
+// This file implements the two target-space permutation algorithms used by
+// real high-performance Internet scanners. They matter to the reproduction
+// for two reasons: (1) the workload generator uses them to drive "exhaustive"
+// small-space scans exactly the way the real tools walk the IPv4 space, and
+// (2) the ablation benchmarks compare their iteration cost.
+
+import "math/bits"
+
+// zmapPrime is the smallest prime larger than 2^32 (2^32 + 15). ZMap iterates
+// over the multiplicative group of integers modulo this prime: the group is
+// cyclic, so repeatedly multiplying by a generator visits every element of
+// [1, p-1] exactly once in a pseudorandom order, with O(1) state.
+const zmapPrime uint64 = 1<<32 + 15
+
+// mulmod64 returns a*b mod m using 128-bit intermediate arithmetic.
+func mulmod64(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a%m, b%m)
+	// hi < m is guaranteed because (a%m)*(b%m) < m^2 and m < 2^64,
+	// which is the precondition bits.Div64 requires.
+	_, rem := bits.Div64(hi, lo, m)
+	return rem
+}
+
+// powmod computes base^exp mod m.
+func powmod(base, exp, m uint64) uint64 {
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulmod64(result, base, m)
+		}
+		base = mulmod64(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// factorize returns the distinct prime factors of n by trial division.
+// n here is always p-1 for a 33-bit prime, so this is fast and runs once.
+func factorize(n uint64) []uint64 {
+	var factors []uint64
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			factors = append(factors, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		factors = append(factors, n)
+	}
+	return factors
+}
+
+// primitiveRoot finds the smallest primitive root modulo prime p.
+func primitiveRoot(p uint64) uint64 {
+	phi := p - 1
+	factors := factorize(phi)
+	for g := uint64(2); ; g++ {
+		ok := true
+		for _, q := range factors {
+			if powmod(g, phi/q, p) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// CyclicPerm iterates the IPv4 address space [0, 2^32) in the pseudorandom
+// order produced by walking the multiplicative group mod zmapPrime — the
+// exact construction ZMap uses. Group elements in (2^32, p-1] do not map to
+// addresses and are skipped transparently, exactly as ZMap does.
+//
+// The zero value is not usable; construct with NewCyclicPerm.
+type CyclicPerm struct {
+	gen     uint64 // group generator for this scan
+	start   uint64 // first group element emitted
+	current uint64
+	first   bool
+}
+
+// groupPrimRoot is computed once: the smallest primitive root of zmapPrime.
+var groupPrimRoot = primitiveRoot(zmapPrime)
+
+// NewCyclicPerm creates a permutation of [0, 2^32) seeded by r. Each call
+// with an independent Rand yields a different generator and starting point,
+// like independent ZMap invocations.
+func NewCyclicPerm(r *Rand) *CyclicPerm {
+	// A random generator of the full group: root^k is a generator iff
+	// gcd(k, p-1) == 1. Retry until coprime; density of coprimes is high.
+	phi := zmapPrime - 1
+	var k uint64
+	for {
+		k = r.Uint64()%phi + 1
+		if gcd(k, phi) == 1 {
+			break
+		}
+	}
+	gen := powmod(groupPrimRoot, k, zmapPrime)
+	start := r.Uint64()%(zmapPrime-1) + 1
+	return &CyclicPerm{gen: gen, start: start, current: start, first: true}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Next returns the next IPv4 address in the permutation. done is true when
+// the walk has returned to its starting element, i.e. all 2^32 addresses
+// have been emitted.
+func (c *CyclicPerm) Next() (addr uint32, done bool) {
+	for {
+		if !c.first && c.current == c.start {
+			return 0, true
+		}
+		c.first = false
+		v := c.current
+		c.current = mulmod64(c.current, c.gen, zmapPrime)
+		if v <= 1<<32 {
+			return uint32(v - 1), false
+		}
+		// Group element beyond the address space: skip, as ZMap does.
+	}
+}
+
+// Shard restricts the permutation to shard i of n, ZMap's "sharding" feature
+// for splitting one logical scan across multiple hosts: shard i starts i
+// steps into the walk and then advances by gen^n each step, so the n shards
+// partition the group exactly.
+func (c *CyclicPerm) Shard(i, n int) *CyclicPerm {
+	if n <= 1 {
+		return c
+	}
+	stride := powmod(c.gen, uint64(n), zmapPrime)
+	start := c.start
+	for j := 0; j < i; j++ {
+		start = mulmod64(start, c.gen, zmapPrime)
+	}
+	return &CyclicPerm{gen: stride, start: start, current: start, first: true}
+}
+
+// FeistelPerm is a format-preserving permutation of [0, n) built from a
+// balanced Feistel network over the smallest even-bit-width power of two
+// >= n, with cycle walking to stay inside the range. This is the same
+// construction as Masscan's BlackRock randomizer (which uses an unbalanced
+// a*b split; the balanced variant has identical properties for our use).
+type FeistelPerm struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	rounds   int
+	keys     [8]uint64
+}
+
+// NewFeistelPerm builds a permutation of [0, n) keyed by r. n must be >= 2.
+func NewFeistelPerm(n uint64, r *Rand) *FeistelPerm {
+	if n < 2 {
+		n = 2
+	}
+	bits := uint(1)
+	for uint64(1)<<(2*bits) < n {
+		bits++
+	}
+	f := &FeistelPerm{
+		n:        n,
+		halfBits: bits,
+		halfMask: uint64(1)<<bits - 1,
+		rounds:   4,
+	}
+	for i := range f.keys {
+		f.keys[i] = r.Uint64()
+	}
+	return f
+}
+
+// round is the Feistel F-function: a splitmix-style mix of (half, key).
+func (f *FeistelPerm) round(half, key uint64) uint64 {
+	return splitmix64(half*0x9e3779b97f4a7c15 + key)
+}
+
+func (f *FeistelPerm) encryptOnce(x uint64) uint64 {
+	l := x >> f.halfBits
+	r := x & f.halfMask
+	for i := 0; i < f.rounds; i++ {
+		l, r = r, l^(f.round(r, f.keys[i])&f.halfMask)
+	}
+	return l<<f.halfBits | r
+}
+
+func (f *FeistelPerm) decryptOnce(x uint64) uint64 {
+	l := x >> f.halfBits
+	r := x & f.halfMask
+	for i := f.rounds - 1; i >= 0; i-- {
+		l, r = r^(f.round(l, f.keys[i])&f.halfMask), l
+	}
+	return l<<f.halfBits | r
+}
+
+// Apply maps index i in [0, n) to its permuted position, cycle-walking out
+// of the padding region. It panics if i >= n.
+func (f *FeistelPerm) Apply(i uint64) uint64 {
+	if i >= f.n {
+		panic("rng: FeistelPerm.Apply index out of range")
+	}
+	x := f.encryptOnce(i)
+	for x >= f.n {
+		x = f.encryptOnce(x)
+	}
+	return x
+}
+
+// Invert maps a permuted position back to its index. It panics if x >= n.
+func (f *FeistelPerm) Invert(x uint64) uint64 {
+	if x >= f.n {
+		panic("rng: FeistelPerm.Invert index out of range")
+	}
+	i := f.decryptOnce(x)
+	for i >= f.n {
+		i = f.decryptOnce(i)
+	}
+	return i
+}
+
+// Len returns the size of the permuted range.
+func (f *FeistelPerm) Len() uint64 { return f.n }

@@ -1,0 +1,241 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulmod(t *testing.T) {
+	cases := []struct{ a, b, m, want uint64 }{
+		{0, 5, 7, 0},
+		{3, 4, 7, 5},
+		// (p-1)^2 mod p == 1 for prime p.
+		{1<<32 + 14, 1<<32 + 14, zmapPrime, 1},
+	}
+	for _, c := range cases {
+		if got := mulmod64(c.a, c.b, c.m); got != c.want {
+			t.Errorf("mulmod64(%d,%d,%d) = %d, want %d", c.a, c.b, c.m, got, c.want)
+		}
+	}
+}
+
+func TestMulmodQuick(t *testing.T) {
+	// Property: for small moduli the naive product agrees.
+	f := func(a, b uint32, m uint16) bool {
+		mod := uint64(m) + 2
+		return mulmod64(uint64(a), uint64(b), mod) == uint64(a)%mod*(uint64(b)%mod)%mod
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowmod(t *testing.T) {
+	if got := powmod(2, 10, 1000); got != 24 {
+		t.Fatalf("2^10 mod 1000 = %d, want 24", got)
+	}
+	// Fermat: a^(p-1) == 1 mod p for prime p and gcd(a,p)=1.
+	for _, a := range []uint64{2, 3, 12345, 1 << 31} {
+		if got := powmod(a, zmapPrime-1, zmapPrime); got != 1 {
+			t.Fatalf("Fermat violated for a=%d: got %d", a, got)
+		}
+	}
+}
+
+func TestFactorize(t *testing.T) {
+	got := factorize(360) // 2^3 * 3^2 * 5
+	want := []uint64{2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("factorize(360) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("factorize(360) = %v, want %v", got, want)
+		}
+	}
+	if got := factorize(13); len(got) != 1 || got[0] != 13 {
+		t.Fatalf("factorize(13) = %v", got)
+	}
+}
+
+func TestPrimitiveRootSmall(t *testing.T) {
+	// The multiplicative group mod 7 has generators {3, 5}; smallest is 3.
+	if got := primitiveRoot(7); got != 3 {
+		t.Fatalf("primitiveRoot(7) = %d, want 3", got)
+	}
+	// Verify the precomputed root for the ZMap prime generates the group:
+	// root^((p-1)/q) != 1 for every prime factor q.
+	for _, q := range factorize(zmapPrime - 1) {
+		if powmod(groupPrimRoot, (zmapPrime-1)/q, zmapPrime) == 1 {
+			t.Fatalf("groupPrimRoot %d is not a primitive root", groupPrimRoot)
+		}
+	}
+}
+
+func TestCyclicPermNoDuplicates(t *testing.T) {
+	r := New(1)
+	c := NewCyclicPerm(r)
+	seen := make(map[uint32]bool, 200000)
+	for i := 0; i < 200000; i++ {
+		addr, done := c.Next()
+		if done {
+			t.Fatal("cycle ended far too early")
+		}
+		if seen[addr] {
+			t.Fatalf("duplicate address %d at step %d", addr, i)
+		}
+		seen[addr] = true
+	}
+}
+
+func TestCyclicPermDeterministic(t *testing.T) {
+	a := NewCyclicPerm(New(5))
+	b := NewCyclicPerm(New(5))
+	for i := 0; i < 1000; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatal("same seed should give same permutation")
+		}
+	}
+}
+
+func TestCyclicPermDifferentSeeds(t *testing.T) {
+	a := NewCyclicPerm(New(5))
+	b := NewCyclicPerm(New(6))
+	same := 0
+	for i := 0; i < 100; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x == y {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 steps", same)
+	}
+}
+
+func TestCyclicPermShardPartition(t *testing.T) {
+	const n = 4
+	const perShard = 5000
+	base := NewCyclicPerm(New(9))
+
+	shardSeen := make(map[uint32]int)
+	for i := 0; i < n; i++ {
+		s := NewCyclicPerm(New(9)).Shard(i, n)
+		for j := 0; j < perShard; j++ {
+			addr, done := s.Next()
+			if done {
+				t.Fatal("shard cycle ended early")
+			}
+			if prev, dup := shardSeen[addr]; dup {
+				t.Fatalf("address %d emitted by shards %d and %d", addr, prev, i)
+			}
+			shardSeen[addr] = i
+		}
+	}
+
+	// The union of the shards' first perShard addresses must cover the
+	// unsharded walk's first n*perShard-14 addresses (up to 14 group
+	// elements in the whole cycle are skipped because they exceed 2^32,
+	// which can shift shard/global alignment by at most that much).
+	covered := 0
+	total := n*perShard - 14
+	for i := 0; i < total; i++ {
+		addr, _ := base.Next()
+		if _, ok := shardSeen[addr]; ok {
+			covered++
+		}
+	}
+	if covered < total-14 {
+		t.Fatalf("shards cover only %d/%d of the unsharded prefix", covered, total)
+	}
+}
+
+func TestCyclicPermShardIdentity(t *testing.T) {
+	a := NewCyclicPerm(New(3))
+	b := NewCyclicPerm(New(3)).Shard(0, 1)
+	for i := 0; i < 100; i++ {
+		x, _ := a.Next()
+		y, _ := b.Next()
+		if x != y {
+			t.Fatal("Shard(0,1) must be the identity sharding")
+		}
+	}
+}
+
+func TestFeistelBijectionSmall(t *testing.T) {
+	for _, n := range []uint64{2, 3, 10, 100, 1000, 4096, 5000} {
+		f := NewFeistelPerm(n, New(n))
+		seen := make([]bool, n)
+		for i := uint64(0); i < n; i++ {
+			x := f.Apply(i)
+			if x >= n {
+				t.Fatalf("n=%d: Apply(%d) = %d out of range", n, i, x)
+			}
+			if seen[x] {
+				t.Fatalf("n=%d: value %d produced twice", n, x)
+			}
+			seen[x] = true
+			if inv := f.Invert(x); inv != i {
+				t.Fatalf("n=%d: Invert(Apply(%d)) = %d", n, i, inv)
+			}
+		}
+	}
+}
+
+func TestFeistelRoundTripQuick(t *testing.T) {
+	f := NewFeistelPerm(1<<32, New(77))
+	prop := func(i uint32) bool {
+		x := f.Apply(uint64(i))
+		return x < 1<<32 && f.Invert(x) == uint64(i)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeistelDeterministic(t *testing.T) {
+	a := NewFeistelPerm(1<<20, New(4))
+	b := NewFeistelPerm(1<<20, New(4))
+	for i := uint64(0); i < 1000; i++ {
+		if a.Apply(i) != b.Apply(i) {
+			t.Fatal("same seed should give same permutation")
+		}
+	}
+}
+
+func TestFeistelPanicsOutOfRange(t *testing.T) {
+	f := NewFeistelPerm(100, New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Apply out of range should panic")
+		}
+	}()
+	f.Apply(100)
+}
+
+func TestFeistelTinyRange(t *testing.T) {
+	f := NewFeistelPerm(1, New(1)) // clamps to 2
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+	if f.Apply(0) == f.Apply(1) {
+		t.Fatal("degenerate permutation")
+	}
+}
+
+func BenchmarkCyclicPermNext(b *testing.B) {
+	c := NewCyclicPerm(New(1))
+	for i := 0; i < b.N; i++ {
+		_, _ = c.Next()
+	}
+}
+
+func BenchmarkFeistelApply(b *testing.B) {
+	f := NewFeistelPerm(1<<32, New(1))
+	for i := 0; i < b.N; i++ {
+		_ = f.Apply(uint64(i) & 0xffffffff)
+	}
+}

@@ -1,0 +1,220 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the synscan simulators.
+//
+// Every stochastic component of the workload model draws from a Rand that is
+// derived from a single root seed and a textual label. Re-running a scenario
+// with the same seed therefore reproduces the exact same packet stream, which
+// is what makes the benchmark harness and the regression tests deterministic.
+//
+// The package also implements the two address-space permutation algorithms
+// used by real Internet-wide scanners:
+//
+//   - CyclicPerm: iteration over the multiplicative group of integers modulo
+//     a prime just above 2^32, as used by ZMap to enumerate IPv4 in a
+//     pseudorandom order without keeping per-address state.
+//   - FeistelPerm: a balanced Feistel network with cycle walking over an
+//     arbitrary range, the construction behind Masscan's "BlackRock"
+//     randomizer.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// splitmix64 is the seed-expansion function recommended for initializing
+// xoshiro state. It is also used to derive child seeds from (seed, label).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// xoshiro256** by Blackman and Vigna: fast, 256-bit state, passes BigCrush.
+type xoshiro struct {
+	s [4]uint64
+}
+
+func newXoshiro(seed uint64) *xoshiro {
+	var x xoshiro
+	sm := seed
+	for i := range x.s {
+		sm = splitmix64(sm)
+		x.s[i] = sm
+	}
+	// All-zero state is invalid; splitmix64 of anything is never all zero
+	// across four outputs, but guard anyway.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+func (x *xoshiro) Uint64() uint64 {
+	result := rotl(x.s[1]*5, 7) * 9
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Int63 and Seed make xoshiro satisfy math/rand.Source64.
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+func (x *xoshiro) Seed(seed int64) {
+	*x = *newXoshiro(uint64(seed))
+}
+
+// Rand is a deterministic random source. It embeds *math/rand.Rand so the
+// full stdlib distribution toolkit (Perm, Shuffle, Zipf via rand.NewZipf,
+// NormFloat64, ExpFloat64, ...) is available, while the underlying state is
+// our own seeded xoshiro256**.
+type Rand struct {
+	*rand.Rand
+	seed uint64
+	src  *xoshiro
+}
+
+// New returns a Rand rooted at seed.
+func New(seed uint64) *Rand {
+	src := newXoshiro(seed)
+	return &Rand{Rand: rand.New(src), seed: seed, src: src}
+}
+
+// Seed returns the seed this Rand was created with.
+func (r *Rand) Seed() uint64 { return r.seed }
+
+// Derive returns an independent child generator identified by label.
+// Children with distinct labels produce statistically independent streams,
+// and the same (seed, label) pair always yields the same stream. Derive does
+// not consume any randomness from the parent, so the order in which children
+// are derived does not matter.
+func (r *Rand) Derive(label string) *Rand {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return New(splitmix64(r.seed ^ h.Sum64()))
+}
+
+// DeriveN returns an independent child generator identified by label and an
+// index, for per-entity streams (e.g. one stream per campaign).
+func (r *Rand) DeriveN(label string, n uint64) *Rand {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return New(splitmix64(splitmix64(r.seed^h.Sum64()) + n))
+}
+
+// Uint32 returns a uniformly distributed 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.src.Uint64() >> 32) }
+
+// Uint64 returns a uniformly distributed 64-bit value.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// LogNormal samples exp(N(mu, sigma^2)). Scanning-speed and campaign-size
+// distributions in the workload model are log-normal: most actors are slow
+// and small, a heavy tail is fast and large — matching the paper's
+// observation that the speed advantage of high-performance tools "is only
+// realized by a select few at the very high end".
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto samples a Pareto(xm, alpha) variate: xm * U^(-1/alpha).
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm * math.Pow(u, -1/alpha)
+}
+
+// Poisson samples a Poisson(lambda) count. For small lambda it uses Knuth's
+// product method; for large lambda a normal approximation with continuity
+// correction, which is ample for workload sizing.
+func (r *Rand) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda < 30 {
+		l := math.Exp(-lambda)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	n := int(math.Round(lambda + math.Sqrt(lambda)*r.NormFloat64()))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Exp samples an exponential inter-arrival with the given rate (events per
+// unit time). Used to place probe arrivals as a Poisson process.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.ExpFloat64() / rate
+}
+
+// WeightedChoice holds a discrete distribution for repeated sampling by
+// cumulative binary search.
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice builds a sampler over the given non-negative weights.
+// Weights need not sum to one. A nil or all-zero weight vector yields a
+// sampler that always returns 0.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	return &WeightedChoice{cum: cum}
+}
+
+// Sample draws an index distributed according to the weights.
+func (w *WeightedChoice) Sample(r *Rand) int {
+	if len(w.cum) == 0 {
+		return 0
+	}
+	total := w.cum[len(w.cum)-1]
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Len returns the number of categories.
+func (w *WeightedChoice) Len() int { return len(w.cum) }

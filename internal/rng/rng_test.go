@@ -1,0 +1,281 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: same seed diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestDeriveIsStable(t *testing.T) {
+	root := New(7)
+	a := root.Derive("campaigns")
+	b := root.Derive("campaigns")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Derive with same label should be reproducible")
+		}
+	}
+}
+
+func TestDeriveIndependentLabels(t *testing.T) {
+	root := New(7)
+	a := root.Derive("alpha")
+	b := root.Derive("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("labels alpha/beta produced %d/100 identical values", same)
+	}
+}
+
+func TestDeriveDoesNotConsumeParentState(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	_ = a.Derive("child") // must not advance a's stream
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive consumed parent state")
+	}
+}
+
+func TestDeriveN(t *testing.T) {
+	root := New(5)
+	a := root.DeriveN("c", 1)
+	b := root.DeriveN("c", 2)
+	c := root.DeriveN("c", 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("DeriveN with different indices should differ")
+	}
+	a2 := c.Uint64()
+	_ = a2
+	// reproducibility
+	x := root.DeriveN("c", 7)
+	y := root.DeriveN("c", 7)
+	for i := 0; i < 50; i++ {
+		if x.Uint64() != y.Uint64() {
+			t.Fatal("DeriveN not reproducible")
+		}
+	}
+}
+
+func TestUint32Range(t *testing.T) {
+	r := New(3)
+	var sawHigh, sawLow bool
+	for i := 0; i < 10000; i++ {
+		v := r.Uint32()
+		if v > 1<<31 {
+			sawHigh = true
+		} else {
+			sawLow = true
+		}
+	}
+	if !sawHigh || !sawLow {
+		t.Fatal("Uint32 does not cover both halves of the range")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(11)
+	n := 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			count++
+		}
+	}
+	p := float64(count) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency = %.4f, want ~0.30", p)
+	}
+	if r.Bool(0) {
+		t.Fatal("Bool(0) must be false")
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	r := New(13)
+	n := 200000
+	sumLog := 0.0
+	for i := 0; i < n; i++ {
+		v := r.LogNormal(2.0, 0.5)
+		if v <= 0 {
+			t.Fatalf("LogNormal returned non-positive %v", v)
+		}
+		sumLog += math.Log(v)
+	}
+	mean := sumLog / float64(n)
+	if math.Abs(mean-2.0) > 0.02 {
+		t.Fatalf("log-mean = %.4f, want ~2.0", mean)
+	}
+}
+
+func TestPareto(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(1.5, 2.0)
+		if v < 1.5 {
+			t.Fatalf("Pareto(1.5, 2) returned %v < xm", v)
+		}
+	}
+}
+
+func TestPoissonSmallLambda(t *testing.T) {
+	r := New(19)
+	n := 100000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(3.5)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-3.5) > 0.05 {
+		t.Fatalf("Poisson(3.5) mean = %.4f", mean)
+	}
+}
+
+func TestPoissonLargeLambda(t *testing.T) {
+	r := New(23)
+	n := 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += r.Poisson(500)
+	}
+	mean := float64(sum) / float64(n)
+	if math.Abs(mean-500) > 2 {
+		t.Fatalf("Poisson(500) mean = %.2f", mean)
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	r := New(29)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := New(31)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4.0)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Fatalf("Exp(4) mean = %.4f, want ~0.25", mean)
+	}
+	if !math.IsInf(r.Exp(0), 1) {
+		t.Fatal("Exp(0) must be +Inf")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(37)
+	w := NewWeightedChoice([]float64{1, 2, 7})
+	n := 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	want := []float64{0.1, 0.2, 0.7}
+	for i, c := range counts {
+		p := float64(c) / float64(n)
+		if math.Abs(p-want[i]) > 0.01 {
+			t.Fatalf("category %d frequency %.4f, want ~%.1f", i, p, want[i])
+		}
+	}
+}
+
+func TestWeightedChoiceEdge(t *testing.T) {
+	r := New(41)
+	empty := NewWeightedChoice(nil)
+	if empty.Sample(r) != 0 {
+		t.Fatal("empty sampler must return 0")
+	}
+	zero := NewWeightedChoice([]float64{0, 0, 0})
+	if zero.Sample(r) != 0 {
+		t.Fatal("all-zero sampler must return 0")
+	}
+	single := NewWeightedChoice([]float64{5})
+	for i := 0; i < 10; i++ {
+		if single.Sample(r) != 0 {
+			t.Fatal("single-category sampler must return 0")
+		}
+	}
+	if single.Len() != 1 {
+		t.Fatal("Len mismatch")
+	}
+	// Zero-weight categories must never be sampled.
+	gap := NewWeightedChoice([]float64{1, 0, 1})
+	for i := 0; i < 10000; i++ {
+		if gap.Sample(r) == 1 {
+			t.Fatal("zero-weight category was sampled")
+		}
+	}
+}
+
+func TestStdlibIntegration(t *testing.T) {
+	// The embedded *rand.Rand must work: Perm, Shuffle, Intn.
+	r := New(43)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm(10) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(5); v < 0 || v >= 5 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Derive("label")
+	}
+}
+
+func BenchmarkWeightedChoice(b *testing.B) {
+	r := New(1)
+	w := NewWeightedChoice([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.Sample(r)
+	}
+}

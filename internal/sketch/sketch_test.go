@@ -1,0 +1,169 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/synscan/synscan/internal/rng"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		h := NewHyperLogLog()
+		seen := make(map[uint64]bool, n)
+		for len(seen) < n {
+			k := r.Uint64()
+			seen[k] = true
+			h.Add(k)
+		}
+		est := float64(h.Estimate())
+		rel := math.Abs(est-float64(n)) / float64(n)
+		// 2^14 registers: standard error 0.81%; allow 4 sigma.
+		if rel > 0.04 {
+			t.Fatalf("n=%d: estimate %v off by %.2f%%", n, est, rel*100)
+		}
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	h := NewHyperLogLog()
+	for i := 0; i < 100000; i++ {
+		h.AddUint32(uint32(i % 50))
+	}
+	est := h.Estimate()
+	if est < 45 || est > 55 {
+		t.Fatalf("estimate %d, want ~50", est)
+	}
+}
+
+func TestHLLEmpty(t *testing.T) {
+	if got := NewHyperLogLog().Estimate(); got != 0 {
+		t.Fatalf("empty estimate = %d", got)
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHyperLogLog(), NewHyperLogLog()
+	for i := uint64(0); i < 50000; i++ {
+		a.Add(i)
+	}
+	for i := uint64(25000); i < 75000; i++ {
+		b.Add(i)
+	}
+	a.Merge(b)
+	est := float64(a.Estimate())
+	if math.Abs(est-75000)/75000 > 0.04 {
+		t.Fatalf("merged estimate %v, want ~75000", est)
+	}
+}
+
+func TestHLLDeterministic(t *testing.T) {
+	f := func(keys []uint64) bool {
+		a, b := NewHyperLogLog(), NewHyperLogLog()
+		for _, k := range keys {
+			a.Add(k)
+			b.Add(k)
+		}
+		return a.Estimate() == b.Estimate()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKExactWhenUnderCapacity(t *testing.T) {
+	tk := NewTopK(16)
+	for i := 0; i < 10; i++ {
+		for j := 0; j <= i; j++ {
+			tk.Add(uint64(i))
+		}
+	}
+	top := tk.Top(3)
+	if len(top) != 3 || top[0].Key != 9 || top[0].Count != 10 || top[0].Err != 0 {
+		t.Fatalf("top = %+v", top)
+	}
+	if top[1].Key != 8 || top[2].Key != 7 {
+		t.Fatalf("ordering: %+v", top)
+	}
+	if tk.Total() != 55 {
+		t.Fatalf("total = %d", tk.Total())
+	}
+}
+
+func TestTopKHeavyHitterGuarantee(t *testing.T) {
+	// Space-Saving guarantees: any key with true frequency > N/k is
+	// tracked. Stream: 4 heavy keys at ~20% each, plus uniform noise.
+	r := rng.New(2)
+	tk := NewTopK(64)
+	trueCounts := map[uint64]uint64{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		var key uint64
+		if r.Bool(0.8) {
+			key = uint64(r.Intn(4)) // heavy
+		} else {
+			key = 1000 + r.Uint64()%100000 // noise
+		}
+		tk.Add(key)
+		trueCounts[key]++
+	}
+	top := tk.Top(4)
+	seen := map[uint64]bool{}
+	for _, it := range top {
+		seen[it.Key] = true
+		// Count is an upper bound; Count-Err a lower bound.
+		if it.Count < trueCounts[it.Key] {
+			t.Fatalf("key %d: estimate %d below true %d", it.Key, it.Count, trueCounts[it.Key])
+		}
+		if it.Count-it.Err > trueCounts[it.Key] {
+			t.Fatalf("key %d: lower bound %d above true %d", it.Key, it.Count-it.Err, trueCounts[it.Key])
+		}
+	}
+	for k := uint64(0); k < 4; k++ {
+		if !seen[k] {
+			t.Fatalf("heavy hitter %d lost (top: %+v)", k, top)
+		}
+	}
+}
+
+func TestTopKCapacityClamp(t *testing.T) {
+	tk := NewTopK(0)
+	tk.Add(1)
+	tk.Add(2)
+	if got := tk.Top(10); len(got) != 1 {
+		t.Fatalf("capacity clamp: %+v", got)
+	}
+}
+
+func TestTopKTopBounds(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Add(7)
+	if got := tk.Top(100); len(got) != 1 || got[0].Key != 7 {
+		t.Fatalf("Top beyond size: %+v", got)
+	}
+	if got := tk.Top(0); len(got) != 0 {
+		t.Fatalf("Top(0): %+v", got)
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	h := NewHyperLogLog()
+	for i := 0; i < b.N; i++ {
+		h.Add(uint64(i))
+	}
+}
+
+func BenchmarkTopKAdd(b *testing.B) {
+	tk := NewTopK(1024)
+	r := rng.New(1)
+	keys := make([]uint64, 65536)
+	for i := range keys {
+		keys[i] = r.Uint64() % 5000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk.Add(keys[i&65535])
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 100} {
+		h.Add(x)
+	}
+	if h.Under != 1 {
+		t.Fatalf("Under = %d", h.Under)
+	}
+	if h.Over != 2 {
+		t.Fatalf("Over = %d", h.Over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// 0,1.9 in bin0; 2 in bin1; 5 in bin2; 9.99 in bin4.
+	want := []uint64{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("Counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if bc := h.BinCenter(0); !almost(bc, 1, 1e-12) {
+		t.Fatalf("BinCenter(0) = %v", bc)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bins")
+		}
+	}()
+	NewHistogram(0, 1, 0)
+}
+
+func TestLogHistogram(t *testing.T) {
+	l := NewLogHistogram(0, 3, 1) // [1,10), [10,100), [100,1000)
+	for _, x := range []float64{0, -5, 0.5, 1, 9, 10, 99, 500, 1e9} {
+		l.Add(x)
+	}
+	if l.Under != 3 { // 0, -5, 0.5
+		t.Fatalf("Under = %d", l.Under)
+	}
+	if l.Counts[0] != 2 || l.Counts[1] != 2 || l.Counts[2] != 2 {
+		t.Fatalf("Counts = %v", l.Counts)
+	}
+	if l.Total() != 9 {
+		t.Fatalf("Total = %d", l.Total())
+	}
+	if lo := l.BinLower(1); !almost(lo, 10, 1e-9) {
+		t.Fatalf("BinLower(1) = %v", lo)
+	}
+}
+
+func TestLogHistogramPerDecade(t *testing.T) {
+	l := NewLogHistogram(0, 1, 2) // [1, sqrt10), [sqrt10, 10)
+	l.Add(2)
+	l.Add(5)
+	if l.Counts[0] != 1 || l.Counts[1] != 1 {
+		t.Fatalf("Counts = %v", l.Counts)
+	}
+	if lo := l.BinLower(1); !almost(lo, math.Sqrt(10), 1e-9) {
+		t.Fatalf("BinLower(1) = %v", lo)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter[uint16]()
+	c.Inc(80)
+	c.Inc(80)
+	c.Add(443, 5)
+	c.Inc(22)
+	if c.Get(80) != 2 || c.Get(443) != 5 || c.Get(9999) != 0 {
+		t.Fatal("Get mismatch")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if c.Total() != 8 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	top := c.TopK(2)
+	if len(top) != 2 || top[0].Key != 443 || top[1].Key != 80 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if s := c.Share(443); !almost(s, 5.0/8.0, 1e-12) {
+		t.Fatalf("Share = %v", s)
+	}
+	if got := len(c.Keys()); got != 3 {
+		t.Fatalf("Keys len = %d", got)
+	}
+}
+
+func TestCounterTopKDeterministicTies(t *testing.T) {
+	// Ties are broken by formatted key, so repeated runs over the same data
+	// must yield the identical ranking regardless of map iteration order.
+	var first []KV[int]
+	for trial := 0; trial < 10; trial++ {
+		c := NewCounter[int]()
+		for k := 0; k < 20; k++ {
+			c.Add(k, 7) // all tied
+		}
+		top := c.TopK(5)
+		if first == nil {
+			first = top
+			continue
+		}
+		for i := range top {
+			if top[i] != first[i] {
+				t.Fatalf("tie-break not deterministic: %v vs %v", top, first)
+			}
+		}
+	}
+}
+
+func TestCounterTopKOverflow(t *testing.T) {
+	c := NewCounter[string]()
+	c.Inc("a")
+	if got := c.TopK(10); len(got) != 1 {
+		t.Fatalf("TopK beyond size = %v", got)
+	}
+	empty := NewCounter[string]()
+	if s := empty.Share("x"); s != 0 {
+		t.Fatalf("empty Share = %v", s)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if !almost(w.Mean(), Mean(xs), 1e-12) {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if !almost(w.Variance(), Variance(xs), 1e-9) {
+		t.Fatalf("Variance = %v want %v", w.Variance(), Variance(xs))
+	}
+	if !almost(w.StdDev(), math.Sqrt(Variance(xs)), 1e-9) {
+		t.Fatalf("StdDev = %v", w.StdDev())
+	}
+	var empty Welford
+	if empty.Variance() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty Welford")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewCounter[uint16]()
+	for i := 0; i < b.N; i++ {
+		c.Inc(uint16(i & 1023))
+	}
+}
+
+func BenchmarkKS2Sample(b *testing.B) {
+	a := make([]float64, 1000)
+	c := make([]float64, 1000)
+	for i := range a {
+		a[i] = float64(i)
+		c[i] = float64(i) + 0.5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = KS2Sample(a, c)
+	}
+}

@@ -1,0 +1,227 @@
+// Package telescope models the measurement infrastructure of the paper: a
+// network telescope assembled from partially populated address blocks whose
+// unused addresses attract only backscatter and scanning traffic (§3.2).
+//
+// A Telescope owns three responsibilities:
+//
+//  1. membership — which addresses are monitored (the used addresses of the
+//     partially populated blocks are invisible to the capture);
+//  2. filtering — keep TCP packets with only the SYN flag set (the standard
+//     practice for separating scans from backscatter) and enforce the
+//     ingress policy that drops ports 23 and 445 after 2016;
+//  3. accounting — per-reason drop counters and outage windows, so analyses
+//     can report on exactly what the capture saw.
+package telescope
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+// PartialBlock is one address block routed to the telescope, of which only
+// the unpopulated fraction is monitored.
+type PartialBlock struct {
+	// Prefix is the routed block.
+	Prefix inetmodel.Prefix
+	// MonitoredFraction in (0, 1] is the share of the block's addresses
+	// that are unused and therefore monitored.
+	MonitoredFraction float64
+}
+
+// Config describes a telescope deployment.
+type Config struct {
+	// Blocks are the routed blocks with their monitored fractions.
+	Blocks []PartialBlock
+	// Seed determines which specific addresses are monitored.
+	Seed uint64
+	// BlockedPorts are dropped at the network ingress (the operational
+	// policy of §3.2: 23/TCP and 445/TCP since the advent of Mirai).
+	BlockedPorts []uint16
+}
+
+// PaperConfig returns the deployment described in §3.2: three partially
+// populated /16 blocks monitoring 71,536 addresses in total.
+func PaperConfig(seed uint64) Config {
+	return Config{
+		Blocks: []PartialBlock{
+			{Prefix: inetmodel.MustPrefix("203.10.0.0/16"), MonitoredFraction: 0.42},
+			{Prefix: inetmodel.MustPrefix("198.51.0.0/16"), MonitoredFraction: 0.31},
+			{Prefix: inetmodel.MustPrefix("131.180.0.0/16"), MonitoredFraction: 0.36155},
+		},
+		Seed: seed,
+	}
+}
+
+// ScaledConfig returns a telescope of roughly the given size spread over the
+// same three blocks, for fast simulations. The per-block fractions keep the
+// paper's relative proportions.
+func ScaledConfig(seed uint64, approxSize int) Config {
+	c := PaperConfig(seed)
+	paperTotal := 0.0
+	for _, b := range c.Blocks {
+		paperTotal += b.MonitoredFraction * float64(b.Prefix.Size())
+	}
+	scale := float64(approxSize) / paperTotal
+	for i := range c.Blocks {
+		c.Blocks[i].MonitoredFraction *= scale
+	}
+	return c
+}
+
+// DropReason classifies why an arriving packet was not recorded.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	Accepted DropReason = iota
+	DropNotMonitored
+	DropNotSYN
+	DropPolicy
+	DropOutage
+	DropNotTCP
+)
+
+// String names the reason.
+func (d DropReason) String() string {
+	switch d {
+	case Accepted:
+		return "accepted"
+	case DropNotMonitored:
+		return "not-monitored"
+	case DropNotSYN:
+		return "not-syn"
+	case DropPolicy:
+		return "policy"
+	case DropOutage:
+		return "outage"
+	case DropNotTCP:
+		return "not-tcp"
+	default:
+		return "invalid"
+	}
+}
+
+// Stats counts the fate of arriving packets.
+type Stats struct {
+	Accepted     uint64
+	NotMonitored uint64
+	NotSYN       uint64
+	NotTCP       uint64
+	Policy       uint64
+	Outage       uint64
+}
+
+// Total returns the number of packets that arrived.
+func (s Stats) Total() uint64 {
+	return s.Accepted + s.NotMonitored + s.NotSYN + s.NotTCP + s.Policy + s.Outage
+}
+
+type outage struct{ from, to int64 }
+
+// Telescope is a configured deployment. It is safe for concurrent reads
+// (Contains/At/Size) but Observe mutates counters and must be serialized.
+type Telescope struct {
+	addrs   []uint32 // sorted monitored addresses
+	blocked [1024]uint64
+	outages []outage
+	stats   Stats
+}
+
+// New builds the telescope for cfg, materializing the monitored address set
+// deterministically from the seed.
+func New(cfg Config) (*Telescope, error) {
+	if len(cfg.Blocks) == 0 {
+		return nil, errors.New("telescope: no blocks configured")
+	}
+	t := &Telescope{}
+	r := rng.New(cfg.Seed).Derive("telescope/membership")
+	for _, b := range cfg.Blocks {
+		if b.MonitoredFraction <= 0 || b.MonitoredFraction > 1 {
+			return nil, fmt.Errorf("telescope: block %v fraction %v out of (0,1]", b.Prefix, b.MonitoredFraction)
+		}
+		size := b.Prefix.Size()
+		// Choose round(fraction*size) distinct offsets via a keyed
+		// permutation: deterministic, and exactly the requested count.
+		n := uint64(b.MonitoredFraction*float64(size) + 0.5)
+		if n == 0 {
+			n = 1
+		}
+		perm := rng.NewFeistelPerm(size, r.Derive(b.Prefix.String()))
+		for i := uint64(0); i < n; i++ {
+			t.addrs = append(t.addrs, b.Prefix.Nth(perm.Apply(i)))
+		}
+	}
+	sort.Slice(t.addrs, func(i, j int) bool { return t.addrs[i] < t.addrs[j] })
+	for _, p := range cfg.BlockedPorts {
+		t.blockPort(p)
+	}
+	return t, nil
+}
+
+func (t *Telescope) blockPort(p uint16) { t.blocked[p>>6] |= 1 << (p & 63) }
+
+// BlockPort adds a port to the ingress drop policy.
+func (t *Telescope) BlockPort(p uint16) { t.blockPort(p) }
+
+// PortBlocked reports whether the ingress policy drops the port.
+func (t *Telescope) PortBlocked(p uint16) bool {
+	return t.blocked[p>>6]&(1<<(p&63)) != 0
+}
+
+// AddOutage registers a [from, to) window during which the telescope
+// recorded nothing (server failures, routing withdrawals — §3.2).
+func (t *Telescope) AddOutage(from, to int64) {
+	if to > from {
+		t.outages = append(t.outages, outage{from, to})
+	}
+}
+
+// Size returns the number of monitored addresses.
+func (t *Telescope) Size() int { return len(t.addrs) }
+
+// At returns the i-th monitored address in ascending order.
+func (t *Telescope) At(i int) uint32 { return t.addrs[i] }
+
+// Contains reports whether ip is monitored.
+func (t *Telescope) Contains(ip uint32) bool {
+	i := sort.Search(len(t.addrs), func(j int) bool { return t.addrs[j] >= ip })
+	return i < len(t.addrs) && t.addrs[i] == ip
+}
+
+// Observe applies membership, SYN filtering, ingress policy and outage
+// windows to one arriving packet, updates the counters, and returns whether
+// the packet enters the dataset.
+func (t *Telescope) Observe(p *packet.Probe) DropReason {
+	for _, o := range t.outages {
+		if p.Time >= o.from && p.Time < o.to {
+			t.stats.Outage++
+			return DropOutage
+		}
+	}
+	if t.PortBlocked(p.DstPort) {
+		t.stats.Policy++
+		return DropPolicy
+	}
+	if !t.Contains(p.Dst) {
+		t.stats.NotMonitored++
+		return DropNotMonitored
+	}
+	if !p.IsTCP() {
+		t.stats.NotTCP++
+		return DropNotTCP
+	}
+	if !p.IsSYN() {
+		t.stats.NotSYN++
+		return DropNotSYN
+	}
+	t.stats.Accepted++
+	return Accepted
+}
+
+// Stats returns a copy of the counters.
+func (t *Telescope) Stats() Stats { return t.stats }

@@ -1,0 +1,223 @@
+package telescope
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+)
+
+func small(t *testing.T) *Telescope {
+	t.Helper()
+	tel, err := New(Config{
+		Blocks: []PartialBlock{
+			{Prefix: inetmodel.MustPrefix("10.1.0.0/20"), MonitoredFraction: 0.5},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tel
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no blocks should error")
+	}
+	bad := Config{Blocks: []PartialBlock{{Prefix: inetmodel.MustPrefix("10.0.0.0/24"), MonitoredFraction: 1.5}}}
+	if _, err := New(bad); err == nil {
+		t.Fatal("fraction > 1 should error")
+	}
+	bad.Blocks[0].MonitoredFraction = 0
+	if _, err := New(bad); err == nil {
+		t.Fatal("fraction 0 should error")
+	}
+}
+
+func TestMembershipExactCount(t *testing.T) {
+	tel := small(t)
+	if got, want := tel.Size(), 2048; got != want {
+		t.Fatalf("Size = %d, want %d", got, want)
+	}
+	// Every monitored address is inside the block, sorted, unique.
+	prefix := inetmodel.MustPrefix("10.1.0.0/20")
+	var prev uint32
+	for i := 0; i < tel.Size(); i++ {
+		a := tel.At(i)
+		if !prefix.Contains(a) {
+			t.Fatalf("address %s outside block", packet.FormatIPv4(a))
+		}
+		if i > 0 && a <= prev {
+			t.Fatal("addresses not strictly ascending")
+		}
+		prev = a
+		if !tel.Contains(a) {
+			t.Fatal("Contains(At(i)) must hold")
+		}
+	}
+	if tel.Contains(0x0B000000) {
+		t.Fatal("address outside all blocks reported monitored")
+	}
+}
+
+func TestMembershipDeterministic(t *testing.T) {
+	cfg := Config{
+		Blocks: []PartialBlock{{Prefix: inetmodel.MustPrefix("10.9.0.0/22"), MonitoredFraction: 0.3}},
+		Seed:   7,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size() != b.Size() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < a.Size(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatal("membership differs for same seed")
+		}
+	}
+}
+
+func TestPaperConfigSize(t *testing.T) {
+	tel, err := New(PaperConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.2: on average 71,536 unrouted addresses monitored.
+	if got := tel.Size(); got != 71536 {
+		t.Fatalf("paper telescope size = %d, want 71536", got)
+	}
+}
+
+func TestScaledConfig(t *testing.T) {
+	tel, err := New(ScaledConfig(1, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Size(); got < 4090 || got > 4102 {
+		t.Fatalf("scaled size = %d, want ~4096", got)
+	}
+}
+
+func TestObserveFiltering(t *testing.T) {
+	tel := small(t)
+	tel.BlockPort(23)
+	monitored := tel.At(0)
+
+	cases := []struct {
+		name  string
+		probe packet.Probe
+		want  DropReason
+	}{
+		{"accepted", packet.Probe{Dst: monitored, DstPort: 80, Flags: packet.FlagSYN}, Accepted},
+		{"outside", packet.Probe{Dst: 0x0B000000, DstPort: 80, Flags: packet.FlagSYN}, DropNotMonitored},
+		{"synack", packet.Probe{Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, DropNotSYN},
+		{"rst", packet.Probe{Dst: monitored, DstPort: 80, Flags: packet.FlagRST}, DropNotSYN},
+		{"policy", packet.Probe{Dst: monitored, DstPort: 23, Flags: packet.FlagSYN}, DropPolicy},
+	}
+	for _, c := range cases {
+		p := c.probe
+		if got := tel.Observe(&p); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	s := tel.Stats()
+	if s.Accepted != 1 || s.NotMonitored != 1 || s.NotSYN != 2 || s.Policy != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.Total() != 5 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestObserveOutage(t *testing.T) {
+	tel := small(t)
+	tel.AddOutage(100, 200)
+	tel.AddOutage(200, 100) // inverted: ignored
+	monitored := tel.At(0)
+	p := packet.Probe{Time: 150, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN}
+	if got := tel.Observe(&p); got != DropOutage {
+		t.Fatalf("in-outage packet: %v", got)
+	}
+	p.Time = 200 // boundary: outage is [from, to)
+	if got := tel.Observe(&p); got != Accepted {
+		t.Fatalf("post-outage packet: %v", got)
+	}
+	if s := tel.Stats(); s.Outage != 1 {
+		t.Fatalf("outage count %d", s.Outage)
+	}
+}
+
+func TestPortBlockedViaConfig(t *testing.T) {
+	tel, err := New(Config{
+		Blocks:       []PartialBlock{{Prefix: inetmodel.MustPrefix("10.0.0.0/24"), MonitoredFraction: 1}},
+		Seed:         1,
+		BlockedPorts: []uint16{23, 445},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tel.PortBlocked(23) || !tel.PortBlocked(445) || tel.PortBlocked(80) {
+		t.Fatal("blocked-port set wrong")
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	want := map[DropReason]string{
+		Accepted: "accepted", DropNotMonitored: "not-monitored",
+		DropNotSYN: "not-syn", DropPolicy: "policy", DropOutage: "outage",
+		DropReason(99): "invalid",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestFullBlockMonitored(t *testing.T) {
+	tel, err := New(Config{
+		Blocks: []PartialBlock{{Prefix: inetmodel.MustPrefix("192.0.2.0/24"), MonitoredFraction: 1}},
+		Seed:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Size() != 256 {
+		t.Fatalf("Size = %d", tel.Size())
+	}
+	for ip := uint32(0xC0000200); ip <= 0xC00002FF; ip++ {
+		if !tel.Contains(ip) {
+			t.Fatalf("fully monitored block missing %s", packet.FormatIPv4(ip))
+		}
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tel, err := New(ScaledConfig(1, 8192))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := packet.Probe{Dst: tel.At(100), DstPort: 80, Flags: packet.FlagSYN}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel.Observe(&p)
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	tel, err := New(ScaledConfig(1, 65536))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tel.Contains(uint32(i * 2654435761))
+	}
+}

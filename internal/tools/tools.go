@@ -1,0 +1,336 @@
+// Package tools simulates the packet-generation behavior of the scanning
+// tools the paper fingerprints (§3.3): ZMap, Masscan, NMap, Mirai and
+// Unicornscan, plus an unfingerprintable "custom" scanner as a negative
+// control.
+//
+// Each simulator reproduces exactly the header-field construction that the
+// fingerprint equations key on:
+//
+//	ZMap     IPID = 54321 (constant)
+//	Masscan  IPID = (dstIP ^ dstPort ^ SeqNum) & 0xffff
+//	NMap     Seq  = secret ^ (nfo << 16 | nfo)   — per-session secret
+//	Mirai    Seq  = dstIP
+//	Unicorn  Seq  = key ^ dstIP ^ srcPort ^ (dstPort << 16)
+//
+// so the fingerprint engine downstream is exercised against true positives
+// and — via the custom scanner — true negatives.
+package tools
+
+import (
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+// Tool identifies a scanning tool family.
+type Tool uint8
+
+// The fingerprintable tools tracked throughout the paper.
+const (
+	ToolUnknown Tool = iota
+	ToolZMap
+	ToolMasscan
+	ToolNMap
+	ToolMirai
+	ToolUnicorn
+	ToolCustom
+	numTools
+)
+
+// Tools lists the concrete tools in display order (Table 1 order).
+var Tools = []Tool{ToolMasscan, ToolNMap, ToolMirai, ToolZMap, ToolUnicorn, ToolCustom}
+
+// MarshalText renders the display name in JSON map keys and values.
+func (t Tool) MarshalText() ([]byte, error) { return []byte(t.String()), nil }
+
+// String returns the tool's display name.
+func (t Tool) String() string {
+	switch t {
+	case ToolZMap:
+		return "ZMap"
+	case ToolMasscan:
+		return "Masscan"
+	case ToolNMap:
+		return "NMap"
+	case ToolMirai:
+		return "Mirai-like"
+	case ToolUnicorn:
+		return "Unicorn"
+	case ToolCustom:
+		return "Custom"
+	case ToolUnknown:
+		return "Unknown"
+	default:
+		return "Invalid"
+	}
+}
+
+// NumTools returns the number of Tool values (including Unknown), for
+// fixed-size tally arrays.
+func NumTools() int { return int(numTools) }
+
+// Prober crafts the header fields of one SYN probe the way a specific tool
+// would. Implementations are NOT safe for concurrent use; each simulated
+// scanning host owns its own Prober.
+type Prober interface {
+	// Tool identifies the implementation.
+	Tool() Tool
+	// Probe returns a SYN probe from this scanner to dst:dport. The Time
+	// field is left zero; the caller assigns the send time.
+	Probe(dst uint32, dport uint16) packet.Probe
+}
+
+// mix32 is a cheap 32-bit mixer used to derive per-destination values
+// (validation cookies and the like) deterministically from a secret.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+// hopTTL returns a plausible received TTL given the initial TTL a tool
+// sends with: the probe loses 8-24 hops on its way to the telescope.
+func hopTTL(r *rng.Rand, initial uint8) uint8 {
+	hops := uint8(8 + r.Intn(17))
+	if hops >= initial {
+		return 1
+	}
+	return initial - hops
+}
+
+// ZMap simulates the ZMap scanner: constant IP identification 54321 and a
+// per-destination validation cookie in the sequence number.
+type ZMap struct {
+	src     uint32
+	secret  uint32
+	r       *rng.Rand
+	srcPort uint16
+}
+
+// ZMapIPID is the constant IP identification value ZMap stamps on probes.
+const ZMapIPID uint16 = 54321
+
+// NewZMap creates a ZMap instance scanning from src.
+func NewZMap(src uint32, r *rng.Rand) *ZMap {
+	return &ZMap{
+		src:    src,
+		secret: r.Uint32(),
+		r:      r,
+		// ZMap uses a fixed source port range; model one port per instance
+		// out of the ephemeral range.
+		srcPort: uint16(32768 + r.Intn(28232)),
+	}
+}
+
+// Tool implements Prober.
+func (z *ZMap) Tool() Tool { return ToolZMap }
+
+// Probe implements Prober.
+func (z *ZMap) Probe(dst uint32, dport uint16) packet.Probe {
+	return packet.Probe{
+		Src:     z.src,
+		Dst:     dst,
+		SrcPort: z.srcPort,
+		DstPort: dport,
+		// Validation: ZMap recognizes responses by a MAC over the
+		// destination, folded into the sequence number.
+		Seq:    mix32(dst ^ z.secret ^ uint32(dport)<<8),
+		IPID:   ZMapIPID,
+		TTL:    hopTTL(z.r, 255),
+		Flags:  packet.FlagSYN,
+		Window: 65535,
+	}
+}
+
+// Masscan simulates Robert Graham's masscan: stateless SYN cookies in the
+// sequence number and the characteristic IPID = dstIP ^ dstPort ^ seq
+// relation.
+type Masscan struct {
+	src    uint32
+	secret uint32
+	r      *rng.Rand
+}
+
+// NewMasscan creates a Masscan instance scanning from src.
+func NewMasscan(src uint32, r *rng.Rand) *Masscan {
+	return &Masscan{src: src, secret: r.Uint32(), r: r}
+}
+
+// Tool implements Prober.
+func (m *Masscan) Tool() Tool { return ToolMasscan }
+
+// Probe implements Prober.
+func (m *Masscan) Probe(dst uint32, dport uint16) packet.Probe {
+	// masscan's syn-cookie: a hash of the 4-tuple and a run secret.
+	seq := mix32(dst ^ m.secret ^ uint32(dport)*0x9e3779b1)
+	return packet.Probe{
+		Src:     m.src,
+		Dst:     dst,
+		SrcPort: uint16(40000 + m.r.Intn(20000)),
+		DstPort: dport,
+		Seq:     seq,
+		IPID:    MasscanIPID(dst, dport, seq),
+		TTL:     hopTTL(m.r, 255),
+		Flags:   packet.FlagSYN,
+		Window:  1024,
+	}
+}
+
+// MasscanIPID computes the IP identification masscan derives from the
+// destination and sequence number, matching the masscan source
+// (templ-pkt.c: px->ip_id = ip_them ^ port_them ^ seqno):
+// IPid = (dstIP ^ dstPort ^ SeqNum) truncated to 16 bits.
+func MasscanIPID(dst uint32, dport uint16, seq uint32) uint16 {
+	return uint16(dst ^ uint32(dport) ^ seq)
+}
+
+// NMap simulates stock NMap SYN scans: the sequence number carries a 16-bit
+// tag duplicated into both halves and XOR-obfuscated with a per-session
+// secret. Because the secret is reused across probes of one session, the
+// XOR of two sequence numbers from the same host has equal 16-bit halves —
+// the §3.3 pairwise fingerprint.
+type NMap struct {
+	src    uint32
+	secret uint32
+	r      *rng.Rand
+}
+
+// NewNMap creates an NMap instance scanning from src.
+func NewNMap(src uint32, r *rng.Rand) *NMap {
+	return &NMap{src: src, secret: r.Uint32(), r: r}
+}
+
+// Tool implements Prober.
+func (n *NMap) Tool() Tool { return ToolNMap }
+
+// Probe implements Prober.
+func (n *NMap) Probe(dst uint32, dport uint16) packet.Probe {
+	nfo := uint32(uint16(mix32(dst^uint32(dport)*31) & 0xffff))
+	return packet.Probe{
+		Src:     n.src,
+		Dst:     dst,
+		SrcPort: uint16(32768 + n.r.Intn(28232)),
+		DstPort: dport,
+		Seq:     n.secret ^ (nfo<<16 | nfo),
+		IPID:    uint16(n.r.Uint32()),
+		TTL:     hopTTL(n.r, 64),
+		Flags:   packet.FlagSYN,
+		Window:  1024,
+	}
+}
+
+// Mirai simulates the Mirai botnet scanning routine: the raw destination
+// address is used as the TCP sequence number, the tell-tale fingerprint the
+// paper (and Mirai trackers generally) key on.
+type Mirai struct {
+	src uint32
+	r   *rng.Rand
+}
+
+// NewMirai creates a Mirai-infected device scanning from src.
+func NewMirai(src uint32, r *rng.Rand) *Mirai {
+	return &Mirai{src: src, r: r}
+}
+
+// Tool implements Prober.
+func (m *Mirai) Tool() Tool { return ToolMirai }
+
+// Probe implements Prober.
+func (m *Mirai) Probe(dst uint32, dport uint16) packet.Probe {
+	return packet.Probe{
+		Src:     m.src,
+		Dst:     dst,
+		SrcPort: uint16(1024 + m.r.Intn(64512)),
+		DstPort: dport,
+		Seq:     dst, // the Mirai fingerprint
+		IPID:    uint16(m.r.Uint32()),
+		TTL:     hopTTL(m.r, 64),
+		Flags:   packet.FlagSYN,
+		Window:  uint16(5840 + 1460*m.r.Intn(4)),
+	}
+}
+
+// Unicorn simulates unicornscan, which encodes source and destination
+// information into the sequence number under a per-run key:
+// Seq = key ^ dstIP ^ srcPort ^ (dstPort << 16).
+type Unicorn struct {
+	src uint32
+	key uint32
+	r   *rng.Rand
+}
+
+// NewUnicorn creates a unicornscan instance scanning from src.
+func NewUnicorn(src uint32, r *rng.Rand) *Unicorn {
+	return &Unicorn{src: src, key: r.Uint32(), r: r}
+}
+
+// Tool implements Prober.
+func (u *Unicorn) Tool() Tool { return ToolUnicorn }
+
+// Probe implements Prober.
+func (u *Unicorn) Probe(dst uint32, dport uint16) packet.Probe {
+	sport := uint16(1024 + u.r.Intn(64512))
+	return packet.Probe{
+		Src:     u.src,
+		Dst:     dst,
+		SrcPort: sport,
+		DstPort: dport,
+		Seq:     u.key ^ dst ^ uint32(sport) ^ uint32(dport)<<16,
+		IPID:    uint16(u.r.Uint32()),
+		TTL:     hopTTL(u.r, 64),
+		Flags:   packet.FlagSYN,
+		Window:  4096,
+	}
+}
+
+// Custom simulates home-grown scanning tooling with no deliberate
+// fingerprint: every variable header field is random. It is the negative
+// control for the fingerprint engine and stands in for the long tail of
+// bespoke scanners that dominated 2015 and re-emerged after 2022 (§6.1).
+type Custom struct {
+	src uint32
+	r   *rng.Rand
+}
+
+// NewCustom creates a custom scanner instance scanning from src.
+func NewCustom(src uint32, r *rng.Rand) *Custom {
+	return &Custom{src: src, r: r}
+}
+
+// Tool implements Prober.
+func (c *Custom) Tool() Tool { return ToolCustom }
+
+// Probe implements Prober.
+func (c *Custom) Probe(dst uint32, dport uint16) packet.Probe {
+	return packet.Probe{
+		Src:     c.src,
+		Dst:     dst,
+		SrcPort: uint16(1024 + c.r.Intn(64512)),
+		DstPort: dport,
+		Seq:     c.r.Uint32(),
+		IPID:    uint16(c.r.Uint32()),
+		TTL:     hopTTL(c.r, 128),
+		Flags:   packet.FlagSYN,
+		Window:  uint16(8192 + c.r.Intn(57344)),
+	}
+}
+
+// NewProber constructs a Prober of the given tool family for a source.
+func NewProber(tool Tool, src uint32, r *rng.Rand) Prober {
+	switch tool {
+	case ToolZMap:
+		return NewZMap(src, r)
+	case ToolMasscan:
+		return NewMasscan(src, r)
+	case ToolNMap:
+		return NewNMap(src, r)
+	case ToolMirai:
+		return NewMirai(src, r)
+	case ToolUnicorn:
+		return NewUnicorn(src, r)
+	default:
+		return NewCustom(src, r)
+	}
+}

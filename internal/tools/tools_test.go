@@ -1,0 +1,211 @@
+package tools
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+func TestToolString(t *testing.T) {
+	want := map[Tool]string{
+		ToolZMap: "ZMap", ToolMasscan: "Masscan", ToolNMap: "NMap",
+		ToolMirai: "Mirai-like", ToolUnicorn: "Unicorn", ToolCustom: "Custom",
+		ToolUnknown: "Unknown", Tool(99): "Invalid",
+	}
+	for tool, s := range want {
+		if tool.String() != s {
+			t.Errorf("%d.String() = %q, want %q", tool, tool.String(), s)
+		}
+	}
+	if NumTools() != int(numTools) {
+		t.Fatal("NumTools mismatch")
+	}
+}
+
+func TestAllProbersEmitPureSYN(t *testing.T) {
+	r := rng.New(1)
+	for _, tool := range Tools {
+		pr := NewProber(tool, 0x01020304, r.Derive(tool.String()))
+		for i := 0; i < 100; i++ {
+			p := pr.Probe(uint32(i*7919), uint16(i))
+			if !p.IsSYN() {
+				t.Fatalf("%v probe %d is not a pure SYN: flags=%#x", tool, i, p.Flags)
+			}
+			if p.Src != 0x01020304 {
+				t.Fatalf("%v: wrong source", tool)
+			}
+			if p.Dst != uint32(i*7919) || p.DstPort != uint16(i) {
+				t.Fatalf("%v: wrong destination", tool)
+			}
+			if p.TTL == 0 {
+				t.Fatalf("%v: zero TTL", tool)
+			}
+		}
+	}
+}
+
+func TestZMapFingerprint(t *testing.T) {
+	z := NewZMap(1, rng.New(2))
+	f := func(dst uint32, dport uint16) bool {
+		return z.Probe(dst, dport).IPID == ZMapIPID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if z.Tool() != ToolZMap {
+		t.Fatal("Tool()")
+	}
+}
+
+func TestMasscanFingerprint(t *testing.T) {
+	m := NewMasscan(1, rng.New(3))
+	f := func(dst uint32, dport uint16) bool {
+		p := m.Probe(dst, dport)
+		return p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool() != ToolMasscan {
+		t.Fatal("Tool()")
+	}
+}
+
+func TestNMapPairwiseFingerprint(t *testing.T) {
+	n := NewNMap(1, rng.New(4))
+	// Any two probes from the same session satisfy
+	// (s1^s2)&0xffff == ((s1^s2)>>16)&0xffff.
+	f := func(d1, d2 uint32, p1, p2 uint16) bool {
+		s1 := n.Probe(d1, p1).Seq
+		s2 := n.Probe(d2, p2).Seq
+		x := s1 ^ s2
+		return x&0xffff == x>>16&0xffff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Two *different* sessions do not (in general) satisfy the relation.
+	n2 := NewNMap(2, rng.New(5))
+	match := 0
+	for i := 0; i < 1000; i++ {
+		s1 := n.Probe(uint32(i), 80).Seq
+		s2 := n2.Probe(uint32(i), 80).Seq
+		x := s1 ^ s2
+		if x&0xffff == x>>16&0xffff {
+			match++
+		}
+	}
+	if match > 10 {
+		t.Fatalf("cross-session NMap relation matched %d/1000", match)
+	}
+}
+
+func TestMiraiFingerprint(t *testing.T) {
+	m := NewMirai(1, rng.New(6))
+	f := func(dst uint32, dport uint16) bool {
+		return m.Probe(dst, dport).Seq == dst
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnicornPairwiseFingerprint(t *testing.T) {
+	u := NewUnicorn(1, rng.New(7))
+	f := func(d1, d2 uint32, p1, p2 uint16) bool {
+		a := u.Probe(d1, p1)
+		b := u.Probe(d2, p2)
+		want := (a.Dst ^ b.Dst) ^ uint32(a.SrcPort) ^ uint32(b.SrcPort) ^
+			uint32(a.DstPort^b.DstPort)<<16
+		return a.Seq^b.Seq == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomHasNoFingerprint(t *testing.T) {
+	c := NewCustom(1, rng.New(8))
+	zmapHits, masscanHits, miraiHits := 0, 0, 0
+	n := 20000
+	for i := 0; i < n; i++ {
+		p := c.Probe(uint32(i*2654435761), 80)
+		if p.IPID == ZMapIPID {
+			zmapHits++
+		}
+		if p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq) {
+			masscanHits++
+		}
+		if p.Seq == p.Dst {
+			miraiHits++
+		}
+	}
+	// Random collisions happen at ~n/65536 for the 16-bit relations.
+	if zmapHits > 5 || masscanHits > 5 || miraiHits > 1 {
+		t.Fatalf("custom scanner matches fingerprints: zmap=%d masscan=%d mirai=%d",
+			zmapHits, masscanHits, miraiHits)
+	}
+}
+
+func TestProberDeterminism(t *testing.T) {
+	for _, tool := range Tools {
+		a := NewProber(tool, 42, rng.New(99).Derive(tool.String()))
+		b := NewProber(tool, 42, rng.New(99).Derive(tool.String()))
+		for i := 0; i < 50; i++ {
+			pa := a.Probe(uint32(i), uint16(i))
+			pb := b.Probe(uint32(i), uint16(i))
+			if pa != pb {
+				t.Fatalf("%v: not deterministic at probe %d", tool, i)
+			}
+		}
+	}
+}
+
+func TestTTLPlausible(t *testing.T) {
+	r := rng.New(10)
+	// ZMap/Masscan send TTL 255; received TTL must stay above 200.
+	z := NewZMap(1, r.Derive("z"))
+	for i := 0; i < 200; i++ {
+		if ttl := z.Probe(uint32(i), 80).TTL; ttl < 231-24 || ttl > 247 {
+			t.Fatalf("zmap TTL %d out of band", ttl)
+		}
+	}
+	// Mirai devices send TTL 64.
+	m := NewMirai(1, r.Derive("m"))
+	for i := 0; i < 200; i++ {
+		if ttl := m.Probe(uint32(i), 23).TTL; ttl < 40 || ttl > 56 {
+			t.Fatalf("mirai TTL %d out of band", ttl)
+		}
+	}
+}
+
+func TestNewProberFallback(t *testing.T) {
+	p := NewProber(ToolUnknown, 1, rng.New(1))
+	if p.Tool() != ToolCustom {
+		t.Fatal("unknown tool should fall back to custom")
+	}
+}
+
+func TestHopTTLFloor(t *testing.T) {
+	r := rng.New(11)
+	for i := 0; i < 1000; i++ {
+		if got := hopTTL(r, 8); got < 1 {
+			t.Fatal("TTL must never reach zero")
+		}
+	}
+}
+
+func BenchmarkProbe(b *testing.B) {
+	for _, tool := range Tools {
+		b.Run(tool.String(), func(b *testing.B) {
+			pr := NewProber(tool, 1, rng.New(1))
+			var sink packet.Probe
+			for i := 0; i < b.N; i++ {
+				sink = pr.Probe(uint32(i), 80)
+			}
+			_ = sink
+		})
+	}
+}

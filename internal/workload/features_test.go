@@ -1,0 +1,283 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+func TestOrgToolPatching(t *testing.T) {
+	// Commercial scanners carry tool fingerprints until 2022, then patch.
+	if got := orgTool("Censys", 2020); got != tools.ToolZMap {
+		t.Fatalf("Censys 2020 = %v", got)
+	}
+	if got := orgTool("Censys", 2023); got != tools.ToolCustom {
+		t.Fatalf("Censys 2023 = %v, want Custom", got)
+	}
+	if got := orgTool("Stretchoid", 2022); got != tools.ToolMasscan {
+		t.Fatalf("Stretchoid 2022 = %v", got)
+	}
+	if got := orgTool("Stretchoid", 2024); got != tools.ToolCustom {
+		t.Fatalf("Stretchoid 2024 = %v", got)
+	}
+	// Academic scanners keep stock ZMap throughout.
+	for _, y := range []int{2016, 2020, 2024} {
+		if got := orgTool("University of Michigan", y); got != tools.ToolZMap {
+			t.Fatalf("UMich %d = %v", y, got)
+		}
+	}
+	// Unlisted orgs run bespoke stacks.
+	if got := orgTool("Shodan", 2018); got != tools.ToolCustom {
+		t.Fatalf("Shodan = %v", got)
+	}
+}
+
+// countObservedTools classifies every generated probe by its per-packet
+// fingerprint.
+func countObservedTools(t *testing.T, year int) map[tools.Tool]uint64 {
+	t.Helper()
+	s, err := NewScenario(Config{
+		Year: year, Seed: 3, Scale: 0.0005, TelescopeSize: 2048,
+		Registry: sharedRegistry,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[tools.Tool]uint64{}
+	s.Run(func(p *packet.Probe) {
+		switch {
+		case p.IPID == tools.ZMapIPID:
+			counts[tools.ToolZMap]++
+		case p.Seq == p.Dst:
+			counts[tools.ToolMirai]++
+		case p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq):
+			counts[tools.ToolMasscan]++
+		default:
+			counts[tools.ToolUnknown]++
+		}
+	})
+	return counts
+}
+
+func TestFingerprintableTrafficCollapses(t *testing.T) {
+	// §6.1/§7: identified traffic is the large majority in 2020 and a
+	// minority by 2024 (SizeMul overrides + org patching).
+	share := func(counts map[tools.Tool]uint64) float64 {
+		var ident, total uint64
+		for tl, n := range counts {
+			total += n
+			if tl != tools.ToolUnknown {
+				ident += n
+			}
+		}
+		return float64(ident) / float64(total)
+	}
+	s20 := share(countObservedTools(t, 2020))
+	s24 := share(countObservedTools(t, 2024))
+	if s20 < 0.55 {
+		t.Fatalf("2020 identified share = %v, want high", s20)
+	}
+	if s24 >= s20 || s24 > 0.55 {
+		t.Fatalf("2024 identified share = %v (2020 = %v), must collapse", s24, s20)
+	}
+}
+
+func TestRepeatCampaignsExist(t *testing.T) {
+	// §6.6: some non-institutional sources run a second campaign about a
+	// day after the first. Count sources with two non-inst scan specs.
+	s := testScenario(t, 2022, 0.001)
+	bySrc := map[uint32]int{}
+	for _, sp := range s.specs {
+		if sp.kind == kindScan && !sp.inst {
+			bySrc[probeSrc(sp)]++
+		}
+	}
+	repeats := 0
+	for _, n := range bySrc {
+		if n > 1 {
+			repeats++
+		}
+	}
+	if repeats == 0 {
+		t.Fatal("no repeating non-institutional sources generated")
+	}
+}
+
+// probeSrc extracts a spec's source address via its first probe fields.
+// Probers are deterministic in (dst, port), so peeking is safe on a fresh
+// scenario that has not been Run.
+func probeSrc(sp *spec) uint32 {
+	p := sp.prober.Probe(0, 0)
+	return p.Src
+}
+
+func TestInstitutionalSpreadOverWindow(t *testing.T) {
+	// Daily orgs must not go dark after the first weeks: institutional
+	// probes appear in the last quarter of the window.
+	s := testScenario(t, 2022, 0.001)
+	lastQuarter := s.Start + s.WindowNanos*3/4
+	var late uint64
+	reg := s.Registry
+	s.Run(func(p *packet.Probe) {
+		if p.Time >= lastQuarter &&
+			reg.Lookup(p.Src).Type == inetmodel.TypeInstitutional {
+			late++
+		}
+	})
+	if late == 0 {
+		t.Fatal("institutional scanning absent from the window's tail")
+	}
+}
+
+func TestTelescopeSeedIndependence(t *testing.T) {
+	// Changing only the telescope seed must keep the ecosystem structure:
+	// same campaign spec count, similar probe volume.
+	mk := func(telSeed uint64) (*Scenario, uint64) {
+		s, err := NewScenario(Config{
+			Year: 2020, Seed: 4, Scale: 0.0004, TelescopeSize: 2048,
+			TelescopeSeed: telSeed, Registry: sharedRegistry,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n uint64
+		s.Run(func(*packet.Probe) { n++ })
+		return s, n
+	}
+	sa, na := mk(111)
+	sb, nb := mk(222)
+	if len(sa.specs) != len(sb.specs) {
+		t.Fatalf("spec counts differ: %d vs %d", len(sa.specs), len(sb.specs))
+	}
+	ratio := float64(na) / float64(nb)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("volumes diverge: %d vs %d", na, nb)
+	}
+	if na == nb {
+		t.Fatal("observation noise missing: volumes identical")
+	}
+}
+
+func TestSizeMulOverride(t *testing.T) {
+	p23, _ := ProfileFor(2023)
+	if p23.SizeMul[tools.ToolZMap] <= 0 || p23.SizeMul[tools.ToolZMap] >= 1 {
+		t.Fatalf("2023 ZMap SizeMul = %v, want shrinking override", p23.SizeMul[tools.ToolZMap])
+	}
+	p20, _ := ProfileFor(2020)
+	if len(p20.SizeMul) != 0 {
+		t.Fatalf("2020 should use default multipliers")
+	}
+}
+
+func TestOutagesDropTraffic(t *testing.T) {
+	run := func(outages []Outage) (accepted, dropped uint64) {
+		s, err := NewScenario(Config{
+			Year: 2018, Seed: 6, Scale: 0.0003, TelescopeSize: 2048,
+			Registry: sharedRegistry, Outages: outages,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(func(p *packet.Probe) {
+			s.Telescope.Observe(p)
+		})
+		st := s.Telescope.Stats()
+		return st.Accepted, st.Outage
+	}
+	accNone, dropNone := run(nil)
+	if dropNone != 0 {
+		t.Fatalf("baseline outage drops: %d", dropNone)
+	}
+	accOut, dropOut := run([]Outage{{StartDay: 10, Days: 6}})
+	if dropOut == 0 {
+		t.Fatal("outage dropped nothing")
+	}
+	if accOut >= accNone {
+		t.Fatalf("outage did not reduce accepted traffic: %d vs %d", accOut, accNone)
+	}
+	// Roughly 6/61 of the window is dark.
+	frac := float64(dropOut) / float64(accOut+dropOut)
+	if frac < 0.03 || frac > 0.25 {
+		t.Fatalf("outage fraction = %v, want ~0.1", frac)
+	}
+}
+
+func TestNonTCPNoiseGeneratedAndDropped(t *testing.T) {
+	s := testScenario(t, 2020, 0.0004)
+	var udp, icmp uint64
+	s.Run(func(p *packet.Probe) {
+		switch p.Proto {
+		case packet.ProtoUDP:
+			udp++
+		case packet.ProtoICMP:
+			icmp++
+		}
+		s.Telescope.Observe(p)
+	})
+	if udp == 0 || icmp == 0 {
+		t.Fatalf("non-TCP noise missing: udp=%d icmp=%d", udp, icmp)
+	}
+	st := s.Telescope.Stats()
+	if st.NotTCP != udp+icmp {
+		t.Fatalf("NotTCP = %d, want %d", st.NotTCP, udp+icmp)
+	}
+	// TCP must still dominate overwhelmingly (§3.1).
+	if frac := float64(st.NotTCP) / float64(st.Total()); frac > 0.05 {
+		t.Fatalf("non-TCP fraction = %v, want small", frac)
+	}
+}
+
+func TestProfileInvariants(t *testing.T) {
+	for _, y := range Years() {
+		p, err := ProfileFor(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PacketsPerDayM <= 0 || p.ScansPerMonthK <= 0 || p.SourcesK <= 0 {
+			t.Fatalf("%d: non-positive volumes", y)
+		}
+		if p.SinglePortFrac <= 0 || p.SinglePortFrac >= 1 ||
+			p.CampaignSinglePort <= 0 || p.CampaignSinglePort >= 1 {
+			t.Fatalf("%d: port fractions out of range", y)
+		}
+		if p.CampaignSinglePort > p.SinglePortFrac {
+			t.Fatalf("%d: campaigns must go multi-port faster than sources", y)
+		}
+		if p.InstPacketShare <= 0 || p.InstPacketShare >= 0.6 {
+			t.Fatalf("%d: InstPacketShare = %v", y, p.InstPacketShare)
+		}
+		if p.PairRate < 0.1 || p.PairRate > 0.9 {
+			t.Fatalf("%d: PairRate = %v", y, p.PairRate)
+		}
+		if p.CollabShare < 0 || p.CollabShare > 0.5 || p.CollabHostsMax < 2 {
+			t.Fatalf("%d: collab knobs", y)
+		}
+		if len(p.PortRows) < 8 || len(p.TailPorts) < 20 {
+			t.Fatalf("%d: port tables too thin", y)
+		}
+		for _, row := range p.PortRows {
+			if row.Scan <= 0 || row.Pkt <= 0 || row.Src <= 0 {
+				t.Fatalf("%d: port %d has non-positive weights", y, row.Port)
+			}
+		}
+		for _, b := range p.Biases {
+			if b.Share <= 0 || b.Share > 1 || b.Country == "" {
+				t.Fatalf("%d: bad bias %+v", y, b)
+			}
+		}
+	}
+	// Monotone knobs across the decade.
+	prev, _ := ProfileFor(2015)
+	for _, y := range Years()[1:] {
+		p, _ := ProfileFor(y)
+		if p.SinglePortFrac > prev.SinglePortFrac+1e-9 {
+			t.Fatalf("SinglePortFrac must not rise: %d", y)
+		}
+		if p.FullRangeNoise < prev.FullRangeNoise {
+			t.Fatalf("FullRangeNoise must not fall: %d", y)
+		}
+		prev = p
+	}
+}

@@ -1,0 +1,353 @@
+// Package workload synthesizes the scanning ecosystem of a given year
+// (2015–2024) as observed through a network telescope. It is the stand-in
+// for the paper's proprietary capture: per-year profiles encode the shape of
+// Table 1 (volume, scan counts, tool mix, port mix, origin mix) and the
+// section 4–6 scalars, and a deterministic event-driven generator turns a
+// profile into a time-ordered stream of SYN probes hitting a telescope.
+//
+// Absolute magnitudes are scaled down by Config.Scale (campaigns) together
+// with the telescope size; all analyses compare *shapes* (who wins, ratios,
+// crossovers), which are preserved.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// PortRow gives one port's relative weight in three rankings: how often
+// campaigns pick it as primary target (Scan), how much traffic it attracts
+// (Pkt, realized through campaign size multipliers), and how many background
+// sources touch it (Src).
+type PortRow struct {
+	Port uint16
+	Scan float64
+	Pkt  float64
+	Src  float64
+}
+
+// CountryW is a country's share of campaign origins.
+type CountryW struct {
+	Code string
+	W    float64
+}
+
+// PortBias forces a share of campaigns on Port to originate from Country —
+// the §5.4 geographic targeting biases (MySQL/RDP from China, HTTPS from the
+// US, JSON-RPC from enterprise space in Vietnam, ...).
+type PortBias struct {
+	Port    uint16
+	Country string
+	Share   float64
+}
+
+// Profile is the calibrated shape of one measurement year.
+type Profile struct {
+	// Year is the calendar year (2015–2024).
+	Year int
+	// Days is the continuous capture window length (29–61 in the paper).
+	Days int
+	// PacketsPerDayM is the paper-scale scanning volume in millions/day.
+	PacketsPerDayM float64
+	// ScansPerMonthK is the paper-scale campaign count in thousands/month.
+	ScansPerMonthK float64
+	// SourcesK is the paper-scale distinct-source count in thousands.
+	SourcesK float64
+	// ToolShares is the tool mix of non-institutional campaigns, by scans
+	// (Table 1, "Tools by scans"); the remainder is custom tooling.
+	ToolShares map[tools.Tool]float64
+	// Countries is the origin mix of campaigns.
+	Countries []CountryW
+	// PortRows are the headline ports with their three ranking weights.
+	PortRows []PortRow
+	// TailPorts receive the residual weight spread uniformly; together with
+	// TailScan/TailPkt/TailSrc they model the growing long tail.
+	TailPorts []uint16
+	// TailScan, TailPkt, TailSrc are the total weights of the tail.
+	TailScan, TailPkt, TailSrc float64
+	// FullRangeNoise adds a per-port noise floor across all 65536 ports
+	// (§5.1: every port receives >1000 probes/day by 2022). Fraction of
+	// background sources that pick a uniformly random port.
+	FullRangeNoise float64
+	// SinglePortFrac is the fraction of sources targeting exactly one port
+	// (Fig. 3: 83% in 2015 falling to ~65% in 2022). It is dominated by
+	// the background-source population.
+	SinglePortFrac float64
+	// CampaignSinglePort is the fraction of qualified campaigns targeting
+	// exactly one port. It falls much faster than SinglePortFrac: by 2020,
+	// 87% of campaigns probing port 80 also probe 8080 (§5.1), so hardly
+	// any serious port-80 campaign is single-port anymore.
+	CampaignSinglePort float64
+	// MultiPortMax bounds the ports of ordinary multi-port scans.
+	MultiPortMax int
+	// VerticalScans is the paper-scale count of campaigns targeting more
+	// than 10,000 ports (§5.2: 1 in 2015, 2134 in 2020, 20 in 2022).
+	VerticalScans int
+	// InstPacketShare is institutional scanners' share of telescope
+	// packets (≈51% in 2023/24 per Appendix A; far lower early on).
+	InstPacketShare float64
+	// PairRate is the probability that a scan on port 80 also covers 8080
+	// (§5.1: 18% in 2015 → 87% in 2020, plateau after).
+	PairRate float64
+	// CollabShare is the fraction of logical scans split across multiple
+	// coordinating hosts (rising sharply after 2021, §4.1/§6.4).
+	CollabShare float64
+	// CollabHostsMax is the maximum shard count of a collaborative scan.
+	CollabHostsMax int
+	// Biases are the port→country targeting biases of the year.
+	Biases []PortBias
+	// SizeMul overrides the default per-tool campaign-size multipliers.
+	// Used for 2023/24, where ZMap scans are numerous but individually
+	// small (sharded collaborations): scans grow while traffic does not,
+	// and the fingerprintable traffic share drops under 40% (§6).
+	SizeMul map[tools.Tool]float64
+	// MeanPacketsPerScan is derived: paper-scale packets per campaign.
+	MeanPacketsPerScan float64
+}
+
+// months converts the window length into months for scan-count math.
+func (p *Profile) months() float64 { return float64(p.Days) / 30.44 }
+
+// webTail and friends define the recurring tail pools.
+var (
+	tailCommon = []uint16{81, 88, 8000, 8081, 8443, 8888, 2222, 2323, 5555,
+		5900, 5901, 7547, 8291, 37215, 52869, 60023, 1433, 3306, 6379, 5432,
+		25, 110, 143, 21, 2375, 2376, 8545, 9200, 11211, 27017, 445, 139,
+		3390, 5358, 7574, 7545, 6789, 6289, 10073, 20012, 22555, 23231, 9527,
+		34567, 49152, 50050, 1023, 32764}
+)
+
+// profiles is the calibration table, one entry per measured year. The
+// headline numbers come straight from Table 1; the behavioral knobs encode
+// the findings of §4–§6.
+var profiles = map[int]*Profile{
+	2015: {
+		Year: 2015, Days: 61, PacketsPerDayM: 11, ScansPerMonthK: 33, SourcesK: 1500,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.005, tools.ToolNMap: 0.317, tools.ToolZMap: 0.021,
+			tools.ToolMirai: 0, tools.ToolUnicorn: 0.00001,
+		},
+		Countries: []CountryW{{"CN", 32}, {"US", 16}, {"KR", 6}, {"BR", 5}, {"RU", 5},
+			{"TW", 4}, {"DE", 3}, {"IN", 3}, {"TR", 3}, {"VN", 2}, {"JP", 2}, {"NL", 1}},
+		PortRows: []PortRow{
+			{3389, 23.4, 7.1, 11.3}, {10073, 23.4, 3.0, 33.0}, {80, 4.1, 7.0, 5.8},
+			{8080, 2.7, 8.7, 2.7}, {443, 1.9, 6.0, 1.5}, {22, 1.8, 15.0, 1.8},
+			{22555, 1.0, 0.8, 2.0}, {23, 3.5, 5.5, 1.9}, {1433, 1.2, 2.0, 0.9},
+			{21, 1.0, 1.5, 0.8},
+		},
+		TailPorts: tailCommon, TailScan: 36, TailPkt: 43, TailSrc: 38,
+		FullRangeNoise: 0.02, SinglePortFrac: 0.83, CampaignSinglePort: 0.78, MultiPortMax: 8,
+		VerticalScans: 1, InstPacketShare: 0.05, PairRate: 0.18,
+		CollabShare: 0.005, CollabHostsMax: 4,
+		// The 2014-era literature: RDP 77% Chinese, telnet/SSH/MSSQL
+		// scanning similarly CN-centered, HTTPS research scans US-based.
+		Biases: []PortBias{{3389, "CN", 0.77}, {3306, "CN", 0.7}, {1433, "CN", 0.8},
+			{23, "CN", 0.5}, {22, "CN", 0.45}, {443, "US", 0.5}},
+	},
+	2016: {
+		Year: 2016, Days: 59, PacketsPerDayM: 19, ScansPerMonthK: 38, SourcesK: 2500,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.015, tools.ToolNMap: 0.128, tools.ToolZMap: 0.091,
+			tools.ToolMirai: 0.02, tools.ToolUnicorn: 0.00001,
+		},
+		Countries: []CountryW{{"CN", 30}, {"US", 20}, {"KR", 5}, {"BR", 5}, {"RU", 5},
+			{"TW", 4}, {"VN", 3}, {"DE", 3}, {"IN", 3}, {"TR", 2}, {"NL", 2}},
+		PortRows: []PortRow{
+			{3389, 19.9, 4.5, 9.6}, {21, 6.8, 1.5, 10.2}, {20012, 5.4, 1.2, 5.2},
+			{80, 3.8, 6.0, 3.3}, {22, 1.9, 8.2, 1.2}, {1433, 1.5, 3.5, 1.0},
+			{8080, 1.3, 2.3, 1.4}, {23, 6.0, 7.0, 8.0}, {443, 1.2, 2.0, 0.9},
+			{5900, 0.8, 0.9, 0.7},
+		},
+		TailPorts: tailCommon, TailScan: 51, TailPkt: 62, TailSrc: 58,
+		FullRangeNoise: 0.03, SinglePortFrac: 0.82, CampaignSinglePort: 0.72, MultiPortMax: 8,
+		VerticalScans: 3, InstPacketShare: 0.08, PairRate: 0.25,
+		CollabShare: 0.008, CollabHostsMax: 4,
+		Biases: []PortBias{{3389, "CN", 0.7}, {3306, "CN", 0.7}, {1433, "CN", 0.8},
+			{23, "CN", 0.5}, {22, "CN", 0.45}, {443, "US", 0.5}, {80, "US", 0.35}},
+	},
+	2017: {
+		Year: 2017, Days: 45, PacketsPerDayM: 45, ScansPerMonthK: 252, SourcesK: 6000,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.007, tools.ToolNMap: 0.026, tools.ToolZMap: 0.011,
+			tools.ToolMirai: 0.465, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 22}, {"US", 12}, {"BR", 8}, {"VN", 7}, {"IN", 6},
+			{"RU", 5}, {"TR", 5}, {"IR", 4}, {"KR", 4}, {"TW", 3}, {"ID", 3}, {"NL", 2}},
+		PortRows: []PortRow{
+			{7547, 29.5, 5.0, 4.0}, {2323, 25.1, 9.2, 25.3}, {5358, 9.1, 14.4, 11.5},
+			{22, 5.7, 11.2, 8.0}, {6289, 5.4, 2.0, 3.0}, {7574, 3.0, 12.1, 3.5},
+			{7545, 2.5, 3.0, 38.8 * 0.3}, {23231, 2.0, 2.5, 7.4}, {80, 2.0, 4.0, 3.0},
+			{8080, 1.5, 2.0, 2.0},
+		},
+		TailPorts: tailCommon, TailScan: 14, TailPkt: 35, TailSrc: 20,
+		FullRangeNoise: 0.03, SinglePortFrac: 0.80, CampaignSinglePort: 0.62, MultiPortMax: 10,
+		VerticalScans: 8, InstPacketShare: 0.08, PairRate: 0.35,
+		CollabShare: 0.01, CollabHostsMax: 6,
+		Biases: []PortBias{{3389, "CN", 0.7}, {5555, "CN", 0.2}, {443, "US", 0.5}, {80, "US", 0.35}},
+	},
+	2018: {
+		Year: 2018, Days: 61, PacketsPerDayM: 133, ScansPerMonthK: 137, SourcesK: 5500,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.209, tools.ToolNMap: 0.032, tools.ToolZMap: 0.047,
+			tools.ToolMirai: 0.192, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"RU", 18}, {"CN", 16}, {"US", 11}, {"BR", 7}, {"VN", 6},
+			{"IN", 5}, {"TR", 4}, {"IR", 4}, {"KR", 3}, {"ID", 3}, {"NL", 3}, {"EG", 2}},
+		PortRows: []PortRow{
+			{8291, 19.2, 38.8 * 0.2, 38.8}, {21, 6.7, 2.0, 9.8}, {2323, 6.3, 9.2, 10.4},
+			{22, 4.3, 3.1, 7.3}, {3389, 4.1, 1.1, 3.5}, {8545, 3.0, 1.4, 2.0},
+			{80, 3.0, 2.6, 4.0}, {8080, 2.0, 1.4, 3.0}, {5555, 2.0, 1.5, 2.5},
+			{1433, 1.5, 1.2, 1.5},
+		},
+		TailPorts: tailCommon, TailScan: 48, TailPkt: 45, TailSrc: 18,
+		FullRangeNoise: 0.05, SinglePortFrac: 0.78, CampaignSinglePort: 0.52, MultiPortMax: 12,
+		VerticalScans: 40, InstPacketShare: 0.12, PairRate: 0.5,
+		CollabShare: 0.015, CollabHostsMax: 8,
+		// §6.5: Russia performed >80% of all Masscan scans in 2018.
+		Biases: []PortBias{{3389, "CN", 0.7}, {3306, "CN", 0.75}, {443, "US", 0.5}, {80, "US", 0.35}},
+	},
+	2019: {
+		Year: 2019, Days: 60, PacketsPerDayM: 117, ScansPerMonthK: 238, SourcesK: 5000,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.219, tools.ToolNMap: 0.036, tools.ToolZMap: 0.027,
+			tools.ToolMirai: 0.162, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 15}, {"RU", 9}, {"US", 8}, {"BR", 8}, {"VN", 7},
+			{"IN", 6}, {"IR", 5}, {"ID", 5}, {"TR", 4}, {"EG", 4}, {"NL", 3}, {"TW", 3}},
+		PortRows: []PortRow{
+			{80, 20.2, 2.0, 30.4}, {8080, 19.2, 1.8, 30.3}, {2323, 9.9, 1.5, 18.8},
+			{5555, 5.5, 1.2, 11.7}, {5900, 3.9, 1.0, 8.2}, {22, 2.5, 2.9, 3.0},
+			{3389, 2.0, 1.6, 2.5}, {81, 2.0, 1.7, 3.0}, {443, 1.5, 1.4, 1.5},
+			{1433, 1.0, 1.0, 1.0},
+		},
+		TailPorts: tailCommon, TailScan: 32, TailPkt: 84, TailSrc: 10,
+		FullRangeNoise: 0.07, SinglePortFrac: 0.76, CampaignSinglePort: 0.4, MultiPortMax: 16,
+		VerticalScans: 400, InstPacketShare: 0.15, PairRate: 0.65,
+		CollabShare: 0.02, CollabHostsMax: 8,
+		// The US "almost completely abandons" HTTP scanning in 2019 (§5.4).
+		Biases: []PortBias{{3389, "CN", 0.7}, {3306, "CN", 0.75}, {443, "US", 0.5}, {80, "US", 0.02}},
+	},
+	2020: {
+		Year: 2020, Days: 61, PacketsPerDayM: 283, ScansPerMonthK: 222, SourcesK: 5000,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.205, tools.ToolNMap: 0.050, tools.ToolZMap: 0.131,
+			tools.ToolMirai: 0.149, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 13}, {"US", 3.2}, {"RU", 8}, {"BR", 8}, {"VN", 7},
+			{"IN", 7}, {"IR", 6}, {"ID", 6}, {"TR", 4}, {"EG", 4}, {"NL", 4}, {"TW", 3}},
+		PortRows: []PortRow{
+			{80, 16.0, 1.0, 35.9}, {8080, 13.8, 0.8, 30.4}, {81, 4.6, 26.0 * 0.05, 13.2},
+			{5555, 4.1, 0.7, 11.0}, {2323, 2.8, 0.6, 9.1}, {3389, 2.5, 26.0, 2.5},
+			{22, 2.0, 0.8, 2.0}, {443, 1.5, 0.7, 1.5}, {1433, 1.0, 0.5, 1.0},
+			{5900, 1.0, 0.5, 1.5},
+		},
+		TailPorts: tailCommon, TailScan: 50, TailPkt: 68, TailSrc: 9,
+		FullRangeNoise: 0.10, SinglePortFrac: 0.74, CampaignSinglePort: 0.25, MultiPortMax: 20,
+		VerticalScans: 2134, InstPacketShare: 0.20, PairRate: 0.87,
+		CollabShare: 0.03, CollabHostsMax: 12,
+		Biases: []PortBias{{3389, "CN", 0.8}, {3306, "CN", 0.8}, {443, "US", 0.5}, {80, "US", 0.02}},
+	},
+	2021: {
+		Year: 2021, Days: 59, PacketsPerDayM: 281, ScansPerMonthK: 290, SourcesK: 4500,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.251, tools.ToolNMap: 0.068, tools.ToolZMap: 0.092,
+			tools.ToolMirai: 0.024, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 12}, {"US", 5}, {"RU", 8}, {"BR", 7}, {"VN", 7},
+			{"IN", 7}, {"IR", 6}, {"ID", 5}, {"NL", 5}, {"TR", 4}, {"EG", 4}, {"DE", 3}},
+		PortRows: []PortRow{
+			{80, 13.6, 1.1, 46.0}, {8080, 12.4, 0.8, 42.0}, {5555, 3.0, 0.8, 13.5},
+			{81, 1.8, 0.6, 9.8}, {8443, 1.6, 0.5, 8.3}, {6379, 1.5, 1.4, 1.5},
+			{22, 1.4, 1.3, 1.4}, {3389, 1.2, 0.8, 1.2}, {443, 1.0, 0.7, 1.0},
+			{2323, 0.8, 0.5, 3.0},
+		},
+		TailPorts: tailCommon, TailScan: 61, TailPkt: 91, TailSrc: 12,
+		FullRangeNoise: 0.13, SinglePortFrac: 0.70, CampaignSinglePort: 0.2, MultiPortMax: 24,
+		VerticalScans: 150, InstPacketShare: 0.25, PairRate: 0.87,
+		CollabShare: 0.08, CollabHostsMax: 16,
+		Biases: []PortBias{{3389, "CN", 0.8}, {3306, "CN", 0.8}, {443, "US", 0.5}},
+	},
+	2022: {
+		Year: 2022, Days: 61, PacketsPerDayM: 285, ScansPerMonthK: 777, SourcesK: 4200,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.099, tools.ToolNMap: 0.023, tools.ToolZMap: 0.037,
+			tools.ToolMirai: 0.010, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 11}, {"US", 7}, {"RU", 7}, {"BR", 7}, {"VN", 7},
+			{"IN", 6}, {"IR", 6}, {"ID", 5}, {"NL", 6}, {"TR", 4}, {"TW", 3}, {"EG", 3}},
+		PortRows: []PortRow{
+			{80, 4.4, 1.4, 48.5}, {8080, 3.9, 1.2, 41.9}, {5555, 1.0, 0.9, 13.0},
+			{81, 0.7, 0.6, 10.2}, {8443, 0.7, 0.5, 7.7}, {22, 0.6, 2.7, 1.0},
+			{443, 0.5, 1.3, 1.2}, {2375, 0.5, 1.3, 0.8}, {2376, 0.5, 1.2, 0.8},
+			{3389, 0.4, 0.9, 0.9},
+		},
+		TailPorts: tailCommon, TailScan: 87, TailPkt: 88, TailSrc: 9,
+		FullRangeNoise: 0.16, SinglePortFrac: 0.65, CampaignSinglePort: 0.15, MultiPortMax: 32,
+		VerticalScans: 20, InstPacketShare: 0.28, PairRate: 0.87,
+		CollabShare: 0.25, CollabHostsMax: 24,
+		Biases: []PortBias{{3389, "CN", 0.8}, {3306, "CN", 0.8}, {443, "US", 0.5}, {8545, "VN", 0.7}},
+	},
+	2023: {
+		Year: 2023, Days: 60, PacketsPerDayM: 402, ScansPerMonthK: 727, SourcesK: 5500,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.002, tools.ToolNMap: 0.00004, tools.ToolZMap: 0.12,
+			tools.ToolMirai: 0.39, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 10}, {"US", 8}, {"RU", 6}, {"BR", 7}, {"VN", 7},
+			{"IN", 6}, {"IR", 5}, {"ID", 5}, {"NL", 7}, {"TR", 4}, {"TW", 3}, {"DE", 3}},
+		PortRows: []PortRow{
+			{2323, 1.3, 0.9, 11.5}, {80, 1.2, 1.5, 30.6}, {443, 1.1, 1.1, 8.0},
+			{22, 1.0, 1.8, 6.0}, {8080, 1.0, 1.5, 27.1}, {52869, 0.8, 0.5, 17.7},
+			{60023, 0.8, 0.4, 17.4}, {3389, 0.7, 1.3, 2.0}, {5555, 0.5, 0.5, 5.0},
+			{81, 0.5, 0.4, 4.0},
+		},
+		TailPorts: tailCommon, TailScan: 99, TailPkt: 90, TailSrc: 12,
+		FullRangeNoise: 0.18, SinglePortFrac: 0.62, CampaignSinglePort: 0.15, MultiPortMax: 40,
+		VerticalScans: 60, InstPacketShare: 0.51, PairRate: 0.87,
+		CollabShare: 0.30, CollabHostsMax: 32,
+		SizeMul: map[tools.Tool]float64{tools.ToolZMap: 0.6, tools.ToolMirai: 0.1},
+		Biases:  []PortBias{{3389, "CN", 0.8}, {3306, "CN", 0.8}, {443, "US", 0.5}, {8545, "VN", 0.7}},
+	},
+	2024: {
+		Year: 2024, Days: 59, PacketsPerDayM: 345, ScansPerMonthK: 1300, SourcesK: 5000,
+		ToolShares: map[tools.Tool]float64{
+			tools.ToolMasscan: 0.002, tools.ToolNMap: 0.00006, tools.ToolZMap: 0.45,
+			tools.ToolMirai: 0.053, tools.ToolUnicorn: 0,
+		},
+		Countries: []CountryW{{"CN", 10}, {"US", 9}, {"RU", 6}, {"BR", 6}, {"VN", 7},
+			{"IN", 6}, {"IR", 5}, {"ID", 5}, {"NL", 8}, {"TR", 4}, {"TW", 3}, {"DE", 3}},
+		PortRows: []PortRow{
+			{3389, 1.5, 2.2, 3.0}, {22, 1.4, 1.8, 4.0}, {80, 1.5, 1.5, 37.4},
+			{443, 1.3, 1.2, 16.2}, {8080, 1.3, 1.2, 29.0}, {2323, 0.6, 0.5, 12.1},
+			{5900, 0.4, 0.4, 10.5}, {5555, 0.2, 0.3, 4.0}, {81, 0.2, 0.3, 3.0},
+			{52869, 0.1, 0.2, 2.0},
+		},
+		TailPorts: tailCommon, TailScan: 96, TailPkt: 90, TailSrc: 14,
+		FullRangeNoise: 0.20, SinglePortFrac: 0.60, CampaignSinglePort: 0.12, MultiPortMax: 48,
+		VerticalScans: 200, InstPacketShare: 0.51, PairRate: 0.87,
+		CollabShare: 0.40, CollabHostsMax: 48,
+		SizeMul: map[tools.Tool]float64{tools.ToolZMap: 0.3, tools.ToolMirai: 0.1},
+		Biases:  []PortBias{{3389, "CN", 0.8}, {3306, "CN", 0.8}, {443, "US", 0.5}, {8545, "VN", 0.7}},
+	},
+}
+
+// Years lists the measured years in order.
+func Years() []int {
+	return []int{2015, 2016, 2017, 2018, 2019, 2020, 2021, 2022, 2023, 2024}
+}
+
+// ProfileFor returns the calibration profile of a year.
+func ProfileFor(year int) (*Profile, error) {
+	p, ok := profiles[year]
+	if !ok {
+		return nil, fmt.Errorf("workload: no profile for year %d (have 2015-2024)", year)
+	}
+	// Derive paper-scale packets per scan once.
+	if p.MeanPacketsPerScan == 0 {
+		totalPackets := p.PacketsPerDayM * 1e6 * float64(p.Days)
+		totalScans := p.ScansPerMonthK * 1e3 * p.months()
+		p.MeanPacketsPerScan = totalPackets / totalScans
+	}
+	return p, nil
+}

@@ -1,0 +1,171 @@
+// Package synscan reproduces the measurement system of "Have you SYN me?
+// Characterizing Ten Years of Internet Scanning" (IMC 2024): a network-
+// telescope pipeline that groups SYN probes into scan campaigns (§3.4),
+// fingerprints the scanning tools behind them (§3.3), enriches origins, and
+// regenerates every table and figure of the paper's evaluation on top of a
+// calibrated synthetic workload (2015–2024).
+//
+// Three entry points cover most uses:
+//
+//   - Simulate runs one measurement year end to end and returns the
+//     collected YearData, from which Table1, Table2, Figure2..Figure7 and
+//     the section analyses derive their results.
+//   - SimulateDecade runs all ten years with a shared synthetic Internet.
+//   - NewAnalyzer ingests an arbitrary probe stream (e.g. parsed from a
+//     pcap file via the Probe codec) through the campaign detector.
+//
+// The heavy lifting lives in the internal packages; this package re-exports
+// the stable surface via type aliases, so the whole pipeline is usable
+// without reaching into internals.
+package synscan
+
+import (
+	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// Core data types, re-exported.
+type (
+	// Probe is one observed TCP probe (see Probe.IsSYN, MarshalFrame,
+	// UnmarshalFrame for the wire codec).
+	Probe = packet.Probe
+	// Scan is one detected campaign (or sub-threshold flow).
+	Scan = core.Scan
+	// Tool identifies a scanning tool family.
+	Tool = tools.Tool
+	// ScannerType classifies a source (institutional, residential, ...).
+	ScannerType = inetmodel.ScannerType
+	// Origin is the enrichment result for one source address.
+	Origin = enrich.Origin
+	// Disclosure models a vulnerability-disclosure event (Figure 1).
+	Disclosure = workload.Disclosure
+	// YearData is everything one simulated measurement year yields.
+	YearData = analysis.YearData
+	// Table1Row / Table2Row are the paper's table rows.
+	Table1Row = analysis.Table1Row
+	Table2Row = analysis.Table2Row
+	// KSResult and PearsonResult carry statistical test outcomes.
+	KSResult      = stats.KSResult
+	PearsonResult = stats.PearsonResult
+	// Telescope is a configured capture deployment.
+	Telescope = telescope.Telescope
+)
+
+// Tool constants.
+const (
+	ToolUnknown = tools.ToolUnknown
+	ToolZMap    = tools.ToolZMap
+	ToolMasscan = tools.ToolMasscan
+	ToolNMap    = tools.ToolNMap
+	ToolMirai   = tools.ToolMirai
+	ToolUnicorn = tools.ToolUnicorn
+	ToolCustom  = tools.ToolCustom
+)
+
+// Scanner-type constants (Table 2 order).
+const (
+	TypeUnknown       = inetmodel.TypeUnknown
+	TypeResidential   = inetmodel.TypeResidential
+	TypeHosting       = inetmodel.TypeHosting
+	TypeEnterprise    = inetmodel.TypeEnterprise
+	TypeInstitutional = inetmodel.TypeInstitutional
+)
+
+// Config parameterizes one simulated measurement year.
+type Config struct {
+	// Year selects the calibration profile, 2015–2024.
+	Year int
+	// Seed drives all randomness; equal configs reproduce byte-identical
+	// probe streams.
+	Seed uint64
+	// Scale shrinks the paper's traffic volumes (default 0.002).
+	Scale float64
+	// TelescopeSize is the monitored address count (default 4096); the
+	// campaign thresholds are rescaled consistently.
+	TelescopeSize int
+	// Disclosures injects vulnerability-disclosure events.
+	Disclosures []Disclosure
+}
+
+// Years lists the measured years, 2015–2024.
+func Years() []int { return workload.Years() }
+
+// Simulate runs one measurement year end to end: workload generation,
+// telescope capture, campaign detection, fingerprinting, enrichment.
+func Simulate(cfg Config) (*YearData, error) {
+	s, err := workload.NewScenario(workload.Config{
+		Year: cfg.Year, Seed: cfg.Seed, Scale: cfg.Scale,
+		TelescopeSize: cfg.TelescopeSize, Disclosures: cfg.Disclosures,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return analysis.Collect(s), nil
+}
+
+// SimulateDecade runs all ten years over one shared synthetic Internet.
+func SimulateDecade(seed uint64, scale float64, telescopeSize int) ([]*YearData, error) {
+	return analysis.Decade(seed, scale, telescopeSize)
+}
+
+// Table1 computes the headline table (volume, top ports, tools) from
+// collected years; topN controls the ranking depth (the paper uses 5).
+func Table1(years []*YearData, topN int) []Table1Row {
+	return analysis.Table1(years, topN)
+}
+
+// Table2 computes the scanner-type breakdown.
+func Table2(years []*YearData) []Table2Row {
+	return analysis.Table2(years)
+}
+
+// Analyzer ingests an arbitrary time-ordered probe stream through the
+// telescope-style SYN filter and the campaign detector — the programmatic
+// equivalent of feeding a capture file to cmd/synalyze.
+type Analyzer struct {
+	det   *core.Detector
+	scans []*Scan
+}
+
+// NewAnalyzer creates an Analyzer for a telescope of the given size.
+// The paper's thresholds apply: 100 distinct destinations, 100 pps
+// extrapolated, 1 h expiry.
+func NewAnalyzer(telescopeSize int) *Analyzer {
+	a := &Analyzer{}
+	a.det = core.NewDetector(core.Config{TelescopeSize: telescopeSize}, func(s *Scan) {
+		a.scans = append(a.scans, s)
+	})
+	return a
+}
+
+// Ingest processes one probe. Non-SYN packets are ignored, as a telescope
+// capture would drop them.
+func (a *Analyzer) Ingest(p *Probe) {
+	if !p.IsSYN() {
+		return
+	}
+	a.det.Ingest(p)
+}
+
+// Finish flushes open flows and returns every closed flow, qualified
+// campaigns and background noise alike.
+func (a *Analyzer) Finish() []*Scan {
+	a.det.FlushAll()
+	return a.scans
+}
+
+// PaperTelescopeSize is the monitored-address count of the paper's
+// deployment (§3.2).
+const PaperTelescopeSize = 71536
+
+// NewPaperTelescope builds the three-partial-/16 deployment of §3.2.
+func NewPaperTelescope(seed uint64) (*Telescope, error) {
+	return telescope.New(telescope.PaperConfig(seed))
+}
