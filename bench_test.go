@@ -8,6 +8,7 @@ package synscan
 // the design choices called out in DESIGN.md.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -368,6 +369,39 @@ func BenchmarkAnalyzerIngest(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.Ingest(&stream[i%len(stream)])
+	}
+}
+
+// BenchmarkShardedIngest measures end-to-end detection throughput of the
+// sharded detector against the sequential baseline on one large pre-built
+// stream. The producer (routing/batching) runs on the bench goroutine; with
+// W workers on a multi-core machine the detection work itself parallelizes,
+// so workers=4 should ingest the same stream at a multiple of the
+// workers=1 rate (bounded by core count — on a single-core runner the
+// variants tie, modulo channel overhead).
+func BenchmarkShardedIngest(b *testing.B) {
+	stream := makeAblationStream(200000, 16384)
+	cfg := core.Config{TelescopeSize: 65536}
+	run := func(b *testing.B, mk func() core.Ingester) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(stream)))
+		for i := 0; i < b.N; i++ {
+			d := mk()
+			for j := range stream {
+				d.Ingest(&stream[j])
+			}
+			d.FlushAll()
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		run(b, func() core.Ingester { return core.NewDetector(cfg, func(*Scan) {}) })
+	})
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			run(b, func() core.Ingester {
+				return core.NewShardedDetector(core.ShardedConfig{Config: cfg, Workers: w}, func(*Scan) {})
+			})
+		})
 	}
 }
 

@@ -40,6 +40,7 @@ func main() {
 	telSize := flag.Int("telescope", 4096, "monitored address count of the capture")
 	minDsts := flag.Int("min-dsts", 0, "campaign threshold on distinct destinations (0 = paper default scaled)")
 	topN := flag.Int("top", 10, "ranking depth for the port tables")
+	workers := flag.Int("workers", 1, "campaign-detector shards; >1 runs detection on that many goroutines")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -106,8 +107,18 @@ func main() {
 		cfg.Expiry = expiry
 	}
 
+	// With -workers > 1 the detector shards per source address: replay
+	// parses and routes on this goroutine while detection runs on the
+	// worker pool. Results are identical to the sequential detector (see
+	// core.ShardedDetector); scans surface at FlushAll.
 	var scans []*core.Scan
-	det := core.NewDetector(cfg, func(s *core.Scan) { scans = append(scans, s) })
+	collect := func(s *core.Scan) { scans = append(scans, s) }
+	var det core.Ingester
+	if *workers > 1 {
+		det = core.NewShardedDetector(core.ShardedConfig{Config: cfg, Workers: *workers}, collect)
+	} else {
+		det = core.NewDetector(cfg, collect)
+	}
 
 	packetsPerPort := stats.NewCounter[uint16]()
 	var total, parsed, syn uint64
@@ -153,7 +164,7 @@ func main() {
 		}
 	default:
 		for {
-			ts, data, err := pcapR.Next()
+			ts, data, _, err := pcapR.Next()
 			if err == io.EOF {
 				break
 			}

@@ -33,6 +33,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.002, "volume scale relative to the paper")
 	telSize := flag.Int("telescope", 4096, "monitored address count")
+	workers := flag.Int("workers", 1, "campaign-detector shards per year; >1 runs detection on that many goroutines")
 	only := flag.String("only", "", "comma-separated experiment list (table1,table2,fig1..fig10,sec51..sec64,bias,blockable,blocklist,collab,vantage); empty = all")
 	jsonOut := flag.String("json", "", "write the complete evaluation as JSON to this path (skips the text report)")
 	csvDir := flag.String("csv", "", "write the evaluation's series as CSV files into this directory (skips the text report)")
@@ -94,7 +95,7 @@ func main() {
 	if needDecade {
 		log.Printf("simulating 2015-2024 (seed %d, scale %g, telescope %d)...", *seed, *scale, *telSize)
 		var err error
-		years, err = analysis.Decade(*seed, *scale, *telSize)
+		years, err = analysis.DecadeWorkers(*seed, *scale, *telSize, *workers)
 		if err != nil {
 			log.Fatal(err)
 		}

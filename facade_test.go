@@ -5,6 +5,8 @@ package synscan
 // packages.
 
 import (
+	"fmt"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -29,6 +31,73 @@ func facadeData(t testing.TB) (*YearData, *YearData) {
 		}
 	})
 	return facade2022, facade2015
+}
+
+// TestFacadeAnalyzerWorkers: the sharded analyzer must detect the exact same
+// campaign multiset as the sequential one, through the public facade.
+func TestFacadeAnalyzerWorkers(t *testing.T) {
+	stream := makeAblationStream(40000, 2048)
+	run := func(opts ...AnalyzerOption) []string {
+		a := NewAnalyzer(65536, opts...)
+		for i := range stream {
+			a.Ingest(&stream[i])
+		}
+		scans := a.Finish()
+		keys := make([]string, len(scans))
+		for i, s := range scans {
+			keys[i] = fmt.Sprintf("%+v", *s)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	want := run()
+	for _, w := range []int{1, 2, 4} {
+		got := run(WithWorkers(w))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d scans, sequential %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: scan %d differs:\n got  %s\n want %s", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFacadeSimulateWorkers: a simulated year collected with sharded
+// detection must agree with the sequential collection on the headline
+// aggregates and the campaign multiset.
+func TestFacadeSimulateWorkers(t *testing.T) {
+	cfg := Config{Year: 2022, Seed: 2, Scale: 0.0003, TelescopeSize: 2048}
+	seq, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	par, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.AcceptedPackets != par.AcceptedPackets {
+		t.Fatalf("accepted packets differ: %d vs %d", seq.AcceptedPackets, par.AcceptedPackets)
+	}
+	if len(seq.Scans) != len(par.Scans) {
+		t.Fatalf("scan counts differ: %d vs %d", len(seq.Scans), len(par.Scans))
+	}
+	key := func(yd *YearData) []string {
+		out := make([]string, len(yd.Scans))
+		for i, s := range yd.Scans {
+			out[i] = fmt.Sprintf("%+v|%+v", *s, yd.ScanOrigins[i])
+		}
+		sort.Strings(out)
+		return out
+	}
+	a, b := key(seq), key(par)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scan %d differs:\n seq %s\n par %s", i, a[i], b[i])
+		}
+	}
 }
 
 func TestFacadeVolatility(t *testing.T) {

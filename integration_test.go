@@ -66,12 +66,15 @@ func TestPcapRoundTripPipeline(t *testing.T) {
 	var parsed uint64
 	var p packet.Probe
 	for {
-		ts, data, err := r.Next()
+		ts, data, orig, err := r.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
+		}
+		if orig != uint32(len(data)) {
+			t.Fatalf("full frames must not be truncated: incl=%d orig=%d", len(data), orig)
 		}
 		if err := p.UnmarshalFrame(data); err != nil {
 			t.Fatal(err)

@@ -88,8 +88,18 @@ type PortCountry struct {
 // Registry returns the synthetic Internet behind the year.
 func (y *YearData) Registry() *inetmodel.Registry { return y.reg }
 
-// Collect simulates the scenario and gathers all aggregates in one pass.
+// Collect simulates the scenario and gathers all aggregates in one pass
+// with the sequential detector. Equivalent to CollectWorkers(s, 1).
 func Collect(s *workload.Scenario) *YearData {
+	return CollectWorkers(s, 1)
+}
+
+// CollectWorkers is Collect with campaign detection sharded across the given
+// number of goroutines (workers <= 1 keeps the sequential detector). The
+// emitted campaign multiset is identical either way; with workers > 1 the
+// Scans order is the sharded detector's canonical (End, Start, Src) order
+// rather than close order.
+func CollectWorkers(s *workload.Scenario, workers int) *YearData {
 	yd := &YearData{
 		Year:               s.Profile.Year,
 		Days:               s.Profile.Days,
@@ -110,10 +120,20 @@ func Collect(s *workload.Scenario) *YearData {
 	}
 	en := enrich.New(s.Registry)
 
-	det := core.NewDetector(s.DetectorConfig, func(sc *core.Scan) {
+	// Both detector variants emit on this goroutine: the sequential one
+	// inline from Ingest, the sharded one during its merging FlushAll.
+	collect := func(sc *core.Scan) {
 		yd.Scans = append(yd.Scans, sc)
 		yd.ScanOrigins = append(yd.ScanOrigins, en.Origin(sc.Src))
-	})
+	}
+	var det core.Ingester
+	if workers > 1 {
+		det = core.NewShardedDetector(core.ShardedConfig{
+			Config: s.DetectorConfig, Workers: workers,
+		}, collect)
+	} else {
+		det = core.NewDetector(s.DetectorConfig, collect)
+	}
 
 	// Dedup sets, keyed compactly.
 	srcPort := make(map[uint64]struct{}) // src<<16|port seen

@@ -135,6 +135,14 @@ func classifyType(reg *inetmodel.Registry, src uint32) inetmodel.ScannerType {
 // telescope and detector, and the shared registry is read-only after
 // construction, so the result is identical to a serial run.
 func Decade(seed uint64, scale float64, telescopeSize int) ([]*YearData, error) {
+	return DecadeWorkers(seed, scale, telescopeSize, 1)
+}
+
+// DecadeWorkers is Decade with each year's campaign detection sharded across
+// the given number of goroutines (see CollectWorkers). The per-year
+// concurrency multiplies the year-level concurrency, so the total goroutine
+// count is roughly years x workers.
+func DecadeWorkers(seed uint64, scale float64, telescopeSize, workers int) ([]*YearData, error) {
 	reg := inetmodel.BuildRegistry(seed)
 	years := workload.Years()
 	out := make([]*YearData, len(years))
@@ -152,7 +160,7 @@ func Decade(seed uint64, scale float64, telescopeSize int) ([]*YearData, error) 
 				errs[i] = err
 				return
 			}
-			out[i] = Collect(s)
+			out[i] = CollectWorkers(s, workers)
 		}(i, y)
 	}
 	wg.Wait()

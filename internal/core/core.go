@@ -102,6 +102,24 @@ type flow struct {
 	prev, next *flow
 }
 
+// Ingester is the streaming surface shared by the detector variants:
+// the sequential Detector, the sweep-based NaiveDetector, and the parallel
+// ShardedDetector, so pipelines can switch implementations by configuration.
+type Ingester interface {
+	// Ingest processes one accepted probe.
+	Ingest(*packet.Probe)
+	// FlushAll closes all remaining flows at end of capture.
+	FlushAll()
+	// ActiveFlows returns the number of currently open flows.
+	ActiveFlows() int
+}
+
+var (
+	_ Ingester = (*Detector)(nil)
+	_ Ingester = (*NaiveDetector)(nil)
+	_ Ingester = (*ShardedDetector)(nil)
+)
+
 // Detector is the streaming campaign detector. Not safe for concurrent use.
 type Detector struct {
 	cfg   Config
@@ -158,12 +176,30 @@ func (d *Detector) Ingest(p *packet.Probe) {
 	} else {
 		d.lruUnlink(f)
 	}
-	f.end = p.Time
+	// Clamp: a slightly reordered probe must not move the flow's end
+	// backwards — Duration()/RatePPS would corrupt and the LRU's
+	// monotonic-end ordering that expireBefore's early exit relies on
+	// would break.
+	if p.Time > f.end {
+		f.end = p.Time
+	}
 	f.packets++
 	f.dsts[p.Dst] = struct{}{}
 	f.ports[p.DstPort] = struct{}{}
 	f.votes.Add(p)
 	d.lruAppend(f)
+}
+
+// AdvanceTime advances the detector's clock to t (if later than any time
+// seen) without ingesting a probe, closing flows that have been idle past
+// the expiry window. The sharded detector broadcasts time watermarks through
+// this entry point so that a shard whose own sources went quiet still
+// retires its flows while the rest of the stream progresses.
+func (d *Detector) AdvanceTime(t int64) {
+	if t > d.now {
+		d.now = t
+	}
+	d.expireBefore(d.now - d.cfg.Expiry)
 }
 
 // expireBefore closes every flow whose last activity predates cutoff.

@@ -227,6 +227,73 @@ func TestSingleBurstRateFloor(t *testing.T) {
 	}
 }
 
+// TestReorderedProbeKeepsEndMonotonic: a slightly reordered probe must not
+// move a flow's End backwards (pre-fix, Ingest assigned f.end = p.Time
+// unconditionally, corrupting Duration/RatePPS).
+func TestReorderedProbeKeepsEndMonotonic(t *testing.T) {
+	scans, emit := collector()
+	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, emit)
+	times := []int64{10e9, 12e9, 11e9} // third probe arrives out of order
+	for i, tm := range times {
+		p := packet.Probe{Time: tm, Src: 1, Dst: uint32(i + 1), DstPort: 80, Flags: packet.FlagSYN}
+		d.Ingest(&p)
+	}
+	d.FlushAll()
+	if len(*scans) != 1 {
+		t.Fatalf("%d scans, want 1", len(*scans))
+	}
+	s := (*scans)[0]
+	if s.Start != 10e9 || s.End != 12e9 {
+		t.Fatalf("Start=%d End=%d, want 10e9/12e9", s.Start, s.End)
+	}
+	if s.Duration() != 2 {
+		t.Fatalf("Duration = %v, want 2s", s.Duration())
+	}
+}
+
+// TestReorderedProbeDoesNotBreakExpiry: pre-fix, a stale reordered probe
+// dragged a live flow's end backwards, so the next expiry pass closed a
+// flow that was in fact recently active.
+func TestReorderedProbeDoesNotBreakExpiry(t *testing.T) {
+	scans, emit := collector()
+	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, emit)
+	ingest := func(tm int64, src uint32, dst uint32) {
+		p := packet.Probe{Time: tm, Src: src, Dst: dst, DstPort: 80, Flags: packet.FlagSYN}
+		d.Ingest(&p)
+	}
+	ingest(0, 0xA, 1)                     // flow A opens at t=0
+	ingest(int64(50*time.Minute), 0xB, 2) // flow B active at t=50m
+	ingest(int64(1*time.Minute), 0xB, 3)  // stale duplicate for B (reordered)
+	ingest(int64(65*time.Minute), 0xC, 4) // cutoff t=5m: expires A only
+	if d.ActiveFlows() != 2 {
+		t.Fatalf("ActiveFlows = %d, want 2 (B recently active must survive)", d.ActiveFlows())
+	}
+	if len(*scans) != 1 || (*scans)[0].Src != 0xA {
+		t.Fatalf("scans = %+v, want only flow A closed", *scans)
+	}
+}
+
+// TestAdvanceTime: the clock can move without a probe, expiring idle flows.
+func TestAdvanceTime(t *testing.T) {
+	scans, emit := collector()
+	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, emit)
+	p := packet.Probe{Time: 0, Src: 1, Dst: 1, DstPort: 80, Flags: packet.FlagSYN}
+	d.Ingest(&p)
+	d.AdvanceTime(int64(30 * time.Minute))
+	if len(*scans) != 0 {
+		t.Fatal("flow expired before the idle window elapsed")
+	}
+	d.AdvanceTime(int64(2 * time.Hour))
+	if len(*scans) != 1 {
+		t.Fatalf("%d scans after clock passed expiry, want 1", len(*scans))
+	}
+	// Clock never moves backwards.
+	d.AdvanceTime(0)
+	if d.now != int64(2*time.Hour) {
+		t.Fatalf("now = %d moved backwards", d.now)
+	}
+}
+
 func TestConfigDefaults(t *testing.T) {
 	d := NewDetector(Config{TelescopeSize: 10}, nil)
 	if d.cfg.MinDistinctDsts != DefaultMinDistinctDsts ||

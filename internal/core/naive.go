@@ -70,7 +70,10 @@ func (d *NaiveDetector) Ingest(p *packet.Probe) {
 		}
 		d.flows[p.Src] = f
 	}
-	f.end = p.Time
+	// Same reordering clamp as Detector.Ingest: end never moves backwards.
+	if p.Time > f.end {
+		f.end = p.Time
+	}
 	f.packets++
 	f.dsts[p.Dst] = struct{}{}
 	f.ports[p.DstPort] = struct{}{}

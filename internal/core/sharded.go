@@ -1,0 +1,306 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// Sharded-detector defaults.
+const (
+	// DefaultBatchSize is the number of probes handed to a shard per
+	// channel message. Batching amortizes the channel synchronization over
+	// many packets; 512 probes is ~18 KiB per batch.
+	DefaultBatchSize = 512
+	// DefaultQueueDepth is the number of batches buffered per shard before
+	// Ingest blocks — the backpressure bound. Total buffering per shard is
+	// BatchSize*QueueDepth probes.
+	DefaultQueueDepth = 4
+)
+
+// ShardedConfig parameterizes a ShardedDetector. The embedded Config is the
+// per-shard detector configuration; the zero value of every sharding knob is
+// completed with a sensible default by NewShardedDetector.
+type ShardedConfig struct {
+	Config
+
+	// Workers is the number of detector shards, each served by its own
+	// goroutine (default GOMAXPROCS).
+	Workers int
+	// BatchSize is the number of probes per batch routed to a shard
+	// (default DefaultBatchSize).
+	BatchSize int
+	// QueueDepth is the number of batches buffered per shard before Ingest
+	// blocks (default DefaultQueueDepth).
+	QueueDepth int
+	// WatermarkInterval is the stream-time interval, in nanoseconds,
+	// between time-watermark broadcasts (default Expiry/4). Watermarks
+	// advance every shard's expiry clock even when the shard's own sources
+	// are idle, bounding how long expired flows stay resident.
+	WatermarkInterval int64
+}
+
+// ShardStats is one shard's view of the rolled-up detector counters.
+type ShardStats struct {
+	// Opened, Closed and Qualified mirror Detector.Counts for the shard.
+	Opened, Closed, Qualified uint64
+	// Active is the shard's open-flow count.
+	Active int
+}
+
+// shard is one worker: a private sequential Detector fed by a bounded
+// channel of probe batches. Only the worker goroutine touches det and scans;
+// the atomic counters are the cross-goroutine observation window.
+type shard struct {
+	ch    chan shardMsg
+	det   *Detector
+	scans []*Scan
+
+	opened, closed, qualified atomic.Uint64
+	active                    atomic.Int64
+}
+
+// shardMsg is one unit of work: a batch of probes, optionally followed by a
+// clock watermark. Watermarks ride behind any probes already routed so that
+// per-source stream order is preserved.
+type shardMsg struct {
+	batch     []packet.Probe
+	watermark int64 // advance the shard clock to this time if > 0
+}
+
+// ShardedDetector runs N private Detectors in parallel, routing each probe
+// to the shard that owns its source address (a hash of the source), so every
+// source's probes are processed by one detector in arrival order and the
+// campaign semantics of §3.4 are unchanged.
+//
+// Ingest batches probes per shard and hands them over bounded channels:
+// when a shard falls behind, Ingest blocks (backpressure) instead of growing
+// queues without bound. A time watermark derived from the maximum probe time
+// is periodically broadcast to all shards so that idle shards keep expiring
+// flows. Closed flows are buffered per shard and merged into a single
+// deterministic emit stream when FlushAll is called.
+//
+// With Workers=1 the output — Scan values, emit order, and counters — is
+// identical to feeding the sequential Detector directly, because the single
+// shard processes the entire stream in order. With Workers>1 the emitted
+// multiset of Scans is identical for time-ordered streams, and the emit
+// order is canonical: ascending (End, Start, Src).
+//
+// Ingest is safe for concurrent producers (probes of one source must come
+// from one producer for their order to be defined). ActiveFlows, Counts and
+// ShardStats may be called concurrently with ingest.
+type ShardedDetector struct {
+	cfg    ShardedConfig
+	shards []*shard
+	emit   func(*Scan)
+	wg     sync.WaitGroup
+	pool   sync.Pool // batch buffers: *[]packet.Probe
+
+	mu            sync.Mutex
+	pending       [][]packet.Probe // per-shard partial batch
+	maxTime       int64
+	lastWatermark int64
+	done          bool
+}
+
+// NewShardedDetector starts cfg.Workers shard goroutines and returns the
+// router. emit is called for every closed flow, from the goroutine that
+// calls FlushAll. Zero sharding knobs get defaults; the embedded Config is
+// defaulted exactly like NewDetector.
+func NewShardedDetector(cfg ShardedConfig, emit func(*Scan)) *ShardedDetector {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Expiry == 0 {
+		cfg.Expiry = DefaultExpiry
+	}
+	if cfg.WatermarkInterval <= 0 {
+		cfg.WatermarkInterval = cfg.Expiry / 4
+	}
+	sd := &ShardedDetector{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Workers),
+		emit:    emit,
+		pending: make([][]packet.Probe, cfg.Workers),
+	}
+	sd.pool.New = func() any {
+		b := make([]packet.Probe, 0, cfg.BatchSize)
+		return &b
+	}
+	for i := range sd.shards {
+		sh := &shard{ch: make(chan shardMsg, cfg.QueueDepth)}
+		sh.det = NewDetector(cfg.Config, func(s *Scan) { sh.scans = append(sh.scans, s) })
+		sd.shards[i] = sh
+		sd.wg.Add(1)
+		go sd.run(sh)
+	}
+	return sd
+}
+
+// run is the shard worker loop.
+func (sd *ShardedDetector) run(sh *shard) {
+	defer sd.wg.Done()
+	for msg := range sh.ch {
+		for i := range msg.batch {
+			sh.det.Ingest(&msg.batch[i])
+		}
+		if msg.watermark > 0 {
+			sh.det.AdvanceTime(msg.watermark)
+		}
+		if msg.batch != nil {
+			b := msg.batch[:0]
+			sd.pool.Put(&b)
+		}
+		sh.publish()
+	}
+}
+
+// publish refreshes the shard's externally visible counters.
+func (sh *shard) publish() {
+	opened, closed, qualified := sh.det.Counts()
+	sh.opened.Store(opened)
+	sh.closed.Store(closed)
+	sh.qualified.Store(qualified)
+	sh.active.Store(int64(sh.det.ActiveFlows()))
+}
+
+// shardOf routes a source address to its shard: a multiplicative hash so
+// that adjacent sources (one scanned /24, say) spread across workers.
+func (sd *ShardedDetector) shardOf(src uint32) int {
+	h := uint64(src) * 0x9e3779b97f4a7c15
+	return int((h >> 33) % uint64(len(sd.shards)))
+}
+
+// Ingest routes one probe to its source's shard. The probe is copied into
+// the current batch, so callers may reuse p. Blocks when the target shard's
+// queue is full. Must not be called after FlushAll.
+func (sd *ShardedDetector) Ingest(p *packet.Probe) {
+	sd.mu.Lock()
+	if sd.done {
+		sd.mu.Unlock()
+		panic("core: ShardedDetector.Ingest after FlushAll")
+	}
+	i := sd.shardOf(p.Src)
+	if sd.pending[i] == nil {
+		sd.pending[i] = (*sd.pool.Get().(*[]packet.Probe))[:0]
+	}
+	sd.pending[i] = append(sd.pending[i], *p)
+	full := len(sd.pending[i]) >= sd.cfg.BatchSize
+	if p.Time > sd.maxTime {
+		sd.maxTime = p.Time
+	}
+	if sd.maxTime-sd.lastWatermark >= sd.cfg.WatermarkInterval {
+		// Broadcast the high-water mark to every shard, behind whatever is
+		// already pending for it so stream order holds per shard.
+		wm := sd.maxTime
+		sd.lastWatermark = wm
+		for j := range sd.shards {
+			batch := sd.pending[j]
+			sd.pending[j] = nil
+			sd.shards[j].ch <- shardMsg{batch: batch, watermark: wm}
+		}
+		sd.mu.Unlock()
+		return
+	}
+	if full {
+		batch := sd.pending[i]
+		sd.pending[i] = nil
+		sd.shards[i].ch <- shardMsg{batch: batch}
+	}
+	sd.mu.Unlock()
+}
+
+// FlushAll drains the queues, flushes every shard's detector, merges the
+// per-shard results and emits them in deterministic order: the single
+// shard's native close order when Workers=1 (identical to the sequential
+// Detector), ascending (End, Start, Src) otherwise. FlushAll is terminal:
+// the workers exit and further Ingest calls panic.
+func (sd *ShardedDetector) FlushAll() {
+	sd.mu.Lock()
+	if sd.done {
+		sd.mu.Unlock()
+		return
+	}
+	sd.done = true
+	for i, sh := range sd.shards {
+		if batch := sd.pending[i]; batch != nil {
+			sd.pending[i] = nil
+			sh.ch <- shardMsg{batch: batch}
+		}
+	}
+	sd.mu.Unlock()
+	for _, sh := range sd.shards {
+		close(sh.ch)
+	}
+	sd.wg.Wait()
+	var scans []*Scan
+	for _, sh := range sd.shards {
+		sh.det.FlushAll()
+		sh.publish()
+		scans = append(scans, sh.scans...)
+	}
+	if len(sd.shards) > 1 {
+		sort.Slice(scans, func(i, j int) bool {
+			a, b := scans[i], scans[j]
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.Src < b.Src
+		})
+	}
+	if sd.emit != nil {
+		for _, s := range scans {
+			sd.emit(s)
+		}
+	}
+}
+
+// Workers returns the number of shards.
+func (sd *ShardedDetector) Workers() int { return len(sd.shards) }
+
+// ActiveFlows returns the open-flow count summed over shards. During ingest
+// the value trails the stream by up to one in-flight batch per shard.
+func (sd *ShardedDetector) ActiveFlows() int {
+	n := int64(0)
+	for _, sh := range sd.shards {
+		n += sh.active.Load()
+	}
+	return int(n)
+}
+
+// Counts returns (flows opened, flows closed, campaigns qualified) summed
+// over shards — the lossless roll-up of the per-shard counters.
+func (sd *ShardedDetector) Counts() (opened, closed, qualified uint64) {
+	for _, sh := range sd.shards {
+		opened += sh.opened.Load()
+		closed += sh.closed.Load()
+		qualified += sh.qualified.Load()
+	}
+	return
+}
+
+// ShardStats returns each shard's counters, indexed by shard.
+func (sd *ShardedDetector) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(sd.shards))
+	for i, sh := range sd.shards {
+		out[i] = ShardStats{
+			Opened:    sh.opened.Load(),
+			Closed:    sh.closed.Load(),
+			Qualified: sh.qualified.Load(),
+			Active:    int(sh.active.Load()),
+		}
+	}
+	return out
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// makeMixedStream builds a deterministic time-ordered stream over many
+// sources with expiry-inducing gaps, mixing tools so classification paths
+// are exercised.
+func makeMixedStream(n, sources int, seed uint64) []packet.Probe {
+	r := rng.New(seed)
+	probers := make([]tools.Prober, sources)
+	for i := range probers {
+		probers[i] = tools.NewProber(tools.Tools[i%len(tools.Tools)],
+			uint32(i+1), r.DeriveN("src", uint64(i)))
+	}
+	stream := make([]packet.Probe, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := probers[i%sources].Probe(uint32(i), uint16(20+i%7*1000))
+		tm += int64(r.Intn(8)) * int64(time.Millisecond)
+		if i > 0 && i%(n/4) == 0 {
+			tm += 2 * int64(time.Hour) // force mid-stream expiries
+		}
+		p.Time = tm
+		stream[i] = p
+	}
+	return stream
+}
+
+// canonicalScans sorts a scan list by the sharded detector's merge order so
+// that sequential and sharded outputs are comparable.
+func canonicalScans(scans []*Scan) []*Scan {
+	out := append([]*Scan(nil), scans...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Src < b.Src
+	})
+	return out
+}
+
+func runSequential(t *testing.T, cfg Config, stream []packet.Probe) ([]*Scan, [3]uint64) {
+	t.Helper()
+	var scans []*Scan
+	d := NewDetector(cfg, func(s *Scan) { scans = append(scans, s) })
+	for i := range stream {
+		d.Ingest(&stream[i])
+	}
+	d.FlushAll()
+	var c [3]uint64
+	c[0], c[1], c[2] = d.Counts()
+	return scans, c
+}
+
+func runSharded(t *testing.T, cfg ShardedConfig, stream []packet.Probe) (*ShardedDetector, []*Scan) {
+	t.Helper()
+	var scans []*Scan
+	sd := NewShardedDetector(cfg, func(s *Scan) { scans = append(scans, s) })
+	for i := range stream {
+		p := stream[i] // copy: Ingest may retain batches past the call
+		sd.Ingest(&p)
+	}
+	sd.FlushAll()
+	return sd, scans
+}
+
+// TestShardedDifferential: for every worker count the sharded detector must
+// emit the same multiset of Scans — same qualified set, ports, counts — as
+// the sequential detector on an identical stream, and identical roll-up
+// counters.
+func TestShardedDifferential(t *testing.T) {
+	stream := makeMixedStream(20000, 600, 7)
+	cfg := Config{TelescopeSize: testTelescopeSize}
+	seq, seqCounts := runSequential(t, cfg, stream)
+	seqSorted := canonicalScans(seq)
+
+	for workers := 1; workers <= 8; workers++ {
+		scfg := ShardedConfig{
+			Config:  cfg,
+			Workers: workers,
+			// Small batches and frequent watermarks stress the routing and
+			// broadcast paths, not just the happy case.
+			BatchSize:         64,
+			WatermarkInterval: int64(10 * time.Minute),
+		}
+		sd, got := runSharded(t, scfg, stream)
+		if len(got) != len(seq) {
+			t.Fatalf("workers=%d: %d scans, sequential %d", workers, len(got), len(seq))
+		}
+		gotSorted := canonicalScans(got)
+		for i := range seqSorted {
+			if !reflect.DeepEqual(*seqSorted[i], *gotSorted[i]) {
+				t.Fatalf("workers=%d: scan %d differs:\n seq:     %+v\n sharded: %+v",
+					workers, i, *seqSorted[i], *gotSorted[i])
+			}
+		}
+		opened, closed, qualified := sd.Counts()
+		if [3]uint64{opened, closed, qualified} != seqCounts {
+			t.Fatalf("workers=%d: counts (%d,%d,%d), sequential %v",
+				workers, opened, closed, qualified, seqCounts)
+		}
+		if sd.ActiveFlows() != 0 {
+			t.Fatalf("workers=%d: %d active after FlushAll", workers, sd.ActiveFlows())
+		}
+		// Per-shard counters roll up losslessly.
+		var sum ShardStats
+		for _, st := range sd.ShardStats() {
+			sum.Opened += st.Opened
+			sum.Closed += st.Closed
+			sum.Qualified += st.Qualified
+		}
+		if sum.Opened != opened || sum.Closed != closed || sum.Qualified != qualified {
+			t.Fatalf("workers=%d: shard stats %+v do not sum to %d/%d/%d",
+				workers, sum, opened, closed, qualified)
+		}
+	}
+}
+
+// TestShardedSingleWorkerBitIdentical: with one shard, output must be
+// byte-identical to the sequential detector including emit order.
+func TestShardedSingleWorkerBitIdentical(t *testing.T) {
+	stream := makeMixedStream(12000, 400, 11)
+	cfg := Config{TelescopeSize: testTelescopeSize}
+	seq, _ := runSequential(t, cfg, stream)
+	_, got := runSharded(t, ShardedConfig{Config: cfg, Workers: 1, BatchSize: 128}, stream)
+	if len(got) != len(seq) {
+		t.Fatalf("%d scans, sequential %d", len(got), len(seq))
+	}
+	for i := range seq {
+		a, b := fmt.Sprintf("%+v", *seq[i]), fmt.Sprintf("%+v", *got[i])
+		if a != b {
+			t.Fatalf("scan %d differs in content or order:\n seq:     %s\n sharded: %s", i, a, b)
+		}
+	}
+}
+
+// TestShardedWatermarkExpiresIdleShard: a shard whose own sources went
+// silent must still close its flows as the rest of the stream advances —
+// without waiting for FlushAll.
+func TestShardedWatermarkExpiresIdleShard(t *testing.T) {
+	sd := NewShardedDetector(ShardedConfig{
+		Config:            Config{TelescopeSize: testTelescopeSize},
+		Workers:           4,
+		BatchSize:         1, // every probe ships immediately
+		WatermarkInterval: int64(5 * time.Minute),
+	}, nil)
+	// One probe from the idle source, then a long stream of probes from a
+	// source on a different shard marching time past the expiry window.
+	idle := uint32(1)
+	busy := uint32(2)
+	for busy == idle || sd.shardOf(busy) == sd.shardOf(idle) {
+		busy++
+	}
+	p := packet.Probe{Time: 0, Src: idle, Dst: 1, DstPort: 80, Flags: packet.FlagSYN}
+	sd.Ingest(&p)
+	deadline := time.Now().Add(10 * time.Second)
+	tm := int64(0)
+	for {
+		tm += int64(10 * time.Minute)
+		q := packet.Probe{Time: tm, Src: busy, Dst: 2, DstPort: 80, Flags: packet.FlagSYN}
+		sd.Ingest(&q)
+		if tm > int64(2*time.Hour) {
+			// The watermark has passed idle's end plus expiry; once the
+			// idle shard drains its queue the flow must close.
+			time.Sleep(time.Millisecond)
+			if _, closed, _ := sd.Counts(); closed >= 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("idle shard never expired its flow via watermarks")
+			}
+		}
+	}
+	sd.FlushAll()
+	if opened, closed, _ := sd.Counts(); opened != 2 || closed != 2 {
+		t.Fatalf("opened=%d closed=%d, want 2/2", opened, closed)
+	}
+}
+
+// TestShardedConcurrentIngest drives the detector from several producer
+// goroutines over disjoint source sets while another goroutine reads the
+// counters — the -race exercise for the routing and roll-up paths.
+func TestShardedConcurrentIngest(t *testing.T) {
+	const producers = 4
+	const perProducer = 4000
+	var scans []*Scan
+	sd := NewShardedDetector(ShardedConfig{
+		Config:    Config{TelescopeSize: testTelescopeSize},
+		Workers:   4,
+		BatchSize: 32,
+	}, func(s *Scan) { scans = append(scans, s) })
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sd.ActiveFlows()
+				sd.Counts()
+				sd.ShardStats()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			r := rng.New(uint64(pr) + 1)
+			for i := 0; i < perProducer; i++ {
+				src := uint32(pr)<<24 | uint32(i%50+1) // disjoint per producer
+				p := packet.Probe{
+					Time:    int64(i) * int64(time.Millisecond),
+					Src:     src,
+					Dst:     r.Uint32(),
+					DstPort: 443,
+					Flags:   packet.FlagSYN,
+				}
+				sd.Ingest(&p)
+			}
+		}(pr)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	sd.FlushAll()
+
+	var total uint64
+	for _, s := range scans {
+		total += s.Packets
+	}
+	if total != producers*perProducer {
+		t.Fatalf("packets accounted %d, want %d", total, producers*perProducer)
+	}
+	opened, closed, _ := sd.Counts()
+	if opened != closed || int(closed) != len(scans) {
+		t.Fatalf("opened=%d closed=%d scans=%d", opened, closed, len(scans))
+	}
+	if len(scans) != producers*50 {
+		t.Fatalf("%d flows, want %d", len(scans), producers*50)
+	}
+}
+
+// TestShardedIngestAfterFlushPanics pins the terminal contract of FlushAll.
+func TestShardedIngestAfterFlushPanics(t *testing.T) {
+	sd := NewShardedDetector(ShardedConfig{Config: Config{TelescopeSize: 10}, Workers: 2}, nil)
+	sd.FlushAll()
+	sd.FlushAll() // second flush is a no-op, not a panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Ingest after FlushAll must panic")
+		}
+	}()
+	p := packet.Probe{Time: 1, Src: 1, Dst: 1, DstPort: 80, Flags: packet.FlagSYN}
+	sd.Ingest(&p)
+}
+
+// TestShardedDefaults checks the zero-config completion.
+func TestShardedDefaults(t *testing.T) {
+	sd := NewShardedDetector(ShardedConfig{Config: Config{TelescopeSize: 10}}, nil)
+	if sd.Workers() < 1 {
+		t.Fatalf("Workers = %d", sd.Workers())
+	}
+	if sd.cfg.BatchSize != DefaultBatchSize || sd.cfg.QueueDepth != DefaultQueueDepth {
+		t.Fatalf("defaults not applied: %+v", sd.cfg)
+	}
+	if sd.cfg.WatermarkInterval != DefaultExpiry/4 {
+		t.Fatalf("WatermarkInterval = %d", sd.cfg.WatermarkInterval)
+	}
+	sd.FlushAll()
+}

@@ -39,9 +39,8 @@ const (
 
 // Errors specific to the format.
 var (
-	ErrBadMagic     = errors.New("pcap: bad magic number")
-	ErrBadVersion   = errors.New("pcap: unsupported version")
-	ErrRecordTooBig = errors.New("pcap: record exceeds snap length")
+	ErrBadMagic   = errors.New("pcap: bad magic number")
+	ErrBadVersion = errors.New("pcap: unsupported version")
 )
 
 // Writer writes packets to a pcap stream.
@@ -93,13 +92,17 @@ func NewWriter(w io.Writer, opts ...WriterOption) (*Writer, error) {
 }
 
 // WritePacket appends one record with the given capture timestamp in
-// nanoseconds since the Unix epoch.
+// nanoseconds since the Unix epoch. Records longer than the snap length are
+// truncated to it — the standard pcap capture semantics — with the full
+// original length recorded in the record header's orig_len field, so
+// readers can tell a truncated record from a complete one.
 func (w *Writer) WritePacket(tsNanos int64, data []byte) error {
 	if w.err != nil {
 		return w.err
 	}
-	if uint32(len(data)) > w.snaplen {
-		return ErrRecordTooBig
+	incl := data
+	if uint32(len(incl)) > w.snaplen {
+		incl = incl[:w.snaplen]
 	}
 	le := binary.LittleEndian
 	sec := tsNanos / 1e9
@@ -110,13 +113,13 @@ func (w *Writer) WritePacket(tsNanos int64, data []byte) error {
 	}
 	le.PutUint32(w.hdr[0:4], uint32(sec))
 	le.PutUint32(w.hdr[4:8], uint32(nsec))
-	le.PutUint32(w.hdr[8:12], uint32(len(data)))
+	le.PutUint32(w.hdr[8:12], uint32(len(incl)))
 	le.PutUint32(w.hdr[12:16], uint32(len(data)))
 	if _, err := w.w.Write(w.hdr[:]); err != nil {
 		w.err = err
 		return err
 	}
-	if _, err := w.w.Write(data); err != nil {
+	if _, err := w.w.Write(incl); err != nil {
 		w.err = err
 		return err
 	}
@@ -187,22 +190,25 @@ func (r *Reader) Snaplen() uint32 { return r.snaplen }
 // Nanosecond reports whether timestamps carry nanosecond resolution.
 func (r *Reader) Nanosecond() bool { return r.nano }
 
-// Next returns the next record's timestamp (nanoseconds since the epoch) and
-// its data. The returned slice is reused by subsequent calls; callers that
-// keep it must copy. At end of stream Next returns io.EOF.
-func (r *Reader) Next() (tsNanos int64, data []byte, err error) {
+// Next returns the next record's timestamp (nanoseconds since the epoch),
+// its captured data, and the packet's original on-the-wire length. When
+// origLen exceeds len(data) the record was truncated to the snap length at
+// capture time. The returned slice is reused by subsequent calls; callers
+// that keep it must copy. At end of stream Next returns io.EOF.
+func (r *Reader) Next() (tsNanos int64, data []byte, origLen uint32, err error) {
 	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return 0, nil, fmt.Errorf("pcap: truncated record header: %w", err)
+			return 0, nil, 0, fmt.Errorf("pcap: truncated record header: %w", err)
 		}
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	sec := r.order.Uint32(hdr[0:4])
 	sub := r.order.Uint32(hdr[4:8])
 	incl := r.order.Uint32(hdr[8:12])
+	orig := r.order.Uint32(hdr[12:16])
 	if incl > r.snaplen && r.snaplen > 0 {
-		return 0, nil, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
+		return 0, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
 	}
 	if cap(r.buf) < int(incl) {
 		r.buf = make([]byte, incl)
@@ -210,9 +216,9 @@ func (r *Reader) Next() (tsNanos int64, data []byte, err error) {
 	r.buf = r.buf[:incl]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, nil, fmt.Errorf("pcap: truncated record body: %w", io.ErrUnexpectedEOF)
+			return 0, nil, 0, fmt.Errorf("pcap: truncated record body: %w", io.ErrUnexpectedEOF)
 		}
-		return 0, nil, err
+		return 0, nil, 0, err
 	}
 	ts := int64(sec) * 1e9
 	if r.nano {
@@ -220,5 +226,5 @@ func (r *Reader) Next() (tsNanos int64, data []byte, err error) {
 	} else {
 		ts += int64(sub) * 1e3
 	}
-	return ts, r.buf, nil
+	return ts, r.buf, orig, nil
 }

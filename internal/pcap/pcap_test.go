@@ -40,7 +40,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal("writer should emit nanosecond format")
 	}
 	for i := range packets {
-		ts, data, err := r.Next()
+		ts, data, orig, err := r.Next()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
@@ -50,8 +50,11 @@ func TestRoundTrip(t *testing.T) {
 		if !bytes.Equal(data, packets[i]) {
 			t.Fatalf("record %d: data mismatch", i)
 		}
+		if orig != uint32(len(packets[i])) {
+			t.Fatalf("record %d: origLen = %d, want %d", i, orig, len(packets[i]))
+		}
 	}
-	if _, _, err := r.Next(); err != io.EOF {
+	if _, _, _, err := r.Next(); err != io.EOF {
 		t.Fatalf("expected io.EOF, got %v", err)
 	}
 }
@@ -83,11 +86,11 @@ func TestRoundTripQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got, data, err := r.Next()
+		got, data, orig, err := r.Next()
 		if err != nil {
 			return false
 		}
-		return got == ts && bytes.Equal(data, payload)
+		return got == ts && bytes.Equal(data, payload) && orig == uint32(len(payload))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -100,9 +103,6 @@ func TestWriterOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.WritePacket(0, make([]byte, 101)); err != ErrRecordTooBig {
-		t.Fatalf("oversized record: %v", err)
-	}
 	if err := w.WritePacket(0, make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +113,87 @@ func TestWriterOptions(t *testing.T) {
 	}
 	if r.Snaplen() != 100 || r.LinkType() != LinkTypeRaw {
 		t.Fatalf("snaplen=%d linktype=%d", r.Snaplen(), r.LinkType())
+	}
+}
+
+// TestWriterTruncatesToSnaplen: a record longer than the snap length is
+// truncated to it (standard pcap capture semantics), with the true original
+// length recorded in the header — not rejected (pre-fix, WritePacket
+// errored and no record was written).
+func TestWriterTruncatesToSnaplen(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WithSnaplen(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]byte, 200)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	if err := w.WritePacket(3e9, full); err != nil {
+		t.Fatalf("oversized record must truncate, not error: %v", err)
+	}
+	// A short record after a truncated one must still round-trip.
+	if err := w.WritePacket(4e9, []byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, data, orig, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 3e9 {
+		t.Fatalf("ts = %d", ts)
+	}
+	if len(data) != 64 || !bytes.Equal(data, full[:64]) {
+		t.Fatalf("captured %d bytes, want the first 64", len(data))
+	}
+	if orig != 200 {
+		t.Fatalf("origLen = %d, want 200", orig)
+	}
+	ts, data, orig, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 4e9 || orig != 2 || !bytes.Equal(data, []byte{7, 8}) {
+		t.Fatalf("second record corrupted: ts=%d orig=%d data=%v", ts, orig, data)
+	}
+	if _, _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// TestReaderSurfacesTruncatedRecords: a hand-built file with incl < orig
+// (written by a capturing tool with a short snaplen) surfaces both lengths.
+func TestReaderSurfacesTruncatedRecords(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:4], magicNano)
+	binary.LittleEndian.PutUint16(hdr[4:6], versionMajor)
+	binary.LittleEndian.PutUint32(hdr[16:20], 4) // snaplen 4
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr)
+	rec := make([]byte, 16)
+	binary.LittleEndian.PutUint32(rec[8:12], 4)    // incl_len
+	binary.LittleEndian.PutUint32(rec[12:16], 999) // orig_len
+	buf.Write(rec)
+	buf.Write([]byte{1, 2, 3, 4})
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, data, orig, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 4 || orig != 999 {
+		t.Fatalf("incl=%d orig=%d, want 4/999", len(data), orig)
 	}
 }
 
@@ -172,7 +253,7 @@ func TestReaderBigEndianMicro(t *testing.T) {
 	if r.Nanosecond() {
 		t.Fatal("micro variant misdetected")
 	}
-	ts, data, err := r.Next()
+	ts, data, orig, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,6 +263,9 @@ func TestReaderBigEndianMicro(t *testing.T) {
 	if !bytes.Equal(data, []byte{9, 9}) {
 		t.Fatal("payload mismatch")
 	}
+	if orig != 2 {
+		t.Fatalf("origLen = %d, want 2", orig)
+	}
 }
 
 func TestReaderLittleEndianMicro(t *testing.T) {
@@ -190,7 +274,7 @@ func TestReaderLittleEndianMicro(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, _, err := r.Next()
+	ts, _, _, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +290,7 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Next(); err == nil {
+	if _, _, _, err := r.Next(); err == nil {
 		t.Fatal("truncated body should error")
 	}
 	// Chop mid-header.
@@ -214,7 +298,7 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Next(); err == nil {
+	if _, _, _, err := r.Next(); err == nil {
 		t.Fatal("truncated record header should error")
 	}
 }
@@ -235,7 +319,7 @@ func TestReaderRecordExceedsSnaplen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Next(); err == nil {
+	if _, _, _, err := r.Next(); err == nil {
 		t.Fatal("record exceeding snaplen should error")
 	}
 }
@@ -250,10 +334,10 @@ func TestReaderBufferReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, first, _ := r.Next()
+	_, first, _, _ := r.Next()
 	saved := make([]byte, len(first))
 	copy(saved, first)
-	_, second, _ := r.Next()
+	_, second, _, _ := r.Next()
 	if bytes.Equal(first, saved) && &first[0] != &second[0] {
 		// Buffer may or may not alias depending on capacity growth; the
 		// documented contract is only that callers must copy. Just verify
@@ -295,7 +379,7 @@ func BenchmarkReadPacket(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, _, err := r.Next(); err != nil {
+		if _, _, _, err := r.Next(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,11 +451,11 @@ func TestReaderEOFCleanAfterRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := r.Next(); err != nil {
+	if _, _, _, err := r.Next(); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, _, err := r.Next(); err != io.EOF {
+		if _, _, _, err := r.Next(); err != io.EOF {
 			t.Fatalf("repeated Next after EOF: %v", err)
 		}
 	}

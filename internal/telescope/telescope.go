@@ -59,7 +59,10 @@ func PaperConfig(seed uint64) Config {
 
 // ScaledConfig returns a telescope of roughly the given size spread over the
 // same three blocks, for fast simulations. The per-block fractions keep the
-// paper's relative proportions.
+// paper's relative proportions; a block cannot monitor more than all of its
+// addresses, so fractions are clamped to 1 when approxSize exceeds what the
+// paper's proportions can deliver (the result is then smaller than asked,
+// bounded by the three blocks' total address count).
 func ScaledConfig(seed uint64, approxSize int) Config {
 	c := PaperConfig(seed)
 	paperTotal := 0.0
@@ -68,7 +71,11 @@ func ScaledConfig(seed uint64, approxSize int) Config {
 	}
 	scale := float64(approxSize) / paperTotal
 	for i := range c.Blocks {
-		c.Blocks[i].MonitoredFraction *= scale
+		f := c.Blocks[i].MonitoredFraction * scale
+		if f > 1 {
+			f = 1
+		}
+		c.Blocks[i].MonitoredFraction = f
 	}
 	return c
 }

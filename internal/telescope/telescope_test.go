@@ -105,6 +105,40 @@ func TestScaledConfig(t *testing.T) {
 	}
 }
 
+// TestScaledConfigClampsFractions: asking for more addresses than the
+// paper's proportions can deliver must clamp every block's fraction into
+// the documented (0, 1] contract instead of producing fractions > 1 that
+// New rejects (pre-fix, any approxSize above ~196k broke the constructor).
+func TestScaledConfigClampsFractions(t *testing.T) {
+	// Three /16 blocks hold at most 3*65536 addresses; ask for far more.
+	cfg := ScaledConfig(1, 1<<20)
+	total := 0.0
+	for _, b := range cfg.Blocks {
+		if b.MonitoredFraction <= 0 || b.MonitoredFraction > 1 {
+			t.Fatalf("block %v fraction %v out of (0,1]", b.Prefix, b.MonitoredFraction)
+		}
+		total += b.MonitoredFraction * float64(b.Prefix.Size())
+	}
+	tel, err := New(cfg)
+	if err != nil {
+		t.Fatalf("over-scaled config must stay constructible: %v", err)
+	}
+	// Saturated: every block fully monitored.
+	if want := 3 * 65536; tel.Size() != want {
+		t.Fatalf("saturated size = %d, want %d", tel.Size(), want)
+	}
+	// Moderate over-scaling clamps only the blocks that overflow.
+	cfg = ScaledConfig(1, 150000)
+	for _, b := range cfg.Blocks {
+		if b.MonitoredFraction <= 0 || b.MonitoredFraction > 1 {
+			t.Fatalf("block %v fraction %v out of (0,1]", b.Prefix, b.MonitoredFraction)
+		}
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestObserveFiltering(t *testing.T) {
 	tel := small(t)
 	tel.BlockPort(23)

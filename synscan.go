@@ -92,6 +92,10 @@ type Config struct {
 	TelescopeSize int
 	// Disclosures injects vulnerability-disclosure events.
 	Disclosures []Disclosure
+	// Workers shards campaign detection across this many goroutines
+	// (0 or 1 keeps the sequential detector). The detected campaign
+	// multiset is identical either way.
+	Workers int
 }
 
 // Years lists the measured years, 2015–2024.
@@ -107,12 +111,18 @@ func Simulate(cfg Config) (*YearData, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.Collect(s), nil
+	return analysis.CollectWorkers(s, cfg.Workers), nil
 }
 
 // SimulateDecade runs all ten years over one shared synthetic Internet.
 func SimulateDecade(seed uint64, scale float64, telescopeSize int) ([]*YearData, error) {
 	return analysis.Decade(seed, scale, telescopeSize)
+}
+
+// SimulateDecadeWorkers is SimulateDecade with each year's campaign
+// detection sharded across the given number of goroutines.
+func SimulateDecadeWorkers(seed uint64, scale float64, telescopeSize, workers int) ([]*YearData, error) {
+	return analysis.DecadeWorkers(seed, scale, telescopeSize, workers)
 }
 
 // Table1 computes the headline table (volume, top ports, tools) from
@@ -130,18 +140,43 @@ func Table2(years []*YearData) []Table2Row {
 // telescope-style SYN filter and the campaign detector — the programmatic
 // equivalent of feeding a capture file to cmd/synalyze.
 type Analyzer struct {
-	det   *core.Detector
+	det   core.Ingester
 	scans []*Scan
+}
+
+// AnalyzerOption configures NewAnalyzer.
+type AnalyzerOption func(*analyzerOptions)
+
+type analyzerOptions struct {
+	workers int
+}
+
+// WithWorkers shards the analyzer's campaign detection across n goroutines
+// (n <= 1 keeps the sequential detector). Ingest stays single-producer; the
+// detected campaign multiset is identical to the sequential analyzer, and
+// results surface at Finish.
+func WithWorkers(n int) AnalyzerOption {
+	return func(o *analyzerOptions) { o.workers = n }
 }
 
 // NewAnalyzer creates an Analyzer for a telescope of the given size.
 // The paper's thresholds apply: 100 distinct destinations, 100 pps
 // extrapolated, 1 h expiry.
-func NewAnalyzer(telescopeSize int) *Analyzer {
+func NewAnalyzer(telescopeSize int, opts ...AnalyzerOption) *Analyzer {
+	var o analyzerOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	a := &Analyzer{}
-	a.det = core.NewDetector(core.Config{TelescopeSize: telescopeSize}, func(s *Scan) {
-		a.scans = append(a.scans, s)
-	})
+	collect := func(s *Scan) { a.scans = append(a.scans, s) }
+	cfg := core.Config{TelescopeSize: telescopeSize}
+	if o.workers > 1 {
+		a.det = core.NewShardedDetector(core.ShardedConfig{
+			Config: cfg, Workers: o.workers,
+		}, collect)
+	} else {
+		a.det = core.NewDetector(cfg, collect)
+	}
 	return a
 }
 
