@@ -17,6 +17,7 @@ import (
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/rng"
 	"github.com/synscan/synscan/internal/tools"
@@ -403,6 +404,21 @@ func BenchmarkShardedIngest(b *testing.B) {
 			})
 		})
 	}
+	// Metrics variants bound the instrumentation cost: the nil-registry path
+	// (the default everywhere) must stay within noise of the uninstrumented
+	// sequential/workers numbers above, and the enabled path shows what a
+	// live -metrics run pays.
+	b.Run("workers=4/metrics", func(b *testing.B) {
+		run(b, func() core.Ingester {
+			return core.NewDetector(cfg, func(*Scan) {},
+				core.WithWorkers(4), core.WithMetrics(obs.NewRegistry()))
+		})
+	})
+	b.Run("sequential/metrics", func(b *testing.B) {
+		run(b, func() core.Ingester {
+			return core.NewDetector(cfg, func(*Scan) {}, core.WithMetrics(obs.NewRegistry()))
+		})
+	})
 }
 
 func BenchmarkWorkloadGeneration2024(b *testing.B) {

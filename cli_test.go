@@ -6,6 +6,7 @@ package synscan
 // toolchain).
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -144,6 +145,87 @@ func TestCLIEndToEnd(t *testing.T) {
 	md, err := os.ReadFile(mdPath)
 	if err != nil || !strings.Contains(string(md), "# synscan evaluation") {
 		t.Fatalf("markdown export: %v", err)
+	}
+}
+
+// TestCLIMetricsJSON: the -metrics sink must emit the stable JSON snapshot
+// schema ({counters, gauges, histograms}) covering the telescope-style
+// ingress counters, the detector lifecycle, and — with -workers — the shard
+// queues, with values consistent with each other.
+func TestCLIMetricsJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI build")
+	}
+	dir := t.TempDir()
+	syntelescope := buildTool(t, dir, "syntelescope")
+	synalyze := buildTool(t, dir, "synalyze")
+
+	pcapPath := filepath.Join(dir, "capture.pcap")
+	telMetrics := filepath.Join(dir, "tel-metrics.json")
+	out, err := exec.Command(syntelescope,
+		"-year", "2019", "-seed", "4", "-scale", "0.0003",
+		"-telescope", "2048", "-out", pcapPath, "-metrics", telMetrics).CombinedOutput()
+	if err != nil {
+		t.Fatalf("syntelescope: %v\n%s", err, out)
+	}
+
+	type snapshot struct {
+		Counters   map[string]uint64          `json:"counters"`
+		Gauges     map[string]int64           `json:"gauges"`
+		Histograms map[string]json.RawMessage `json:"histograms"`
+	}
+	load := func(path string) snapshot {
+		t.Helper()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s snapshot
+		if err := json.Unmarshal(raw, &s); err != nil {
+			t.Fatalf("metrics JSON unparseable: %v\n%s", err, raw)
+		}
+		return s
+	}
+
+	tel := load(telMetrics)
+	if tel.Counters["telescope.packets.accepted"] == 0 {
+		t.Fatalf("syntelescope metrics missing accepted packets: %+v", tel.Counters)
+	}
+	if len(tel.Histograms) == 0 {
+		t.Fatal("syntelescope metrics missing stage histograms")
+	}
+
+	anaMetrics := filepath.Join(dir, "ana-metrics.json")
+	out, err = exec.Command(synalyze,
+		"-telescope", "2048", "-workers", "2",
+		"-metrics", anaMetrics, pcapPath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("synalyze: %v\n%s", err, out)
+	}
+	ana := load(anaMetrics)
+	accepted := ana.Counters["telescope.packets.accepted"]
+	if accepted == 0 {
+		t.Fatalf("no accepted packets counted: %+v", ana.Counters)
+	}
+	if got := ana.Counters["detector.packets"]; got != accepted {
+		t.Fatalf("detector.packets = %d, accepted = %d", got, accepted)
+	}
+	for _, name := range []string{"detector.flows.opened", "detector.flows.closed", "detector.shard.batches"} {
+		if ana.Counters[name] == 0 {
+			t.Fatalf("counter %s missing/zero: %+v", name, ana.Counters)
+		}
+	}
+	if ana.Counters["detector.flows.opened"] != ana.Counters["detector.flows.closed"] {
+		t.Fatalf("opened %d != closed %d after final flush",
+			ana.Counters["detector.flows.opened"], ana.Counters["detector.flows.closed"])
+	}
+	if _, ok := ana.Gauges["detector.shard.queue_depth"]; !ok {
+		t.Fatalf("shard queue-depth gauge missing: %+v", ana.Gauges)
+	}
+	for _, name := range []string{"detector.shard.batch_fill", "replay.read_ns"} {
+		if _, ok := ana.Histograms[name]; !ok {
+			t.Fatalf("histogram %s missing", name)
+		}
 	}
 }
 

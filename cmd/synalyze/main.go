@@ -26,6 +26,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/flowlog"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/pcap"
 	"github.com/synscan/synscan/internal/pcapng"
@@ -41,7 +42,23 @@ func main() {
 	minDsts := flag.Int("min-dsts", 0, "campaign threshold on distinct destinations (0 = paper default scaled)")
 	topN := flag.Int("top", 10, "ranking depth for the port tables")
 	workers := flag.Int("workers", 1, "campaign-detector shards; >1 runs detection on that many goroutines")
+	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
+	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// The registry stays nil unless some sink wants it: every instrumented
+	// path below no-ops on the nil registry's nil metrics.
+	var reg *obs.Registry
+	if *metricsOut != "" || *metricsEvery > 0 {
+		reg = obs.NewRegistry()
+	}
+	defer obs.StartDump(reg, os.Stderr, *metricsEvery)()
 
 	if flag.NArg() != 1 {
 		log.Fatal("usage: synalyze [flags] capture.{pcap,spool}")
@@ -113,21 +130,26 @@ func main() {
 	// core.ShardedDetector); scans surface at FlushAll.
 	var scans []*core.Scan
 	collect := func(s *core.Scan) { scans = append(scans, s) }
-	var det core.Ingester
-	if *workers > 1 {
-		det = core.NewShardedDetector(core.ShardedConfig{Config: cfg, Workers: *workers}, collect)
-	} else {
-		det = core.NewDetector(cfg, collect)
-	}
+	det := core.NewDetector(cfg, collect,
+		core.WithWorkers(*workers), core.WithMetrics(reg))
+
+	// The replay's own ingress filter mirrors the telescope naming so one
+	// snapshot schema covers both the simulator and the replay path.
+	mAccepted := reg.Counter("telescope.packets.accepted")
+	mNotSYN := reg.Counter("telescope.drop.not_syn")
+	mUnparsed := reg.Counter("telescope.drop.unparsed")
+	mTruncated := reg.Counter("pcap.records.truncated")
 
 	packetsPerPort := stats.NewCounter[uint16]()
 	var total, parsed, syn uint64
 	var p packet.Probe
 	ingest := func() {
 		syn++
+		mAccepted.Inc()
 		packetsPerPort.Inc(p.DstPort)
 		det.Ingest(&p)
 	}
+	replaySpan := obs.StartSpan(reg.Histogram("replay.read_ns"))
 	switch {
 	case isSpool:
 		for {
@@ -140,6 +162,8 @@ func main() {
 			parsed++
 			if p.IsSYN() {
 				ingest()
+			} else {
+				mNotSYN.Inc()
 			}
 		}
 	case isNG:
@@ -153,10 +177,12 @@ func main() {
 			}
 			total++
 			if err := p.UnmarshalFrame(data); err != nil {
+				mUnparsed.Inc()
 				continue
 			}
 			parsed++
 			if !p.IsSYN() {
+				mNotSYN.Inc()
 				continue
 			}
 			p.Time = ts
@@ -164,7 +190,7 @@ func main() {
 		}
 	default:
 		for {
-			ts, data, _, err := pcapR.Next()
+			rec, err := pcapR.Next()
 			if err == io.EOF {
 				break
 			}
@@ -172,18 +198,27 @@ func main() {
 				log.Fatal(err)
 			}
 			total++
-			if err := p.UnmarshalFrame(data); err != nil {
+			if rec.Truncated() {
+				mTruncated.Inc()
+			}
+			if err := p.UnmarshalFrame(rec.Data); err != nil {
+				mUnparsed.Inc()
 				continue
 			}
 			parsed++
 			if !p.IsSYN() {
+				mNotSYN.Inc()
 				continue
 			}
-			p.Time = ts
+			p.Time = rec.Time
 			ingest()
 		}
 	}
+	replaySpan.End()
+
+	flushSpan := obs.StartSpan(reg.Histogram("replay.flush_ns"))
 	det.FlushAll()
+	flushSpan.End()
 
 	qualified := 0
 	toolHist := map[string]uint64{}
@@ -214,5 +249,11 @@ func main() {
 	if len(speeds) > 0 {
 		fmt.Println()
 		report.CDF(os.Stdout, "extrapolated campaign speed (pps)", stats.NewECDF(speeds))
+	}
+
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(reg.Snapshot(), *metricsOut); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/synscan/synscan/internal/analysis"
 	"github.com/synscan/synscan/internal/collab"
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/report"
 	"github.com/synscan/synscan/internal/stats"
 	"github.com/synscan/synscan/internal/tools"
@@ -38,11 +39,37 @@ func main() {
 	jsonOut := flag.String("json", "", "write the complete evaluation as JSON to this path (skips the text report)")
 	csvDir := flag.String("csv", "", "write the evaluation's series as CSV files into this directory (skips the text report)")
 	mdOut := flag.String("markdown", "", "write the evaluation as a Markdown document to this path (skips the text report)")
+	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
+	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// One registry spans the whole decade: per-year pipelines aggregate into
+	// it (each YearData additionally keeps its own snapshot). Nil when no
+	// metrics sink was requested, which disables all instrumentation.
+	var reg *obs.Registry
+	if *metricsOut != "" || *metricsEvery > 0 {
+		reg = obs.NewRegistry()
+	}
+	defer obs.StartDump(reg, os.Stderr, *metricsEvery)()
+	cc := analysis.CollectConfig{Workers: *workers, Metrics: reg}
+	dumpMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.WriteSnapshotFile(reg.Snapshot(), *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if *jsonOut != "" || *csvDir != "" || *mdOut != "" {
 		log.Printf("computing full evaluation (seed %d, scale %g, telescope %d)...", *seed, *scale, *telSize)
-		ev, err := analysis.FullEvaluation(*seed, *scale, *telSize)
+		ev, err := analysis.FullEvaluationWith(*seed, *scale, *telSize, cc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,6 +99,7 @@ func main() {
 			report.Markdown(f, ev)
 			log.Printf("wrote %s", *mdOut)
 		}
+		dumpMetrics()
 		return
 	}
 
@@ -95,7 +123,7 @@ func main() {
 	if needDecade {
 		log.Printf("simulating 2015-2024 (seed %d, scale %g, telescope %d)...", *seed, *scale, *telSize)
 		var err error
-		years, err = analysis.DecadeWorkers(*seed, *scale, *telSize, *workers)
+		years, err = analysis.DecadeWith(*seed, *scale, *telSize, cc)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -372,6 +400,8 @@ func main() {
 			len(r.Coverages), report.Pct(r.FullIPv4Share), r.ModeCoverage*100, r.ModeCount)
 		report.CDF(out, "zmap coverage", stats.NewECDF(r.Coverages))
 	}
+
+	dumpMetrics()
 }
 
 func section(w *os.File, title string) {

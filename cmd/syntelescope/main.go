@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"github.com/synscan/synscan/internal/flowlog"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/pcap"
 	"github.com/synscan/synscan/internal/pcapng"
@@ -37,10 +38,24 @@ func main() {
 	out := flag.String("out", "", "output path (omit for stats only)")
 	format := flag.String("format", "pcap", "output format: pcap, pcapng, or spool (compact flowlog)")
 	maxPackets := flag.Uint64("max-packets", 0, "stop after this many accepted packets (0 = all)")
+	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
+	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 	if *format != "pcap" && *format != "pcapng" && *format != "spool" {
 		log.Fatalf("unknown format %q (want pcap, pcapng or spool)", *format)
 	}
+
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" || *metricsEvery > 0 {
+		reg = obs.NewRegistry()
+	}
+	defer obs.StartDump(reg, os.Stderr, *metricsEvery)()
 
 	s, err := workload.NewScenario(workload.Config{
 		Year: *year, Seed: *seed, Scale: *scale, TelescopeSize: *telSize,
@@ -48,6 +63,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	s.Telescope.SetMetrics(reg)
 
 	var pcapW *pcap.Writer
 	var ngW *pcapng.Writer
@@ -73,6 +89,7 @@ func main() {
 
 	var accepted uint64
 	frame := make([]byte, 0, packet.FrameLen)
+	genSpan := obs.StartSpan(reg.Histogram("generate.run_ns"))
 	sum := s.Run(func(p *packet.Probe) {
 		if s.Telescope.Observe(p) != telescope.Accepted {
 			return
@@ -98,6 +115,7 @@ func main() {
 			}
 		}
 	})
+	genSpan.End()
 	if pcapW != nil {
 		if err := pcapW.Flush(); err != nil {
 			log.Fatal(err)
@@ -124,5 +142,10 @@ func main() {
 		st.NotMonitored, st.Policy, st.NotSYN, st.NotTCP, st.Outage)
 	if *out != "" {
 		fmt.Printf("wrote %s\n", *out)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(reg.Snapshot(), *metricsOut); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -100,6 +100,116 @@ func TestFacadeSimulateWorkers(t *testing.T) {
 	}
 }
 
+// TestFacadeOnScanMatchesFinish: the streaming delivery model must see the
+// identical campaign multiset that the accumulating Finish path returns,
+// both sequentially and sharded.
+func TestFacadeOnScanMatchesFinish(t *testing.T) {
+	stream := makeAblationStream(40000, 2048)
+	keys := func(scans []*Scan) []string {
+		out := make([]string, len(scans))
+		for i, s := range scans {
+			out[i] = fmt.Sprintf("%+v", *s)
+		}
+		sort.Strings(out)
+		return out
+	}
+	run := func(opts ...AnalyzerOption) []string {
+		a := NewAnalyzer(65536, opts...)
+		for i := range stream {
+			a.Ingest(&stream[i])
+		}
+		return keys(a.Finish())
+	}
+	for _, w := range []int{1, 3} {
+		want := run(WithWorkers(w))
+		var streamed []*Scan
+		a := NewAnalyzer(65536, WithWorkers(w), WithOnScan(func(s *Scan) {
+			streamed = append(streamed, s)
+		}))
+		for i := range stream {
+			a.Ingest(&stream[i])
+		}
+		if got := a.Finish(); got != nil {
+			t.Fatalf("workers=%d: Finish returned %d scans despite WithOnScan", w, len(got))
+		}
+		got := keys(streamed)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: streamed %d scans, Finish path %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: scan %d differs:\n streamed %s\n finish   %s", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFacadeAnalyzerStats: Stats must reflect the ingress filter and the
+// detector lifecycle without any explicit metrics wiring.
+func TestFacadeAnalyzerStats(t *testing.T) {
+	stream := makeAblationStream(20000, 2048)
+	a := NewAnalyzer(65536, WithWorkers(2))
+	var notSYN uint64
+	for i := range stream {
+		if !stream[i].IsSYN() {
+			notSYN++
+		}
+		a.Ingest(&stream[i])
+	}
+	scans := a.Finish()
+	st := a.Stats()
+	if got := st.Counter("analyzer.packets.accepted"); got != uint64(len(stream))-notSYN {
+		t.Fatalf("accepted = %d, want %d", got, uint64(len(stream))-notSYN)
+	}
+	if got := st.Counter("analyzer.drop.not_syn"); got != notSYN {
+		t.Fatalf("not_syn = %d, want %d", got, notSYN)
+	}
+	if got := st.Counter("detector.flows.closed"); got != uint64(len(scans)) {
+		t.Fatalf("flows closed = %d, want %d", got, len(scans))
+	}
+	if _, ok := st.Gauges["detector.shard.queue_depth"]; !ok {
+		t.Fatal("sharded analyzer missing queue-depth gauge")
+	}
+
+	// An externally supplied registry is used as-is.
+	reg := NewMetrics()
+	b := NewAnalyzer(65536, WithMetrics(reg))
+	b.Ingest(&stream[0])
+	if reg.Snapshot().Counter("analyzer.packets.accepted")+reg.Snapshot().Counter("analyzer.drop.not_syn") != 1 {
+		t.Fatal("WithMetrics registry not wired")
+	}
+}
+
+// TestFacadeConfigMetrics: Simulate with Config.Metrics must fill
+// YearData.PipelineStats with telescope, detector and stage-timing metrics
+// that agree with the YearData aggregates.
+func TestFacadeConfigMetrics(t *testing.T) {
+	reg := NewMetrics()
+	yd, err := Simulate(Config{
+		Year: 2016, Seed: 3, Scale: 0.0003, TelescopeSize: 2048,
+		Workers: 2, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := yd.PipelineStats
+	if got := st.Counter("telescope.packets.accepted"); got != yd.AcceptedPackets {
+		t.Fatalf("accepted = %d, want %d", got, yd.AcceptedPackets)
+	}
+	if got := st.Counter("detector.flows.closed"); got != uint64(len(yd.Scans)) {
+		t.Fatalf("flows closed = %d, want %d", got, len(yd.Scans))
+	}
+	for _, name := range []string{"collect.run_ns", "collect.flush_ns", "collect.finalize_ns"} {
+		if st.Histograms[name].Count != 1 {
+			t.Fatalf("stage histogram %s count = %d, want 1", name, st.Histograms[name].Count)
+		}
+	}
+	if st.Counter("enrich.cache.hits")+st.Counter("enrich.cache.misses") != uint64(len(yd.Scans)) {
+		t.Fatalf("cache hits+misses = %d, want %d lookups",
+			st.Counter("enrich.cache.hits")+st.Counter("enrich.cache.misses"), len(yd.Scans))
+	}
+}
+
 func TestFacadeVolatility(t *testing.T) {
 	yd, _ := facadeData(t)
 	res := Volatility(yd)

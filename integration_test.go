@@ -66,20 +66,20 @@ func TestPcapRoundTripPipeline(t *testing.T) {
 	var parsed uint64
 	var p packet.Probe
 	for {
-		ts, data, orig, err := r.Next()
+		rec, err := r.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			t.Fatal(err)
 		}
-		if orig != uint32(len(data)) {
-			t.Fatalf("full frames must not be truncated: incl=%d orig=%d", len(data), orig)
+		if rec.Truncated() {
+			t.Fatalf("full frames must not be truncated: incl=%d orig=%d", len(rec.Data), rec.OrigLen)
 		}
-		if err := p.UnmarshalFrame(data); err != nil {
+		if err := p.UnmarshalFrame(rec.Data); err != nil {
 			t.Fatal(err)
 		}
-		p.Time = ts
+		p.Time = rec.Time
 		parsed++
 		detB.Ingest(&p)
 	}

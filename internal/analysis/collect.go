@@ -8,6 +8,7 @@ import (
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/stats"
 	"github.com/synscan/synscan/internal/telescope"
@@ -64,6 +65,12 @@ type YearData struct {
 	// per port, for the benign-scanner bias analysis (§7).
 	InstPacketsPerPort *stats.Counter[uint16]
 
+	// PipelineStats is the observability snapshot taken when collection
+	// finished — telescope drop mix, detector flow lifecycle, shard queue
+	// behaviour, enrichment cache hits, per-stage wall time. Zero when the
+	// year was collected without a metrics registry.
+	PipelineStats obs.Snapshot
+
 	reg *inetmodel.Registry
 }
 
@@ -88,18 +95,37 @@ type PortCountry struct {
 // Registry returns the synthetic Internet behind the year.
 func (y *YearData) Registry() *inetmodel.Registry { return y.reg }
 
+// CollectConfig parameterizes CollectWith. The zero value is the default
+// collection: sequential detection, no metrics.
+type CollectConfig struct {
+	// Workers shards campaign detection across this many goroutines
+	// (<= 1 keeps the sequential detector). The emitted campaign multiset
+	// is identical either way; with Workers > 1 the Scans order is the
+	// sharded detector's canonical (End, Start, Src) order rather than
+	// close order.
+	Workers int
+	// Metrics, when non-nil, instruments the whole collection pass —
+	// telescope ingress, detector, shard queues, enrichment cache, and
+	// per-stage wall time — and stores a final snapshot in
+	// YearData.PipelineStats.
+	Metrics *obs.Registry
+}
+
 // Collect simulates the scenario and gathers all aggregates in one pass
-// with the sequential detector. Equivalent to CollectWorkers(s, 1).
+// with the sequential detector. Equivalent to CollectWith(s, CollectConfig{}).
 func Collect(s *workload.Scenario) *YearData {
-	return CollectWorkers(s, 1)
+	return CollectWith(s, CollectConfig{})
 }
 
 // CollectWorkers is Collect with campaign detection sharded across the given
-// number of goroutines (workers <= 1 keeps the sequential detector). The
-// emitted campaign multiset is identical either way; with workers > 1 the
-// Scans order is the sharded detector's canonical (End, Start, Src) order
-// rather than close order.
+// number of goroutines; see CollectConfig.Workers.
 func CollectWorkers(s *workload.Scenario, workers int) *YearData {
+	return CollectWith(s, CollectConfig{Workers: workers})
+}
+
+// CollectWith simulates the scenario and gathers all aggregates in one
+// streaming pass, with sharding and observability per cc.
+func CollectWith(s *workload.Scenario, cc CollectConfig) *YearData {
 	yd := &YearData{
 		Year:               s.Profile.Year,
 		Days:               s.Profile.Days,
@@ -118,7 +144,10 @@ func CollectWorkers(s *workload.Scenario, workers int) *YearData {
 		Weeks:              s.Profile.Days / 7,
 		reg:                s.Registry,
 	}
+	reg := cc.Metrics // nil disables every obs call below
 	en := enrich.New(s.Registry)
+	en.SetMetrics(reg)
+	s.Telescope.SetMetrics(reg)
 
 	// Both detector variants emit on this goroutine: the sequential one
 	// inline from Ingest, the sharded one during its merging FlushAll.
@@ -126,20 +155,15 @@ func CollectWorkers(s *workload.Scenario, workers int) *YearData {
 		yd.Scans = append(yd.Scans, sc)
 		yd.ScanOrigins = append(yd.ScanOrigins, en.Origin(sc.Src))
 	}
-	var det core.Ingester
-	if workers > 1 {
-		det = core.NewShardedDetector(core.ShardedConfig{
-			Config: s.DetectorConfig, Workers: workers,
-		}, collect)
-	} else {
-		det = core.NewDetector(s.DetectorConfig, collect)
-	}
+	det := core.NewDetector(s.DetectorConfig, collect,
+		core.WithWorkers(cc.Workers), core.WithMetrics(reg))
 
 	// Dedup sets, keyed compactly.
 	srcPort := make(map[uint64]struct{}) // src<<16|port seen
 	weekSrc := make(map[uint64]struct{}) // block<<40|week<<32|srcLow seen
 	day := int64(24 * 3600 * 1e9)
 
+	runSpan := obs.StartSpan(reg.Histogram("collect.run_ns"))
 	s.Run(func(p *packet.Probe) {
 		if s.Telescope.Observe(p) != telescope.Accepted {
 			return
@@ -194,18 +218,27 @@ func CollectWorkers(s *workload.Scenario, workers int) *YearData {
 
 		det.Ingest(p)
 	})
-	det.FlushAll()
+	runSpan.End()
 
+	flushSpan := obs.StartSpan(reg.Histogram("collect.flush_ns"))
+	det.FlushAll()
+	flushSpan.End()
+
+	finalizeSpan := obs.StartSpan(reg.Histogram("collect.finalize_ns"))
 	yd.DistinctSources = len(yd.PortsPerSource)
 	yd.TelescopeStats = s.Telescope.Stats()
 
-	for i, sc := range yd.Scans {
+	for _, sc := range yd.Scans {
 		if !sc.Qualified {
 			continue
 		}
-		_ = i
 		week := uint8(int((sc.Start - s.Start) / (7 * day)))
 		yd.WeeklyScans.Inc(BlockWeek{inetmodel.Block16(sc.Src), week})
+	}
+	finalizeSpan.End()
+
+	if reg != nil {
+		yd.PipelineStats = reg.Snapshot()
 	}
 	return yd
 }

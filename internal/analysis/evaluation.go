@@ -52,7 +52,13 @@ type Evaluation struct {
 
 // FullEvaluation simulates the decade and computes every experiment.
 func FullEvaluation(seed uint64, scale float64, telescopeSize int) (*Evaluation, error) {
-	years, err := Decade(seed, scale, telescopeSize)
+	return FullEvaluationWith(seed, scale, telescopeSize, CollectConfig{})
+}
+
+// FullEvaluationWith is FullEvaluation with the decade collected under cc
+// (sharded detection, pipeline metrics).
+func FullEvaluationWith(seed uint64, scale float64, telescopeSize int, cc CollectConfig) (*Evaluation, error) {
+	years, err := DecadeWith(seed, scale, telescopeSize, cc)
 	if err != nil {
 		return nil, err
 	}

@@ -143,6 +143,15 @@ func Decade(seed uint64, scale float64, telescopeSize int) ([]*YearData, error) 
 // concurrency multiplies the year-level concurrency, so the total goroutine
 // count is roughly years x workers.
 func DecadeWorkers(seed uint64, scale float64, telescopeSize, workers int) ([]*YearData, error) {
+	return DecadeWith(seed, scale, telescopeSize, CollectConfig{Workers: workers})
+}
+
+// DecadeWith is Decade with each year collected under cc. A non-nil
+// cc.Metrics registry is shared by all years: its counters and histograms
+// aggregate across the whole decade (the registry is safe for concurrent
+// use), while each YearData.PipelineStats holds the snapshot taken as that
+// year finished.
+func DecadeWith(seed uint64, scale float64, telescopeSize int, cc CollectConfig) ([]*YearData, error) {
 	reg := inetmodel.BuildRegistry(seed)
 	years := workload.Years()
 	out := make([]*YearData, len(years))
@@ -160,7 +169,7 @@ func DecadeWorkers(seed uint64, scale float64, telescopeSize, workers int) ([]*Y
 				errs[i] = err
 				return
 			}
-			out[i] = CollectWorkers(s, workers)
+			out[i] = CollectWith(s, cc)
 		}(i, y)
 	}
 	wg.Wait()

@@ -104,7 +104,8 @@ type flow struct {
 
 // Ingester is the streaming surface shared by the detector variants:
 // the sequential Detector, the sweep-based NaiveDetector, and the parallel
-// ShardedDetector, so pipelines can switch implementations by configuration.
+// ShardedDetector, so pipelines can switch implementations by configuration
+// (NewDetector with WithWorkers selects among them).
 type Ingester interface {
 	// Ingest processes one accepted probe.
 	Ingest(*packet.Probe)
@@ -112,6 +113,8 @@ type Ingester interface {
 	FlushAll()
 	// ActiveFlows returns the number of currently open flows.
 	ActiveFlows() int
+	// Counts returns (flows opened, flows closed, campaigns qualified).
+	Counts() (opened, closed, qualified uint64)
 }
 
 var (
@@ -128,13 +131,14 @@ type Detector struct {
 	head, tail *flow
 	emit       func(*Scan)
 	now        int64
+	met        *detMetrics // nil when metrics are disabled
 
 	opened, closed, qualified uint64
 }
 
-// NewDetector returns a detector that calls emit for every closed flow.
-// Zero Config fields are filled with the paper's defaults.
-func NewDetector(cfg Config, emit func(*Scan)) *Detector {
+// newSequentialDetector is the concrete sequential constructor behind
+// NewDetector; met may be nil (metrics disabled).
+func newSequentialDetector(cfg Config, emit func(*Scan), met *detMetrics) *Detector {
 	if cfg.TelescopeSize <= 0 {
 		panic("core: Config.TelescopeSize must be positive")
 	}
@@ -151,6 +155,7 @@ func NewDetector(cfg Config, emit func(*Scan)) *Detector {
 		cfg:   cfg,
 		flows: make(map[uint32]*flow),
 		emit:  emit,
+		met:   met,
 	}
 }
 
@@ -173,6 +178,10 @@ func (d *Detector) Ingest(p *packet.Probe) {
 		}
 		d.flows[p.Src] = f
 		d.opened++
+		if d.met != nil {
+			d.met.opened.Inc()
+			d.met.active.Add(1)
+		}
 	} else {
 		d.lruUnlink(f)
 	}
@@ -182,6 +191,11 @@ func (d *Detector) Ingest(p *packet.Probe) {
 	// would break.
 	if p.Time > f.end {
 		f.end = p.Time
+	} else if d.met != nil && p.Time < f.end {
+		d.met.endClamp.Inc()
+	}
+	if d.met != nil {
+		d.met.packets.Inc()
 	}
 	f.packets++
 	f.dsts[p.Dst] = struct{}{}
@@ -208,6 +222,9 @@ func (d *Detector) expireBefore(cutoff int64) {
 		f := d.head
 		d.lruUnlink(f)
 		delete(d.flows, f.src)
+		if d.met != nil {
+			d.met.expired.Inc()
+		}
 		d.close(f)
 	}
 }
@@ -225,6 +242,10 @@ func (d *Detector) FlushAll() {
 // close finalizes a flow into a Scan and emits it.
 func (d *Detector) close(f *flow) {
 	d.closed++
+	if d.met != nil {
+		d.met.closed.Inc()
+		d.met.active.Add(-1)
+	}
 	s := &Scan{
 		Src:          f.src,
 		Start:        f.start,
@@ -253,6 +274,9 @@ func (d *Detector) close(f *flow) {
 	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
 	if s.Qualified {
 		d.qualified++
+		if d.met != nil {
+			d.met.qualified.Inc()
+		}
 	}
 	if d.emit != nil {
 		d.emit(s)

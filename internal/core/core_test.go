@@ -18,7 +18,7 @@ func collector() (*[]*Scan, func(*Scan)) {
 
 // feedCampaign ingests n probes from one tool-driven source, spread evenly
 // over the given duration, hitting n distinct destinations.
-func feedCampaign(d *Detector, tool tools.Tool, src uint32, n int, start, dur int64, seed uint64) {
+func feedCampaign(d Ingester, tool tools.Tool, src uint32, n int, start, dur int64, seed uint64) {
 	r := rng.New(seed)
 	pr := tools.NewProber(tool, src, r)
 	for i := 0; i < n; i++ {
@@ -276,7 +276,7 @@ func TestReorderedProbeDoesNotBreakExpiry(t *testing.T) {
 // TestAdvanceTime: the clock can move without a probe, expiring idle flows.
 func TestAdvanceTime(t *testing.T) {
 	scans, emit := collector()
-	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, emit)
+	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, emit).(*Detector)
 	p := packet.Probe{Time: 0, Src: 1, Dst: 1, DstPort: 80, Flags: packet.FlagSYN}
 	d.Ingest(&p)
 	d.AdvanceTime(int64(30 * time.Minute))
@@ -295,7 +295,7 @@ func TestAdvanceTime(t *testing.T) {
 }
 
 func TestConfigDefaults(t *testing.T) {
-	d := NewDetector(Config{TelescopeSize: 10}, nil)
+	d := NewDetector(Config{TelescopeSize: 10}, nil).(*Detector)
 	if d.cfg.MinDistinctDsts != DefaultMinDistinctDsts ||
 		d.cfg.MinRatePPS != DefaultMinRatePPS ||
 		d.cfg.Expiry != DefaultExpiry {

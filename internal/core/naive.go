@@ -20,6 +20,8 @@ type NaiveDetector struct {
 	flows map[uint32]*flow
 	emit  func(*Scan)
 	now   int64
+
+	opened, closed, qualified uint64
 }
 
 // NewNaiveDetector mirrors NewDetector for the sweep-based variant.
@@ -69,6 +71,7 @@ func (d *NaiveDetector) Ingest(p *packet.Probe) {
 			ports: make(map[uint16]struct{}),
 		}
 		d.flows[p.Src] = f
+		d.opened++
 	}
 	// Same reordering clamp as Detector.Ingest: end never moves backwards.
 	if p.Time > f.end {
@@ -96,6 +99,7 @@ func (d *NaiveDetector) FlushAll() {
 
 // close duplicates Detector.close's qualification math.
 func (d *NaiveDetector) close(f *flow) {
+	d.closed++
 	s := &Scan{
 		Src:          f.src,
 		Start:        f.start,
@@ -116,6 +120,9 @@ func (d *NaiveDetector) close(f *flow) {
 	s.RatePPS = inetmodel.ExtrapolateRate(float64(s.Packets)/durSec, d.cfg.TelescopeSize)
 	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, d.cfg.TelescopeSize)
 	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
+	if s.Qualified {
+		d.qualified++
+	}
 	if d.emit != nil {
 		d.emit(s)
 	}
@@ -123,3 +130,8 @@ func (d *NaiveDetector) close(f *flow) {
 
 // ActiveFlows returns the number of currently open flows.
 func (d *NaiveDetector) ActiveFlows() int { return len(d.flows) }
+
+// Counts returns (flows opened, flows closed, campaigns qualified).
+func (d *NaiveDetector) Counts() (opened, closed, qualified uint64) {
+	return d.opened, d.closed, d.qualified
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 )
 
@@ -98,6 +100,7 @@ type ShardedDetector struct {
 	emit   func(*Scan)
 	wg     sync.WaitGroup
 	pool   sync.Pool // batch buffers: *[]packet.Probe
+	met    *shardedMetrics
 
 	mu            sync.Mutex
 	pending       [][]packet.Probe // per-shard partial batch
@@ -106,11 +109,29 @@ type ShardedDetector struct {
 	done          bool
 }
 
+// shardedMetrics is the router-level metric set (the per-flow lifecycle
+// counters live in the shards' inner Detectors, shared through one
+// detMetrics). A nil *shardedMetrics disables the instrumentation.
+type shardedMetrics struct {
+	batches      *obs.Counter
+	batchFill    *obs.Histogram // probes per dispatched batch
+	watermarkLag *obs.Histogram // stream-time ns a shard clock trailed a watermark
+	mergeNS      *obs.Histogram // wall time of the FlushAll merge
+}
+
 // NewShardedDetector starts cfg.Workers shard goroutines and returns the
 // router. emit is called for every closed flow, from the goroutine that
 // calls FlushAll. Zero sharding knobs get defaults; the embedded Config is
 // defaulted exactly like NewDetector.
+//
+// Deprecated: use NewDetector with WithWorkers (and WithMetrics for
+// observability); this wrapper remains for callers that need the
+// non-default sharding knobs of ShardedConfig.
 func NewShardedDetector(cfg ShardedConfig, emit func(*Scan)) *ShardedDetector {
+	return newShardedDetector(cfg, emit, nil)
+}
+
+func newShardedDetector(cfg ShardedConfig, emit func(*Scan), reg *obs.Registry) *ShardedDetector {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -132,16 +153,44 @@ func NewShardedDetector(cfg ShardedConfig, emit func(*Scan)) *ShardedDetector {
 		emit:    emit,
 		pending: make([][]packet.Probe, cfg.Workers),
 	}
+	if reg != nil {
+		sd.met = &shardedMetrics{
+			batches:      reg.Counter("detector.shard.batches"),
+			batchFill:    reg.Histogram("detector.shard.batch_fill"),
+			watermarkLag: reg.Histogram("detector.shard.watermark_lag_ns"),
+			mergeNS:      reg.Histogram("detector.shard.merge_ns"),
+		}
+	}
+	// All shards share one detMetrics: the counters are concurrency-safe
+	// and the active-flow gauge moves by deltas, so the registry sees the
+	// lossless roll-up across shards.
+	dm := newDetMetrics(reg)
 	sd.pool.New = func() any {
 		b := make([]packet.Probe, 0, cfg.BatchSize)
 		return &b
 	}
 	for i := range sd.shards {
 		sh := &shard{ch: make(chan shardMsg, cfg.QueueDepth)}
-		sh.det = NewDetector(cfg.Config, func(s *Scan) { sh.scans = append(sh.scans, s) })
+		sh.det = newSequentialDetector(cfg.Config, func(s *Scan) { sh.scans = append(sh.scans, s) }, dm)
 		sd.shards[i] = sh
 		sd.wg.Add(1)
 		go sd.run(sh)
+	}
+	if reg != nil {
+		for i, sh := range sd.shards {
+			ch := sh.ch
+			// len(chan) is safe from any goroutine; the gauge reads lazily
+			// at snapshot time so idle registries cost nothing.
+			reg.GaugeFunc(fmt.Sprintf("detector.shard.%02d.queue_depth", i),
+				func() int64 { return int64(len(ch)) })
+		}
+		reg.GaugeFunc("detector.shard.queue_depth", func() int64 {
+			var n int64
+			for _, sh := range sd.shards {
+				n += int64(len(sh.ch))
+			}
+			return n
+		})
 	}
 	return sd
 }
@@ -154,6 +203,13 @@ func (sd *ShardedDetector) run(sh *shard) {
 			sh.det.Ingest(&msg.batch[i])
 		}
 		if msg.watermark > 0 {
+			if sd.met != nil {
+				// How far this shard's clock trailed the stream's
+				// high-water mark when the watermark arrived.
+				if lag := msg.watermark - sh.det.now; lag > 0 {
+					sd.met.watermarkLag.Observe(lag)
+				}
+			}
 			sh.det.AdvanceTime(msg.watermark)
 		}
 		if msg.batch != nil {
@@ -171,6 +227,14 @@ func (sh *shard) publish() {
 	sh.closed.Store(closed)
 	sh.qualified.Store(qualified)
 	sh.active.Store(int64(sh.det.ActiveFlows()))
+}
+
+// observeBatch records one dispatched batch's fill level.
+func (sd *ShardedDetector) observeBatch(batch []packet.Probe) {
+	if sd.met != nil && batch != nil {
+		sd.met.batches.Inc()
+		sd.met.batchFill.Observe(int64(len(batch)))
+	}
 }
 
 // shardOf routes a source address to its shard: a multiplicative hash so
@@ -206,6 +270,7 @@ func (sd *ShardedDetector) Ingest(p *packet.Probe) {
 		for j := range sd.shards {
 			batch := sd.pending[j]
 			sd.pending[j] = nil
+			sd.observeBatch(batch)
 			sd.shards[j].ch <- shardMsg{batch: batch, watermark: wm}
 		}
 		sd.mu.Unlock()
@@ -214,6 +279,7 @@ func (sd *ShardedDetector) Ingest(p *packet.Probe) {
 	if full {
 		batch := sd.pending[i]
 		sd.pending[i] = nil
+		sd.observeBatch(batch)
 		sd.shards[i].ch <- shardMsg{batch: batch}
 	}
 	sd.mu.Unlock()
@@ -234,6 +300,7 @@ func (sd *ShardedDetector) FlushAll() {
 	for i, sh := range sd.shards {
 		if batch := sd.pending[i]; batch != nil {
 			sd.pending[i] = nil
+			sd.observeBatch(batch)
 			sh.ch <- shardMsg{batch: batch}
 		}
 	}
@@ -242,6 +309,10 @@ func (sd *ShardedDetector) FlushAll() {
 		close(sh.ch)
 	}
 	sd.wg.Wait()
+	var mergeSpan obs.Span
+	if sd.met != nil {
+		mergeSpan = obs.StartSpan(sd.met.mergeNS)
+	}
 	var scans []*Scan
 	for _, sh := range sd.shards {
 		sh.det.FlushAll()
@@ -265,6 +336,7 @@ func (sd *ShardedDetector) FlushAll() {
 			sd.emit(s)
 		}
 	}
+	mergeSpan.End()
 }
 
 // Workers returns the number of shards.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 )
 
 // Origin is everything the enrichment knows about a source address.
@@ -30,18 +31,49 @@ type Origin struct {
 	OrgName string
 }
 
-// Enricher answers Origin lookups against a registry.
+// cacheLimit bounds the Origin cache. Scan sources recur heavily (the same
+// scanners return day after day), so a modest cache absorbs most lookups;
+// when it fills, it is dropped wholesale rather than tracked per-entry —
+// the rebuild cost is one registry lookup per entry, and the counters make
+// any thrash visible.
+const cacheLimit = 1 << 16
+
+// Enricher answers Origin lookups against a registry, memoizing results
+// per source address. Not safe for concurrent use (matching the per-year
+// collection pipeline, which enriches from a single goroutine).
 type Enricher struct {
-	reg *inetmodel.Registry
+	reg   *inetmodel.Registry
+	cache map[uint32]Origin
+
+	hits, misses *obs.Counter
+	size         *obs.Gauge
 }
 
 // New creates an Enricher over the registry.
 func New(reg *inetmodel.Registry) *Enricher {
-	return &Enricher{reg: reg}
+	return &Enricher{reg: reg, cache: make(map[uint32]Origin)}
+}
+
+// SetMetrics attaches an observability registry: lookups report
+// enrich.cache.hits / enrich.cache.misses and the enrich.cache.size gauge.
+// A nil registry detaches.
+func (e *Enricher) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		e.hits, e.misses, e.size = nil, nil, nil
+		return
+	}
+	e.hits = reg.Counter("enrich.cache.hits")
+	e.misses = reg.Counter("enrich.cache.misses")
+	e.size = reg.Gauge("enrich.cache.size")
 }
 
 // Origin classifies one source address.
 func (e *Enricher) Origin(ip uint32) Origin {
+	if o, ok := e.cache[ip]; ok {
+		e.hits.Inc()
+		return o
+	}
+	e.misses.Inc()
 	entry := e.reg.Lookup(ip)
 	o := Origin{
 		Country: entry.Country,
@@ -52,6 +84,11 @@ func (e *Enricher) Origin(ip uint32) Origin {
 	if entry.OrgID >= 0 {
 		o.OrgName = e.reg.Orgs()[entry.OrgID].Name
 	}
+	if len(e.cache) >= cacheLimit {
+		e.cache = make(map[uint32]Origin)
+	}
+	e.cache[ip] = o
+	e.size.Set(int64(len(e.cache)))
 	return o
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/rng"
 )
 
@@ -151,5 +152,37 @@ func BenchmarkOrigin(b *testing.B) {
 	e := New(reg)
 	for i := 0; i < b.N; i++ {
 		_ = e.Origin(uint32(i * 2654435761))
+	}
+}
+
+// TestOriginCache: repeated lookups of one source hit the memoization and
+// report through the metrics, and cached results match fresh ones.
+func TestOriginCache(t *testing.T) {
+	reg := inetmodel.BuildRegistry(1)
+	e := New(reg)
+	m := obs.NewRegistry()
+	e.SetMetrics(m)
+
+	ip := uint32(0x08080808)
+	first := e.Origin(ip)
+	for i := 0; i < 9; i++ {
+		if got := e.Origin(ip); got != first {
+			t.Fatalf("cached origin %+v != first %+v", got, first)
+		}
+	}
+	s := m.Snapshot()
+	if s.Counter("enrich.cache.misses") != 1 {
+		t.Fatalf("misses = %d, want 1", s.Counter("enrich.cache.misses"))
+	}
+	if s.Counter("enrich.cache.hits") != 9 {
+		t.Fatalf("hits = %d, want 9", s.Counter("enrich.cache.hits"))
+	}
+	if s.Gauge("enrich.cache.size") != 1 {
+		t.Fatalf("size = %d, want 1", s.Gauge("enrich.cache.size"))
+	}
+
+	// A fresh uncached enricher agrees with the cached one.
+	if got := New(reg).Origin(ip); got != first {
+		t.Fatalf("uncached origin %+v != cached %+v", got, first)
 	}
 }

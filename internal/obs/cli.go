@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers its handlers on http.DefaultServeMux
+	"os"
+)
+
+// WriteSnapshotFile writes the snapshot as indented JSON to path, with "-"
+// meaning stdout. This is the commands' -metrics sink.
+func WriteSnapshotFile(s Snapshot, path string) error {
+	if path == "-" {
+		return s.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartPprof serves net/http/pprof on addr from a background goroutine,
+// returning once the listener is bound so address errors surface at startup.
+// The commands' -pprof flag. The server runs for the process lifetime.
+func StartPprof(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go http.Serve(ln, nil) //nolint:errcheck // lifetime of the process
+	return nil
+}

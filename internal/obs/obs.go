@@ -1,0 +1,263 @@
+// Package obs is the pipeline's observability subsystem: dependency-free
+// metric primitives (sharded counters, gauges, log-linear histograms), a
+// race-safe Registry with text and JSON exposition, and stage-scoped timing
+// spans. Every pipeline stage — telescope ingress, campaign detection,
+// shard queues, enrichment, analysis collection — reports through these
+// types, so operational questions (drop mix, flow-table occupancy, queue
+// depth, per-stage latency) have first-class answers instead of requiring
+// ad-hoc printf instrumentation.
+//
+// Two properties shape the design:
+//
+//  1. The disabled path is free. Every metric method is a no-op on a nil
+//     receiver, and a nil *Registry hands out nil metrics, so instrumented
+//     hot paths pay one predictable branch when observability is off.
+//  2. The enabled path never blocks the pipeline. Counters are striped
+//     across cache lines to keep concurrent producers (the shard workers)
+//     off each other's cache lines; histograms use per-bucket atomics; a
+//     Snapshot scraped from another goroutine reads only atomics and is
+//     safe during full-rate ingest.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// counterStripes is the number of independent cells a Counter spreads its
+// increments over; must be a power of two.
+const counterStripes = 8
+
+// cell is one cache-line-padded counter stripe. 64 bytes of padding keeps
+// adjacent stripes out of each other's cache lines on common hardware.
+type cell struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing sharded counter. Increments from
+// different goroutines land on (usually) different stripes, so heavy
+// concurrent use does not serialize on one cache line. All methods are
+// no-ops on a nil receiver.
+type Counter struct {
+	cells [counterStripes]cell
+}
+
+// stripeIdx picks a stripe from the address of a stack slot: distinct
+// goroutines run on distinct stacks, so concurrent writers spread across
+// stripes while one goroutine keeps hitting the same hot cell.
+func stripeIdx() uint64 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b))) * 0x9e3779b97f4a7c15
+	return h >> (64 - 3) // top bits index the 8 stripes
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.cells[stripeIdx()].n.Add(n)
+}
+
+// Value sums the stripes. Concurrent adds may or may not be included.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].n.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous value (queue depth, open flows, cache size).
+// All methods are no-ops on a nil receiver; concurrent use is safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram bucket layout: log-linear, HDR-style. Values below histSub are
+// recorded exactly (one bucket per value); above that, every power-of-two
+// range is split into histSub linear sub-buckets, so relative error is
+// bounded by 1/histSub (~6%) across the full int64 range. 960 buckets
+// exactly cover [0, 2^63): the largest int64 lands in bucket 959.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histBuckets = (63-histSubBits+1)*histSub + histSub
+)
+
+// Histogram records a distribution of non-negative int64 observations
+// (durations in nanoseconds, batch sizes, lags). Negative observations are
+// clamped to zero. All methods are no-ops on a nil receiver; Observe is
+// safe for concurrent use and concurrent with snapshots.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// histIndex maps a value to its bucket.
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	k := bits.Len64(v) - 1 // 2^k <= v < 2^(k+1)
+	shift := uint(k - histSubBits)
+	idx := (k-histSubBits+1)*histSub + int((v>>shift)&(histSub-1))
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histLowerBound inverts histIndex: the smallest value in bucket idx.
+func histLowerBound(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	octave := idx >> histSubBits // >= 1
+	pos := idx & (histSub - 1)
+	return int64(histSub+pos) << uint(octave-1)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[histIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			break
+		}
+	}
+}
+
+// snapshot captures the histogram's current state. Not atomic across
+// buckets — counts observed mid-scrape may land on either side — but every
+// read is an atomic load, so it is race-free during concurrent Observes.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Lower: histLowerBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Bucket is one non-empty histogram bucket: Count observations at or above
+// Lower (and below the next bucket's Lower).
+type Bucket struct {
+	Lower int64  `json:"lower"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the lower bound of the bucket containing the q-quantile
+// (q in [0,1]); resolution is the bucket width (~6% relative).
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count-1))
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if rank < seen {
+			return b.Lower
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Lower
+}
+
+// Span times one stage execution into a Histogram of nanosecond durations.
+// The zero Span (and any Span from a nil histogram) is inert, so callers
+// never need to branch on whether metrics are enabled:
+//
+//	sp := obs.StartSpan(reg.Histogram("collect.run_ns"))
+//	stage()
+//	sp.End()
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// StartSpan begins timing into h. A nil h yields an inert span.
+func StartSpan(h *Histogram) Span {
+	if h == nil {
+		return Span{}
+	}
+	return Span{h: h, t0: time.Now()}
+}
+
+// End records the elapsed time. Safe to call on the zero Span.
+func (s Span) End() {
+	if s.h != nil {
+		s.h.Observe(time.Since(s.t0).Nanoseconds())
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry names and owns a process's metrics. Metric accessors return the
+// same instance for the same name, creating on first use, so independent
+// pipeline stages wire themselves up without central declarations. A nil
+// *Registry is the disabled mode: every accessor returns nil, which every
+// metric type accepts, so instrumented code never branches on enablement.
+//
+// Naming convention: dot-separated lowercase path, unit suffix for
+// histograms ("detector.merge_ns", "telescope.drop.policy").
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated lazily at snapshot time — for
+// values that are cheap and safe to read from any goroutine (channel
+// lengths, atomic loads) but wasteful to push on every change. fn must be
+// race-free against the pipeline. Re-registering a name replaces it.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFns[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric's current value. Safe to call from any
+// goroutine concurrently with metric updates; values across metrics are
+// near-simultaneous, not a consistent cut. A nil registry yields the zero
+// Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, fn := range r.gaugeFns {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Registry's metrics, the unit of
+// exposition: it marshals to JSON directly and renders as sorted text.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Counter returns a counter's value, 0 when absent.
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns a gauge's value, 0 when absent.
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// WriteJSON writes the snapshot as one indented JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes one "name value" line per metric, sorted by name —
+// histograms as "name count=N sum=S max=M p50=… p99=…". The format is
+// stable line-per-metric for grepping and periodic stderr dumps.
+func (s Snapshot) WriteText(w io.Writer) error {
+	type line struct{ name, val string }
+	var lines []line
+	for name, v := range s.Counters {
+		lines = append(lines, line{name, fmt.Sprint(v)})
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, line{name, fmt.Sprint(v)})
+	}
+	for name, h := range s.Histograms {
+		lines = append(lines, line{name, fmt.Sprintf(
+			"count=%d sum=%d max=%d p50=%d p99=%d",
+			h.Count, h.Sum, h.Max, h.Quantile(0.5), h.Quantile(0.99))})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StartDump begins periodically writing text snapshots of reg to w until
+// the returned stop function is called. A nil registry or non-positive
+// interval yields a no-op stop. Used by the commands' -metrics-interval
+// flag for a live stderr view of a long replay.
+func StartDump(reg *Registry, w io.Writer, every time.Duration) (stop func()) {
+	if reg == nil || every <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				snap := reg.Snapshot()
+				fmt.Fprintf(w, "--- metrics %s ---\n", time.Now().Format(time.RFC3339))
+				snap.WriteText(w)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -28,7 +28,7 @@ func FuzzReader(f *testing.F) {
 			return
 		}
 		for i := 0; i < 10000; i++ {
-			if _, _, _, err := r.Next(); err != nil {
+			if _, err := r.Next(); err != nil {
 				if err == io.EOF {
 					return
 				}

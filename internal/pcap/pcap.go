@@ -190,25 +190,38 @@ func (r *Reader) Snaplen() uint32 { return r.snaplen }
 // Nanosecond reports whether timestamps carry nanosecond resolution.
 func (r *Reader) Nanosecond() bool { return r.nano }
 
-// Next returns the next record's timestamp (nanoseconds since the epoch),
-// its captured data, and the packet's original on-the-wire length. When
-// origLen exceeds len(data) the record was truncated to the snap length at
-// capture time. The returned slice is reused by subsequent calls; callers
-// that keep it must copy. At end of stream Next returns io.EOF.
-func (r *Reader) Next() (tsNanos int64, data []byte, origLen uint32, err error) {
+// Record is one captured packet as stored in the file.
+type Record struct {
+	// Time is the capture timestamp in nanoseconds since the Unix epoch.
+	Time int64
+	// Data is the captured bytes. The slice is reused by subsequent Next
+	// calls; callers that keep it must copy.
+	Data []byte
+	// OrigLen is the packet's original on-the-wire length, which exceeds
+	// len(Data) when the capture truncated the packet to its snap length.
+	OrigLen uint32
+}
+
+// Truncated reports whether the capture stored fewer bytes than were on the
+// wire (len(Data) < OrigLen).
+func (rec Record) Truncated() bool { return uint32(len(rec.Data)) < rec.OrigLen }
+
+// Next returns the next record. Record.Data is reused by subsequent calls;
+// callers that keep it must copy. At end of stream Next returns io.EOF.
+func (r *Reader) Next() (Record, error) {
 	var hdr [recordHeaderLen]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return 0, nil, 0, fmt.Errorf("pcap: truncated record header: %w", err)
+			return Record{}, fmt.Errorf("pcap: truncated record header: %w", err)
 		}
-		return 0, nil, 0, err
+		return Record{}, err
 	}
 	sec := r.order.Uint32(hdr[0:4])
 	sub := r.order.Uint32(hdr[4:8])
 	incl := r.order.Uint32(hdr[8:12])
 	orig := r.order.Uint32(hdr[12:16])
 	if incl > r.snaplen && r.snaplen > 0 {
-		return 0, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
+		return Record{}, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
 	}
 	if cap(r.buf) < int(incl) {
 		r.buf = make([]byte, incl)
@@ -216,9 +229,9 @@ func (r *Reader) Next() (tsNanos int64, data []byte, origLen uint32, err error) 
 	r.buf = r.buf[:incl]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return 0, nil, 0, fmt.Errorf("pcap: truncated record body: %w", io.ErrUnexpectedEOF)
+			return Record{}, fmt.Errorf("pcap: truncated record body: %w", io.ErrUnexpectedEOF)
 		}
-		return 0, nil, 0, err
+		return Record{}, err
 	}
 	ts := int64(sec) * 1e9
 	if r.nano {
@@ -226,5 +239,15 @@ func (r *Reader) Next() (tsNanos int64, data []byte, origLen uint32, err error) 
 	} else {
 		ts += int64(sub) * 1e3
 	}
-	return ts, r.buf, orig, nil
+	return Record{Time: ts, Data: r.buf, OrigLen: orig}, nil
+}
+
+// NextRaw is the positional form of Next, retained for callers of the
+// pre-Record API.
+//
+// Deprecated: use Next, whose Record return makes truncation detection
+// (Record.Truncated) explicit instead of an origLen-vs-len comparison.
+func (r *Reader) NextRaw() (tsNanos int64, data []byte, origLen uint32, err error) {
+	rec, err := r.Next()
+	return rec.Time, rec.Data, rec.OrigLen, err
 }

@@ -40,21 +40,24 @@ func TestRoundTrip(t *testing.T) {
 		t.Fatal("writer should emit nanosecond format")
 	}
 	for i := range packets {
-		ts, data, orig, err := r.Next()
+		rec, err := r.Next()
 		if err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
-		if ts != times[i] {
-			t.Fatalf("record %d: ts = %d, want %d", i, ts, times[i])
+		if rec.Time != times[i] {
+			t.Fatalf("record %d: ts = %d, want %d", i, rec.Time, times[i])
 		}
-		if !bytes.Equal(data, packets[i]) {
+		if !bytes.Equal(rec.Data, packets[i]) {
 			t.Fatalf("record %d: data mismatch", i)
 		}
-		if orig != uint32(len(packets[i])) {
-			t.Fatalf("record %d: origLen = %d, want %d", i, orig, len(packets[i]))
+		if rec.OrigLen != uint32(len(packets[i])) {
+			t.Fatalf("record %d: origLen = %d, want %d", i, rec.OrigLen, len(packets[i]))
+		}
+		if rec.Truncated() {
+			t.Fatalf("record %d: spuriously truncated", i)
 		}
 	}
-	if _, _, _, err := r.Next(); err != io.EOF {
+	if _, err := r.Next(); err != io.EOF {
 		t.Fatalf("expected io.EOF, got %v", err)
 	}
 }
@@ -86,11 +89,11 @@ func TestRoundTripQuick(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got, data, orig, err := r.Next()
+		rec, err := r.Next()
 		if err != nil {
 			return false
 		}
-		return got == ts && bytes.Equal(data, payload) && orig == uint32(len(payload))
+		return rec.Time == ts && bytes.Equal(rec.Data, payload) && rec.OrigLen == uint32(len(payload))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -144,27 +147,27 @@ func TestWriterTruncatesToSnaplen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, data, orig, err := r.Next()
+	rec, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ts != 3e9 {
-		t.Fatalf("ts = %d", ts)
+	if rec.Time != 3e9 {
+		t.Fatalf("ts = %d", rec.Time)
 	}
-	if len(data) != 64 || !bytes.Equal(data, full[:64]) {
-		t.Fatalf("captured %d bytes, want the first 64", len(data))
+	if len(rec.Data) != 64 || !bytes.Equal(rec.Data, full[:64]) {
+		t.Fatalf("captured %d bytes, want the first 64", len(rec.Data))
 	}
-	if orig != 200 {
-		t.Fatalf("origLen = %d, want 200", orig)
+	if rec.OrigLen != 200 || !rec.Truncated() {
+		t.Fatalf("origLen = %d truncated = %v, want 200/true", rec.OrigLen, rec.Truncated())
 	}
-	ts, data, orig, err = r.Next()
+	rec, err = r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ts != 4e9 || orig != 2 || !bytes.Equal(data, []byte{7, 8}) {
-		t.Fatalf("second record corrupted: ts=%d orig=%d data=%v", ts, orig, data)
+	if rec.Time != 4e9 || rec.OrigLen != 2 || rec.Truncated() || !bytes.Equal(rec.Data, []byte{7, 8}) {
+		t.Fatalf("second record corrupted: %+v", rec)
 	}
-	if _, _, _, err := r.Next(); err != io.EOF {
+	if _, err := r.Next(); err != io.EOF {
 		t.Fatalf("want EOF, got %v", err)
 	}
 }
@@ -188,12 +191,12 @@ func TestReaderSurfacesTruncatedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, data, orig, err := r.Next()
+	got, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(data) != 4 || orig != 999 {
-		t.Fatalf("incl=%d orig=%d, want 4/999", len(data), orig)
+	if len(got.Data) != 4 || got.OrigLen != 999 || !got.Truncated() {
+		t.Fatalf("incl=%d orig=%d, want truncated 4/999", len(got.Data), got.OrigLen)
 	}
 }
 
@@ -253,18 +256,18 @@ func TestReaderBigEndianMicro(t *testing.T) {
 	if r.Nanosecond() {
 		t.Fatal("micro variant misdetected")
 	}
-	ts, data, orig, err := r.Next()
+	rec, err := r.Next()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := int64(10)*1e9 + 500*1e3; ts != want {
-		t.Fatalf("ts = %d, want %d", ts, want)
+	if want := int64(10)*1e9 + 500*1e3; rec.Time != want {
+		t.Fatalf("ts = %d, want %d", rec.Time, want)
 	}
-	if !bytes.Equal(data, []byte{9, 9}) {
+	if !bytes.Equal(rec.Data, []byte{9, 9}) {
 		t.Fatal("payload mismatch")
 	}
-	if orig != 2 {
-		t.Fatalf("origLen = %d, want 2", orig)
+	if rec.OrigLen != 2 {
+		t.Fatalf("origLen = %d, want 2", rec.OrigLen)
 	}
 }
 
@@ -274,7 +277,7 @@ func TestReaderLittleEndianMicro(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts, _, _, err := r.Next()
+	ts, _, _, err := r.NextRaw()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +293,7 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := r.Next(); err == nil {
+	if _, err := r.Next(); err == nil {
 		t.Fatal("truncated body should error")
 	}
 	// Chop mid-header.
@@ -298,7 +301,7 @@ func TestReaderTruncatedRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := r.Next(); err == nil {
+	if _, err := r.Next(); err == nil {
 		t.Fatal("truncated record header should error")
 	}
 }
@@ -319,7 +322,7 @@ func TestReaderRecordExceedsSnaplen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := r.Next(); err == nil {
+	if _, err := r.Next(); err == nil {
 		t.Fatal("record exceeding snaplen should error")
 	}
 }
@@ -334,10 +337,10 @@ func TestReaderBufferReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, first, _, _ := r.Next()
+	_, first, _, _ := r.NextRaw()
 	saved := make([]byte, len(first))
 	copy(saved, first)
-	_, second, _, _ := r.Next()
+	_, second, _, _ := r.NextRaw()
 	if bytes.Equal(first, saved) && &first[0] != &second[0] {
 		// Buffer may or may not alias depending on capacity growth; the
 		// documented contract is only that callers must copy. Just verify
@@ -379,7 +382,7 @@ func BenchmarkReadPacket(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if _, _, _, err := r.Next(); err != nil {
+		if _, err := r.Next(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -451,11 +454,11 @@ func TestReaderEOFCleanAfterRecords(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := r.Next(); err != nil {
+	if _, err := r.Next(); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if _, _, _, err := r.Next(); err != io.EOF {
+		if _, err := r.Next(); err != io.EOF {
 			t.Fatalf("repeated Next after EOF: %v", err)
 		}
 	}

@@ -1,0 +1,58 @@
+package telescope
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// TestObserveMetricsMirrorStats: with a registry attached, the obs counters
+// must agree exactly with the Stats struct over a mixed packet diet.
+func TestObserveMetricsMirrorStats(t *testing.T) {
+	tel, err := New(ScaledConfig(1, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.BlockPort(23)
+	tel.AddOutage(5000, 6000)
+	reg := obs.NewRegistry()
+	tel.SetMetrics(reg)
+
+	monitored := tel.At(0)
+	probes := []packet.Probe{
+		{Time: 1, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                  // accepted
+		{Time: 2, Dst: monitored, DstPort: 23, Flags: packet.FlagSYN},                  // policy
+		{Time: 3, Dst: 1, DstPort: 80, Flags: packet.FlagSYN},                          // not monitored
+		{Time: 4, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, // not SYN
+		{Time: 5500, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},               // outage
+	}
+	for i := range probes {
+		tel.Observe(&probes[i])
+	}
+
+	st := tel.Stats()
+	s := reg.Snapshot()
+	for name, want := range map[string]uint64{
+		"telescope.packets.accepted":   st.Accepted,
+		"telescope.drop.policy":        st.Policy,
+		"telescope.drop.not_monitored": st.NotMonitored,
+		"telescope.drop.not_syn":       st.NotSYN,
+		"telescope.drop.not_tcp":       st.NotTCP,
+		"telescope.drop.outage":        st.Outage,
+	} {
+		if got := s.Counter(name); got != want {
+			t.Fatalf("%s = %d, want %d (stats %+v)", name, got, want, st)
+		}
+	}
+	if st.Accepted != 1 || st.Policy != 1 || st.NotMonitored != 1 || st.NotSYN != 1 || st.Outage != 1 {
+		t.Fatalf("unexpected stats mix: %+v", st)
+	}
+
+	// Detach: further packets must not move the counters.
+	tel.SetMetrics(nil)
+	tel.Observe(&probes[0])
+	if got := reg.Snapshot().Counter("telescope.packets.accepted"); got != 1 {
+		t.Fatalf("detached telescope still counting: %d", got)
+	}
+}

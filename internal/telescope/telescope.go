@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/rng"
 )
@@ -137,6 +138,37 @@ type Telescope struct {
 	blocked [1024]uint64
 	outages []outage
 	stats   Stats
+	met     *telMetrics // nil when metrics are disabled
+}
+
+// telMetrics mirrors Stats into an observability registry so the ingress
+// drop mix is scrapeable mid-capture (the Stats struct itself is only
+// safely readable between Observe calls).
+type telMetrics struct {
+	accepted     *obs.Counter
+	notMonitored *obs.Counter
+	notSYN       *obs.Counter
+	notTCP       *obs.Counter
+	policy       *obs.Counter
+	outage       *obs.Counter
+}
+
+// SetMetrics attaches an observability registry: Observe reports the
+// accept/drop mix under telescope.packets.accepted and telescope.drop.*
+// alongside the Stats counters. A nil registry detaches.
+func (t *Telescope) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		t.met = nil
+		return
+	}
+	t.met = &telMetrics{
+		accepted:     reg.Counter("telescope.packets.accepted"),
+		notMonitored: reg.Counter("telescope.drop.not_monitored"),
+		notSYN:       reg.Counter("telescope.drop.not_syn"),
+		notTCP:       reg.Counter("telescope.drop.not_tcp"),
+		policy:       reg.Counter("telescope.drop.policy"),
+		outage:       reg.Counter("telescope.drop.outage"),
+	}
 }
 
 // New builds the telescope for cfg, materializing the monitored address set
@@ -207,26 +239,44 @@ func (t *Telescope) Observe(p *packet.Probe) DropReason {
 	for _, o := range t.outages {
 		if p.Time >= o.from && p.Time < o.to {
 			t.stats.Outage++
+			if t.met != nil {
+				t.met.outage.Inc()
+			}
 			return DropOutage
 		}
 	}
 	if t.PortBlocked(p.DstPort) {
 		t.stats.Policy++
+		if t.met != nil {
+			t.met.policy.Inc()
+		}
 		return DropPolicy
 	}
 	if !t.Contains(p.Dst) {
 		t.stats.NotMonitored++
+		if t.met != nil {
+			t.met.notMonitored.Inc()
+		}
 		return DropNotMonitored
 	}
 	if !p.IsTCP() {
 		t.stats.NotTCP++
+		if t.met != nil {
+			t.met.notTCP.Inc()
+		}
 		return DropNotTCP
 	}
 	if !p.IsSYN() {
 		t.stats.NotSYN++
+		if t.met != nil {
+			t.met.notSYN.Inc()
+		}
 		return DropNotSYN
 	}
 	t.stats.Accepted++
+	if t.met != nil {
+		t.met.accepted.Inc()
+	}
 	return Accepted
 }
 

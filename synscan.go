@@ -24,6 +24,7 @@ import (
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/stats"
 	"github.com/synscan/synscan/internal/telescope"
@@ -56,7 +57,18 @@ type (
 	PearsonResult = stats.PearsonResult
 	// Telescope is a configured capture deployment.
 	Telescope = telescope.Telescope
+	// Metrics is a pipeline-metrics registry: counters, gauges and
+	// histograms keyed by dot-separated names, race-safe to snapshot while
+	// the pipeline runs. Create one with NewMetrics and pass it via
+	// Config.Metrics or the Analyzer's WithMetrics option.
+	Metrics = obs.Registry
+	// PipelineSnapshot is a point-in-time capture of a Metrics registry
+	// (see YearData.PipelineStats and Analyzer.Stats).
+	PipelineSnapshot = obs.Snapshot
 )
+
+// NewMetrics creates an empty pipeline-metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // Tool constants.
 const (
@@ -96,6 +108,12 @@ type Config struct {
 	// (0 or 1 keeps the sequential detector). The detected campaign
 	// multiset is identical either way.
 	Workers int
+	// Metrics, when non-nil, instruments the whole simulated pipeline —
+	// telescope ingress, detector, shard queues, enrichment cache,
+	// per-stage wall time — and stores a final snapshot in the returned
+	// YearData.PipelineStats. Nil (the default) disables all
+	// instrumentation at negligible cost.
+	Metrics *Metrics
 }
 
 // Years lists the measured years, 2015–2024.
@@ -111,7 +129,9 @@ func Simulate(cfg Config) (*YearData, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.CollectWorkers(s, cfg.Workers), nil
+	return analysis.CollectWith(s, analysis.CollectConfig{
+		Workers: cfg.Workers, Metrics: cfg.Metrics,
+	}), nil
 }
 
 // SimulateDecade runs all ten years over one shared synthetic Internet.
@@ -139,9 +159,19 @@ func Table2(years []*YearData) []Table2Row {
 // Analyzer ingests an arbitrary time-ordered probe stream through the
 // telescope-style SYN filter and the campaign detector — the programmatic
 // equivalent of feeding a capture file to cmd/synalyze.
+//
+// Two delivery models exist. By default closed flows accumulate internally
+// and Finish returns them all. With the WithOnScan option they are instead
+// delivered to the callback as each flow closes and never retained, so a
+// long replay runs in memory bounded by the open-flow table rather than by
+// the total campaign count.
 type Analyzer struct {
-	det   core.Ingester
-	scans []*Scan
+	det    core.Ingester
+	met    *Metrics
+	onScan func(*Scan)
+	scans  []*Scan
+
+	accepted, notSYN *obs.Counter
 }
 
 // AnalyzerOption configures NewAnalyzer.
@@ -149,14 +179,36 @@ type AnalyzerOption func(*analyzerOptions)
 
 type analyzerOptions struct {
 	workers int
+	metrics *Metrics
+	onScan  func(*Scan)
 }
 
 // WithWorkers shards the analyzer's campaign detection across n goroutines
 // (n <= 1 keeps the sequential detector). Ingest stays single-producer; the
-// detected campaign multiset is identical to the sequential analyzer, and
-// results surface at Finish.
+// detected campaign multiset is identical to the sequential analyzer. With
+// workers > 1 closed flows surface only at Finish (the sharded detector's
+// merging flush), in its canonical (End, Start, Src) order; sequentially
+// they surface as their flows close.
 func WithWorkers(n int) AnalyzerOption {
 	return func(o *analyzerOptions) { o.workers = n }
+}
+
+// WithMetrics uses the given registry for the analyzer's pipeline metrics
+// instead of the private one it would otherwise create — share one registry
+// to aggregate several analyzers, or to expose the analyzer's metrics
+// through an existing sink.
+func WithMetrics(reg *Metrics) AnalyzerOption {
+	return func(o *analyzerOptions) { o.metrics = reg }
+}
+
+// WithOnScan delivers each closed flow to fn instead of accumulating it for
+// Finish. fn runs on the Ingest goroutine (sequential detection) or on the
+// Finish goroutine (sharded detection); it must not call back into the
+// Analyzer. Finish still flushes and drains through the same callback, and
+// then returns nil. This is the streaming model: nothing is retained after
+// delivery, so memory stays bounded by open flows, not total campaigns.
+func WithOnScan(fn func(*Scan)) AnalyzerOption {
+	return func(o *analyzerOptions) { o.onScan = fn }
 }
 
 // NewAnalyzer creates an Analyzer for a telescope of the given size.
@@ -167,16 +219,24 @@ func NewAnalyzer(telescopeSize int, opts ...AnalyzerOption) *Analyzer {
 	for _, opt := range opts {
 		opt(&o)
 	}
-	a := &Analyzer{}
-	collect := func(s *Scan) { a.scans = append(a.scans, s) }
-	cfg := core.Config{TelescopeSize: telescopeSize}
-	if o.workers > 1 {
-		a.det = core.NewShardedDetector(core.ShardedConfig{
-			Config: cfg, Workers: o.workers,
-		}, collect)
-	} else {
-		a.det = core.NewDetector(cfg, collect)
+	if o.metrics == nil {
+		o.metrics = NewMetrics()
 	}
+	a := &Analyzer{
+		met:      o.metrics,
+		onScan:   o.onScan,
+		accepted: o.metrics.Counter("analyzer.packets.accepted"),
+		notSYN:   o.metrics.Counter("analyzer.drop.not_syn"),
+	}
+	collect := func(s *Scan) {
+		if a.onScan != nil {
+			a.onScan(s)
+			return
+		}
+		a.scans = append(a.scans, s)
+	}
+	a.det = core.NewDetector(core.Config{TelescopeSize: telescopeSize}, collect,
+		core.WithWorkers(o.workers), core.WithMetrics(o.metrics))
 	return a
 }
 
@@ -184,17 +244,25 @@ func NewAnalyzer(telescopeSize int, opts ...AnalyzerOption) *Analyzer {
 // capture would drop them.
 func (a *Analyzer) Ingest(p *Probe) {
 	if !p.IsSYN() {
+		a.notSYN.Inc()
 		return
 	}
+	a.accepted.Inc()
 	a.det.Ingest(p)
 }
 
 // Finish flushes open flows and returns every closed flow, qualified
-// campaigns and background noise alike.
+// campaigns and background noise alike. Under WithOnScan the flushed flows
+// go to the callback instead and Finish returns nil.
 func (a *Analyzer) Finish() []*Scan {
 	a.det.FlushAll()
 	return a.scans
 }
+
+// Stats snapshots the analyzer's pipeline metrics: ingress accept/drop
+// counters, detector flow lifecycle, and — with WithWorkers — shard queue
+// behaviour. Safe to call from any goroutine while Ingest runs.
+func (a *Analyzer) Stats() PipelineSnapshot { return a.met.Snapshot() }
 
 // PaperTelescopeSize is the monitored-address count of the paper's
 // deployment (§3.2).
