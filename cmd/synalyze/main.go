@@ -24,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/flowlog"
 	"github.com/synscan/synscan/internal/obs"
@@ -42,11 +43,15 @@ func main() {
 	minDsts := flag.Int("min-dsts", 0, "campaign threshold on distinct destinations (0 = paper default scaled)")
 	topN := flag.Int("top", 10, "ranking depth for the port tables")
 	workers := flag.Int("workers", 1, "campaign-detector shards; >1 runs detection on that many goroutines")
+	archiveOut := flag.String("archive", "", "persist every detected campaign to this archive file as it closes (queryable with syneval -archive / synserve)")
 	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
+	if *workers < 1 {
+		log.Fatalf("-workers must be at least 1, got %d", *workers)
+	}
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
 			log.Fatal(err)
@@ -62,6 +67,9 @@ func main() {
 
 	if flag.NArg() != 1 {
 		log.Fatal("usage: synalyze [flags] capture.{pcap,spool}")
+	}
+	if *archiveOut != "" && *archiveOut == flag.Arg(0) {
+		log.Fatalf("-archive %s would overwrite the input capture", *archiveOut)
 	}
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
@@ -124,12 +132,34 @@ func main() {
 		cfg.Expiry = expiry
 	}
 
+	// Write-on-detect: every closed flow is spooled into the archive from
+	// the same goroutine that collects it (sequentially during ingest,
+	// sharded at FlushAll), so no extra synchronization is needed. The
+	// replay path has no enrichment registry, so the archive is origin-less.
+	var aw *archive.Writer
+	if *archiveOut != "" {
+		var err error
+		aw, err = archive.Create(*archiveOut, archive.WriterConfig{
+			TelescopeSize: *telSize, Metrics: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	// With -workers > 1 the detector shards per source address: replay
 	// parses and routes on this goroutine while detection runs on the
 	// worker pool. Results are identical to the sequential detector (see
 	// core.ShardedDetector); scans surface at FlushAll.
 	var scans []*core.Scan
-	collect := func(s *core.Scan) { scans = append(scans, s) }
+	collect := func(s *core.Scan) {
+		scans = append(scans, s)
+		if aw != nil {
+			if err := aw.Add(s); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	det := core.NewDetector(cfg, collect,
 		core.WithWorkers(*workers), core.WithMetrics(reg))
 
@@ -219,6 +249,13 @@ func main() {
 	flushSpan := obs.StartSpan(reg.Histogram("replay.flush_ns"))
 	det.FlushAll()
 	flushSpan.End()
+
+	if aw != nil {
+		if err := aw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("archived %d campaigns to %s", len(scans), *archiveOut)
+	}
 
 	qualified := 0
 	toolHist := map[string]uint64{}

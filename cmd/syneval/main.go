@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/collab"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
@@ -35,6 +37,8 @@ func main() {
 	scale := flag.Float64("scale", 0.002, "volume scale relative to the paper")
 	telSize := flag.Int("telescope", 4096, "monitored address count")
 	workers := flag.Int("workers", 1, "campaign-detector shards per year; >1 runs detection on that many goroutines")
+	archiveIn := flag.String("archive", "", "read detected campaigns from this archive instead of re-simulating (scan-level experiments only)")
+	archiveOut := flag.String("archive-out", "", "persist the simulated decade's detected campaigns (with origins) to this archive file")
 	only := flag.String("only", "", "comma-separated experiment list (table1,table2,fig1..fig10,sec51..sec64,bias,blockable,blocklist,collab,vantage); empty = all")
 	jsonOut := flag.String("json", "", "write the complete evaluation as JSON to this path (skips the text report)")
 	csvDir := flag.String("csv", "", "write the evaluation's series as CSV files into this directory (skips the text report)")
@@ -43,6 +47,13 @@ func main() {
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *workers < 1 {
+		log.Fatalf("-workers must be at least 1, got %d", *workers)
+	}
+	if *archiveIn != "" && *archiveOut != "" {
+		log.Fatal("-archive (read) and -archive-out (write) are mutually exclusive")
+	}
 
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
@@ -68,6 +79,9 @@ func main() {
 	}
 
 	if *jsonOut != "" || *csvDir != "" || *mdOut != "" {
+		if *archiveIn != "" || *archiveOut != "" {
+			log.Fatal("-archive/-archive-out are not supported with -json/-csv/-markdown (the full evaluation needs the raw probe stream)")
+		}
 		log.Printf("computing full evaluation (seed %d, scale %g, telescope %d)...", *seed, *scale, *telSize)
 		ev, err := analysis.FullEvaluationWith(*seed, *scale, *telSize, cc)
 		if err != nil {
@@ -109,9 +123,33 @@ func main() {
 			want[strings.ToLower(k)] = true
 		}
 	}
+
+	// The archive stores detected campaigns, not raw probes, so archive mode
+	// serves exactly the scan-level experiments; everything else needs a
+	// simulation or capture replay.
+	scanLevel := map[string]bool{
+		"zmapdaily": true, "fig6": true, "fig7": true,
+		"sec52": true, "sec63": true, "sec64": true, "collab": true,
+	}
+	if *archiveIn != "" {
+		if len(want) == 0 {
+			want = scanLevel
+		}
+		for k := range want {
+			if !scanLevel[k] {
+				names := make([]string, 0, len(scanLevel))
+				for s := range scanLevel {
+					names = append(names, s)
+				}
+				sort.Strings(names)
+				log.Fatalf("experiment %q needs the raw probe stream; -archive mode supports: %s",
+					k, strings.Join(names, ","))
+			}
+		}
+	}
 	enabled := func(k string) bool { return len(want) == 0 || want[k] }
 
-	needDecade := false
+	needDecade := *archiveOut != ""
 	for _, k := range []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
 		"sec51", "sec52", "sec54", "sec63", "sec64", "bias", "blockable", "collab", "zmapdaily"} {
 		if enabled(k) {
@@ -120,17 +158,57 @@ func main() {
 	}
 
 	var years []*analysis.YearData
-	if needDecade {
+	switch {
+	case *archiveIn != "":
+		rd, err := archive.Open(*archiveIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rd.Close()
+		rd.SetMetrics(reg)
+		log.Printf("loading campaigns from %s (%d blocks, %d scans, telescope %d)...",
+			*archiveIn, rd.NumBlocks(), rd.NumScans(), rd.TelescopeSize())
+		years, err = analysis.CollectArchiveYears(rd)
+		if err != nil {
+			log.Fatal(err)
+		}
+	case needDecade:
 		log.Printf("simulating 2015-2024 (seed %d, scale %g, telescope %d)...", *seed, *scale, *telSize)
 		var err error
 		years, err = analysis.DecadeWith(*seed, *scale, *telSize, cc)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if *archiveOut != "" {
+			w, err := archive.Create(*archiveOut, archive.WriterConfig{
+				TelescopeSize: *telSize, Origins: true, Metrics: reg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, yd := range years {
+				if err := analysis.ArchiveYear(w, yd); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("archived %d years of campaigns to %s", len(years), *archiveOut)
+		}
 	}
 	byYear := map[int]*analysis.YearData{}
 	for _, yd := range years {
 		byYear[yd.Year] = yd
+	}
+	// mustYear guards experiments pinned to one calibration year: an archive
+	// may not contain it.
+	mustYear := func(y int) *analysis.YearData {
+		yd := byYear[y]
+		if yd == nil {
+			log.Fatalf("no campaigns for year %d in %s", y, *archiveIn)
+		}
+		return yd
 	}
 	out := os.Stdout
 
@@ -166,7 +244,7 @@ func main() {
 		section(out, "§4.1 — ZMap campaigns per day (2023 vs 2024)")
 		t := report.NewTable("year", "min/day", "mean/day", "max/day")
 		for _, y := range []int{2023, 2024} {
-			r := analysis.ZMapDaily(byYear[y])
+			r := analysis.ZMapDaily(mustYear(y))
 			t.AddRow(fmt.Sprint(y), fmt.Sprint(r.Min), fmt.Sprintf("%.1f", r.Mean), fmt.Sprint(r.Max))
 		}
 		t.WriteTo(out)
@@ -175,7 +253,7 @@ func main() {
 
 	if enabled("fig2") {
 		section(out, "Figure 2 — weekly change per /16 netblock (2020)")
-		res := analysis.Figure2(byYear[2020])
+		res := analysis.Figure2(mustYear(2020))
 		fmt.Fprintf(out, "blocks changing >=2x week-over-week: sources %s, scans %s, packets %s\n",
 			report.Pct(res.SourcesTwofold), report.Pct(res.ScansTwofold), report.Pct(res.PacketsTwofold))
 		fmt.Fprintf(out, "stable blocks (<1.25x): %s\n", report.Pct(res.Stable))
@@ -196,18 +274,18 @@ func main() {
 	if enabled("fig4") {
 		for _, y := range []int{2017, 2020, 2022} {
 			section(out, fmt.Sprintf("Figure 4 — top-10 ports and tool mix (%d)", y))
-			report.Figure4(out, y, analysis.Figure4(byYear[y], 10))
+			report.Figure4(out, y, analysis.Figure4(mustYear(y), 10))
 		}
 	}
 
 	if enabled("fig5") {
 		section(out, "Figure 5 — scanner types over top-15 ports (2022)")
-		report.Figure5(out, analysis.Figure5(byYear[2022], 15))
+		report.Figure5(out, analysis.Figure5(mustYear(2022), 15))
 	}
 
 	if enabled("fig6") {
 		section(out, "Figure 6 — scanner recurrence and downtime (2022)")
-		res := analysis.Figure6([]*analysis.YearData{byYear[2022]})
+		res := analysis.Figure6([]*analysis.YearData{mustYear(2022)})
 		t := report.NewTable("scanner type", "sources", "mean scans/source", "daily-mode share")
 		for _, typ := range inetmodel.ScannerTypes {
 			ss := res.ScansPerSource[typ]
@@ -223,7 +301,7 @@ func main() {
 
 	if enabled("fig7") {
 		section(out, "Figure 7 — speed and coverage per scanner type (2022)")
-		report.Figure7(out, analysis.Figure7(byYear[2022]))
+		report.Figure7(out, analysis.Figure7(mustYear(2022)))
 	}
 
 	if enabled("fig8") {
@@ -297,8 +375,10 @@ func main() {
 		if trend, err := analysis.Top100Trend(all); err == nil {
 			fmt.Fprintf(out, "top-100 speed trend: R=%.3f p=%.4f (paper: R=0.356, p<0.001)\n", trend.R, trend.P)
 		}
-		if sp, err := analysis.SpeedPortsCorrelation(byYear[2020]); err == nil {
-			fmt.Fprintf(out, "speed vs ports targeted (2020): R=%.3f p=%.4f (paper §5.3: positive, R=0.88 aggregated)\n", sp.R, sp.P)
+		if yd := byYear[2020]; yd != nil {
+			if sp, err := analysis.SpeedPortsCorrelation(yd); err == nil {
+				fmt.Fprintf(out, "speed vs ports targeted (2020): R=%.3f p=%.4f (paper §5.3: positive, R=0.88 aggregated)\n", sp.R, sp.P)
+			}
 		}
 	}
 
@@ -395,7 +475,7 @@ func main() {
 
 	if enabled("sec64") {
 		section(out, "§6.4 — ZMap coverage distribution and sharding modes (2024)")
-		r := analysis.Sec64(byYear[2024], tools.ToolZMap)
+		r := analysis.Sec64(mustYear(2024), tools.ToolZMap)
 		fmt.Fprintf(out, "zmap campaigns: %d, full-IPv4 share: %s, mode at %.1f%% coverage (%d campaigns)\n",
 			len(r.Coverages), report.Pct(r.FullIPv4Share), r.ModeCoverage*100, r.ModeCount)
 		report.CDF(out, "zmap coverage", stats.NewECDF(r.Coverages))

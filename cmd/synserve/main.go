@@ -1,0 +1,124 @@
+// Command synserve serves campaign archives over HTTP. It loads one or more
+// archive files written by synalyze -archive or syneval -archive-out and
+// exposes their scans through a small JSON API:
+//
+//	GET /v1/scans?year=2022&tool=zmap&port=443&limit=100
+//	GET /v1/tables/ports?year=2022&top=10
+//	GET /v1/tables/tools?qualified=true
+//	GET /v1/tables/origins?year=2024
+//	GET /v1/stats
+//
+// Filter parameters (year, tool, port, src, minrate, maxrate, qualified)
+// are shared by every query endpoint; year/tool/port accept repeated or
+// comma-separated values. Zone-map pruning applies per query, and results
+// are cached in an LRU keyed on the canonicalized query string. SIGINT or
+// SIGTERM drains in-flight requests before exiting.
+//
+// Usage:
+//
+//	syneval -archive-out decade.syna
+//	synserve -addr localhost:8080 decade.syna
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synserve: ")
+
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	workers := flag.Int("workers", 1, "block-decode workers per query; >1 decompresses surviving blocks in parallel")
+	cacheSize := flag.Int("cache", 128, "result-cache capacity in responses (0 disables caching)")
+	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	if *workers < 1 {
+		log.Fatalf("-workers must be at least 1, got %d", *workers)
+	}
+	if *cacheSize < 0 {
+		log.Fatalf("-cache must be at least 0, got %d", *cacheSize)
+	}
+	if flag.NArg() < 1 {
+		log.Fatal("usage: synserve [flags] archive.syna [more.syna...]")
+	}
+	if *pprofAddr != "" {
+		if err := obs.StartPprof(*pprofAddr); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The registry is always live here: /v1/stats exposes it.
+	reg := obs.NewRegistry()
+	defer obs.StartDump(reg, os.Stderr, *metricsEvery)()
+
+	paths := flag.Args()
+	readers := make([]*archive.Reader, 0, len(paths))
+	for _, path := range paths {
+		rd, err := archive.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rd.Close()
+		rd.SetWorkers(*workers)
+		rd.SetMetrics(reg)
+		log.Printf("loaded %s: %d blocks, %d scans, telescope %d, origins=%v",
+			path, rd.NumBlocks(), rd.NumScans(), rd.TelescopeSize(), rd.HasOrigins())
+		readers = append(readers, rd)
+	}
+
+	srv := newServer(paths, readers, *cacheSize, reg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s", ln.Addr())
+	if err := serve(ctx, ln, srv.handler()); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("shut down cleanly")
+}
+
+// shutdownTimeout bounds the in-flight request drain after a signal.
+const shutdownTimeout = 10 * time.Second
+
+// serve runs an HTTP server on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get up to
+// shutdownTimeout to finish.
+func serve(ctx context.Context, ln net.Listener, h http.Handler) error {
+	hs := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,521 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// server answers queries over one or more campaign archives. /v1/scans and
+// /v1/tables/* responses are cached in an LRU keyed on the canonicalized
+// query, so a repeated dashboard refresh hits memory instead of the
+// decompressor; /v1/stats is always computed live (it exposes the moving
+// metric counters, including the cache's own hit/miss tallies).
+type server struct {
+	paths   []string
+	readers []*archive.Reader
+	cache   *lruCache
+	reg     *obs.Registry
+
+	mRequests, mErrors, mHits, mMisses *obs.Counter
+	mLatency                           *obs.Histogram
+}
+
+func newServer(paths []string, readers []*archive.Reader, cacheSize int, reg *obs.Registry) *server {
+	return &server{
+		paths:   paths,
+		readers: readers,
+		cache:   newLRU(cacheSize),
+		reg:     reg,
+
+		mRequests: reg.Counter("synserve.http.requests"),
+		mErrors:   reg.Counter("synserve.http.errors"),
+		mHits:     reg.Counter("synserve.cache.hits"),
+		mMisses:   reg.Counter("synserve.cache.misses"),
+		mLatency:  reg.Histogram("synserve.http.latency_ns"),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/scans", s.endpoint(s.handleScans, true))
+	mux.HandleFunc("/v1/tables/ports", s.endpoint(s.handlePorts, true))
+	mux.HandleFunc("/v1/tables/tools", s.endpoint(s.handleTools, true))
+	mux.HandleFunc("/v1/tables/origins", s.endpoint(s.handleOrigins, true))
+	mux.HandleFunc("/v1/stats", s.endpoint(s.handleStats, false))
+	return mux
+}
+
+// httpError carries a status code through the handler's error return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// canonicalKey renders a request URL with sorted query keys (and sorted
+// values per key), so parameter order never fragments the cache.
+func canonicalKey(u *url.URL) string {
+	q := u.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(u.Path)
+	sep := byte('?')
+	for _, k := range keys {
+		vs := append([]string(nil), q[k]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			b.WriteByte(sep)
+			sep = '&'
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	return b.String()
+}
+
+// endpoint wraps a query handler with method filtering, instrumentation,
+// JSON rendering and (when cacheable) the LRU result cache.
+func (s *server) endpoint(h func(q url.Values) (any, error), cacheable bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan(s.mLatency)
+		defer sp.End()
+		s.mRequests.Inc()
+		if r.Method != http.MethodGet {
+			s.mErrors.Inc()
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var key string
+		if cacheable {
+			key = canonicalKey(r.URL)
+			if body, ok := s.cache.get(key); ok {
+				s.mHits.Inc()
+				writeJSON(w, body, "hit")
+				return
+			}
+			s.mMisses.Inc()
+		}
+		res, err := h(r.URL.Query())
+		if err != nil {
+			s.mErrors.Inc()
+			code := http.StatusInternalServerError
+			var he *httpError
+			if errors.As(err, &he) {
+				code = he.code
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		body, err := json.Marshal(res)
+		if err != nil {
+			s.mErrors.Inc()
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		body = append(body, '\n')
+		if cacheable {
+			s.cache.put(key, body)
+		}
+		writeJSON(w, body, "miss")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, body []byte, cache string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cache)
+	w.Write(body)
+}
+
+// toolNames maps lower-cased display names back to Tool values for the
+// ?tool= parameter.
+var toolNames = func() map[string]tools.Tool {
+	m := map[string]tools.Tool{}
+	for _, t := range append([]tools.Tool{tools.ToolUnknown}, tools.Tools...) {
+		m[strings.ToLower(t.String())] = t
+	}
+	return m
+}()
+
+func knownToolNames() []string {
+	names := make([]string, 0, len(toolNames))
+	for n := range toolNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// splitList flattens repeated and comma-separated parameter values:
+// ?year=2020&year=2021,2022 yields [2020 2021 2022].
+func splitList(vals []string) []string {
+	var out []string
+	for _, v := range vals {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}
+
+// parseFilter maps the shared query parameters onto an archive.Filter:
+// year, tool, port (each repeatable or comma-separated), src (CIDR),
+// minrate/maxrate (pps), qualified (bool).
+func parseFilter(q url.Values) (archive.Filter, error) {
+	var f archive.Filter
+	for _, v := range splitList(q["year"]) {
+		y, err := strconv.Atoi(v)
+		if err != nil {
+			return f, badRequest("invalid year %q", v)
+		}
+		f.Years = append(f.Years, y)
+	}
+	for _, v := range splitList(q["tool"]) {
+		t, ok := toolNames[strings.ToLower(v)]
+		if !ok {
+			return f, badRequest("unknown tool %q (want one of %s)", v, strings.Join(knownToolNames(), ", "))
+		}
+		f.Tools = append(f.Tools, t)
+	}
+	for _, v := range splitList(q["port"]) {
+		p, err := strconv.ParseUint(v, 10, 16)
+		if err != nil {
+			return f, badRequest("invalid port %q", v)
+		}
+		f.Ports = append(f.Ports, uint16(p))
+	}
+	if v := q.Get("src"); v != "" {
+		pfx, err := inetmodel.ParsePrefix(v)
+		if err != nil {
+			return f, badRequest("invalid src prefix %q: %v", v, err)
+		}
+		f.SrcPrefix = &pfx
+	}
+	var err error
+	if v := q.Get("minrate"); v != "" {
+		if f.MinRate, err = strconv.ParseFloat(v, 64); err != nil {
+			return f, badRequest("invalid minrate %q", v)
+		}
+	}
+	if v := q.Get("maxrate"); v != "" {
+		if f.MaxRate, err = strconv.ParseFloat(v, 64); err != nil {
+			return f, badRequest("invalid maxrate %q", v)
+		}
+	}
+	if v := q.Get("qualified"); v != "" {
+		if f.QualifiedOnly, err = strconv.ParseBool(v); err != nil {
+			return f, badRequest("invalid qualified %q", v)
+		}
+	}
+	return f, nil
+}
+
+// forEach streams every matching scan from every archive, in file order.
+func (s *server) forEach(f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
+	for i, rd := range s.readers {
+		err := rd.Scans(f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.paths[i], err)
+		}
+	}
+	return nil
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+type originJSON struct {
+	Country string `json:"country"`
+	ASN     uint32 `json:"asn"`
+	Type    string `json:"type"`
+	OrgName string `json:"org,omitempty"`
+}
+
+type scanJSON struct {
+	Src          string      `json:"src"`
+	StartNS      int64       `json:"start_ns"`
+	EndNS        int64       `json:"end_ns"`
+	Packets      uint64      `json:"packets"`
+	DistinctDsts int         `json:"distinct_dsts"`
+	Ports        []uint16    `json:"ports"`
+	Tool         string      `json:"tool"`
+	Qualified    bool        `json:"qualified"`
+	RatePPS      float64     `json:"rate_pps"`
+	Coverage     float64     `json:"coverage"`
+	Origin       *originJSON `json:"origin,omitempty"`
+}
+
+// handleScans returns matching scans up to ?limit= (default 1000), with the
+// total match count so clients can detect truncation.
+func (s *server) handleScans(q url.Values) (any, error) {
+	f, err := parseFilter(q)
+	if err != nil {
+		return nil, err
+	}
+	limit := 1000
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+			return nil, badRequest("invalid limit %q (want a positive integer)", v)
+		}
+	}
+	scans := []scanJSON{}
+	var matched uint64
+	err = s.forEach(f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+		matched++
+		if len(scans) >= limit {
+			return
+		}
+		sj := scanJSON{
+			Src:          ipString(sc.Src),
+			StartNS:      sc.Start,
+			EndNS:        sc.End,
+			Packets:      sc.Packets,
+			DistinctDsts: sc.DistinctDsts,
+			Ports:        sc.Ports,
+			Tool:         sc.Tool.String(),
+			Qualified:    sc.Qualified,
+			RatePPS:      sc.RatePPS,
+			Coverage:     sc.Coverage,
+		}
+		if rd.HasOrigins() {
+			sj.Origin = &originJSON{
+				Country: o.Country, ASN: o.ASN,
+				Type: o.Type.String(), OrgName: o.OrgName,
+			}
+		}
+		scans = append(scans, sj)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string]any{
+		"matched":   matched,
+		"returned":  len(scans),
+		"truncated": uint64(len(scans)) < matched,
+		"scans":     scans,
+	}, nil
+}
+
+type portRow struct {
+	Port    uint16  `json:"port"`
+	Scans   uint64  `json:"scans"`
+	Packets uint64  `json:"packets"`
+	Share   float64 `json:"share"`
+}
+
+// handlePorts ranks destination ports by the number of matching scans
+// targeting them (?top=, default 10).
+func (s *server) handlePorts(q url.Values) (any, error) {
+	f, err := parseFilter(q)
+	if err != nil {
+		return nil, err
+	}
+	top := 10
+	if v := q.Get("top"); v != "" {
+		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+			return nil, badRequest("invalid top %q (want a positive integer)", v)
+		}
+	}
+	type agg struct{ scans, packets uint64 }
+	byPort := map[uint16]*agg{}
+	var total uint64
+	err = s.forEach(f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+		total++
+		for _, p := range sc.Ports {
+			a := byPort[p]
+			if a == nil {
+				a = &agg{}
+				byPort[p] = a
+			}
+			a.scans++
+			a.packets += sc.Packets / uint64(len(sc.Ports))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]portRow, 0, len(byPort))
+	for p, a := range byPort {
+		share := 0.0
+		if total > 0 {
+			share = float64(a.scans) / float64(total)
+		}
+		rows = append(rows, portRow{Port: p, Scans: a.scans, Packets: a.packets, Share: share})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Scans != rows[j].Scans {
+			return rows[i].Scans > rows[j].Scans
+		}
+		return rows[i].Port < rows[j].Port
+	})
+	if len(rows) > top {
+		rows = rows[:top]
+	}
+	return map[string]any{"total_scans": total, "ports": rows}, nil
+}
+
+type toolRow struct {
+	Tool      string  `json:"tool"`
+	Scans     uint64  `json:"scans"`
+	Qualified uint64  `json:"qualified"`
+	Share     float64 `json:"share"`
+}
+
+// handleTools tallies matching scans per fingerprinted tool.
+func (s *server) handleTools(q url.Values) (any, error) {
+	f, err := parseFilter(q)
+	if err != nil {
+		return nil, err
+	}
+	scans := make([]uint64, tools.NumTools())
+	qualified := make([]uint64, tools.NumTools())
+	var total uint64
+	err = s.forEach(f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+		total++
+		scans[sc.Tool]++
+		if sc.Qualified {
+			qualified[sc.Tool]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []toolRow{}
+	for _, t := range append([]tools.Tool{tools.ToolUnknown}, tools.Tools...) {
+		if scans[t] == 0 {
+			continue
+		}
+		rows = append(rows, toolRow{
+			Tool: t.String(), Scans: scans[t], Qualified: qualified[t],
+			Share: float64(scans[t]) / float64(total),
+		})
+	}
+	return map[string]any{"total_scans": total, "tools": rows}, nil
+}
+
+type originRow struct {
+	Type    string `json:"type"`
+	Sources int    `json:"sources"`
+	Scans   uint64 `json:"scans"`
+	Packets uint64 `json:"packets"`
+}
+
+// handleOrigins breaks matching scans down by scanner type (Table 2 view).
+// Only archives written with origins can serve it.
+func (s *server) handleOrigins(q url.Values) (any, error) {
+	withOrigins := false
+	for _, rd := range s.readers {
+		if rd.HasOrigins() {
+			withOrigins = true
+			break
+		}
+	}
+	if !withOrigins {
+		return nil, badRequest("no loaded archive carries origins (write one with syneval -archive-out)")
+	}
+	f, err := parseFilter(q)
+	if err != nil {
+		return nil, err
+	}
+	type agg struct {
+		sources map[uint32]struct{}
+		scans   uint64
+		packets uint64
+	}
+	byType := map[inetmodel.ScannerType]*agg{}
+	err = s.forEach(f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+		if !rd.HasOrigins() {
+			return
+		}
+		a := byType[o.Type]
+		if a == nil {
+			a = &agg{sources: map[uint32]struct{}{}}
+			byType[o.Type] = a
+		}
+		a.sources[sc.Src] = struct{}{}
+		a.scans++
+		a.packets += sc.Packets
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := []originRow{}
+	for typ, a := range byType {
+		rows = append(rows, originRow{
+			Type: typ.String(), Sources: len(a.sources),
+			Scans: a.scans, Packets: a.packets,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Scans != rows[j].Scans {
+			return rows[i].Scans > rows[j].Scans
+		}
+		return rows[i].Type < rows[j].Type
+	})
+	return map[string]any{"types": rows}, nil
+}
+
+type archiveInfo struct {
+	Path          string `json:"path"`
+	Blocks        int    `json:"blocks"`
+	Scans         uint64 `json:"scans"`
+	TelescopeSize int    `json:"telescope_size"`
+	Origins       bool   `json:"origins"`
+	// MinYear and MaxYear bound the archived scans' start years, from the
+	// zone maps (the exact year set would need a decode).
+	MinYear int `json:"min_year"`
+	MaxYear int `json:"max_year"`
+}
+
+// handleStats reports the loaded archives and a live metrics snapshot
+// (request/error counts, cache hits/misses, blocks scanned vs pruned).
+// Never cached: the counters move with every request.
+func (s *server) handleStats(url.Values) (any, error) {
+	infos := make([]archiveInfo, 0, len(s.readers))
+	for i, rd := range s.readers {
+		minY, maxY := 0, 0
+		for _, z := range rd.Blocks() {
+			if minY == 0 || int(z.MinYear) < minY {
+				minY = int(z.MinYear)
+			}
+			if int(z.MaxYear) > maxY {
+				maxY = int(z.MaxYear)
+			}
+		}
+		infos = append(infos, archiveInfo{
+			Path: s.paths[i], Blocks: rd.NumBlocks(), Scans: rd.NumScans(),
+			TelescopeSize: rd.TelescopeSize(), Origins: rd.HasOrigins(),
+			MinYear: minY, MaxYear: maxY,
+		})
+	}
+	return map[string]any{
+		"archives":      infos,
+		"cache_entries": s.cache.len(),
+		"metrics":       s.reg.Snapshot(),
+	}, nil
+}

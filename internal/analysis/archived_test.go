@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// TestArchiveEquivalence: the scan-level results computed from an archive
+// are identical to the in-memory pipeline's on the same seeded workload —
+// same Scans (deep-equal, same order), same origins, and identical derived
+// aggregations.
+func TestArchiveEquivalence(t *testing.T) {
+	s, err := workload.NewScenario(workload.Config{
+		Year: 2020, Seed: 7, Scale: 0.0005, TelescopeSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Collect(s)
+
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, archive.WriterConfig{
+		TelescopeSize: 1024, Origins: true, BlockBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ArchiveYear(w, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectArchive(rd, 2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Year != want.Year || got.Days != want.Days ||
+		got.TelescopeSize != want.TelescopeSize || got.Start != want.Start {
+		t.Fatalf("metadata mismatch: got %d/%d/%d/%d want %d/%d/%d/%d",
+			got.Year, got.Days, got.TelescopeSize, got.Start,
+			want.Year, want.Days, want.TelescopeSize, want.Start)
+	}
+	if len(got.Scans) == 0 {
+		t.Fatal("archive produced no scans")
+	}
+	if !reflect.DeepEqual(got.Scans, want.Scans) {
+		t.Fatalf("Scans differ: %d vs %d campaigns", len(got.Scans), len(want.Scans))
+	}
+	if !reflect.DeepEqual(got.ScanOrigins, want.ScanOrigins) {
+		t.Fatal("ScanOrigins differ")
+	}
+	if !reflect.DeepEqual(got.QualifiedScans(), want.QualifiedScans()) {
+		t.Fatal("QualifiedScans differ")
+	}
+	if !reflect.DeepEqual(got.ScansPerPort(), want.ScansPerPort()) {
+		t.Fatal("ScansPerPort differs")
+	}
+	if !reflect.DeepEqual(got.ToolScanShares(), want.ToolScanShares()) {
+		t.Fatal("ToolScanShares differ")
+	}
+	if !reflect.DeepEqual(got.WeeklyScans, want.WeeklyScans) {
+		t.Fatal("WeeklyScans differ")
+	}
+}
+
+// TestArchiveEquivalenceSharded: the sharded detector's canonical emit
+// order survives the archive round trip too.
+func TestArchiveEquivalenceSharded(t *testing.T) {
+	s, err := workload.NewScenario(workload.Config{
+		Year: 2019, Seed: 11, Scale: 0.0003, TelescopeSize: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := CollectWorkers(s, 4)
+
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, archive.WriterConfig{
+		TelescopeSize: 1024, Origins: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ArchiveYear(w, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CollectArchive(rd, 2019)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Scans, want.Scans) {
+		t.Fatal("Scans differ after sharded collection")
+	}
+}
+
+// TestCollectArchiveYears: a two-year archive splits back into its years.
+func TestCollectArchiveYears(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := archive.NewWriter(&buf, archive.WriterConfig{
+		TelescopeSize: 1024, Origins: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByYear := map[int]int{}
+	for _, year := range []int{2016, 2022} {
+		s, err := workload.NewScenario(workload.Config{
+			Year: year, Seed: 3, Scale: 0.0003, TelescopeSize: 1024,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		yd := Collect(s)
+		wantByYear[year] = len(yd.Scans)
+		if err := ArchiveYear(w, yd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := archive.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	years, err := CollectArchiveYears(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(years) != 2 {
+		t.Fatalf("got %d years, want 2", len(years))
+	}
+	for _, yd := range years {
+		if wantByYear[yd.Year] != len(yd.Scans) {
+			t.Fatalf("year %d: %d scans, want %d", yd.Year, len(yd.Scans), wantByYear[yd.Year])
+		}
+	}
+}

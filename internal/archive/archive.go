@@ -1,0 +1,373 @@
+// Package archive is the pipeline's persistent campaign store. Every
+// analysis in the paper (§4–§6) is a query over the set of detected
+// campaigns — by year, tool, port set, rate, origin — yet detection is three
+// orders of magnitude more expensive than any one query. The archive splits
+// the two: the detector runs once and spools its campaigns into an on-disk
+// file; queries then run forever against the file without touching raw
+// packets.
+//
+// Format ("SYNA", version 1):
+//
+//	header:   magic "SYNA" | version u8 | flags u8 | telescopeSize u32 |
+//	          reserved u16                                  (12 bytes, BE)
+//	blocks:   back-to-back DEFLATE streams of scan records (offsets live in
+//	          the index, not the stream), each bounded to ~BlockBytes of
+//	          uncompressed payload
+//	index:    u32 block count, then one fixed 64-byte zone-map entry per
+//	          block (see ZoneMap)
+//	trailer:  index offset u64 | index length u32 | CRC-32 (IEEE) of the
+//	          index | magic "SYNX"                          (20 bytes, BE)
+//
+// Records are delta/varint encoded within a block (start-time deltas between
+// consecutive records, ascending port-list deltas, varint counters), so the
+// DEFLATE layer mostly squeezes structural redundancy rather than numeric
+// width. Each block's zone map carries min/max start time, min/max year,
+// a tool bitmap, a 64-bit port-set fingerprint and the source-address range,
+// letting a Reader prove "no scan in this block can match" and skip the
+// block without decompressing it (predicate pushdown; see Filter).
+//
+// The flags bit 0 records whether scans carry their enrichment Origin: the
+// simulation path archives origins (it owns the registry), the replay path
+// does not.
+package archive
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// Magic identifies an archive file; TrailerMagic closes it.
+var (
+	Magic        = [4]byte{'S', 'Y', 'N', 'A'}
+	TrailerMagic = [4]byte{'S', 'Y', 'N', 'X'}
+)
+
+const (
+	version    = 1
+	headerLen  = 12
+	trailerLen = 20
+	zoneMapLen = 64
+
+	flagOrigins = 1 << 0
+
+	// DefaultBlockBytes bounds a block's uncompressed payload. 256 KiB keeps
+	// blocks large enough for DEFLATE to find structure and small enough
+	// that zone-map pruning has real resolution (a decade at default scale
+	// spans dozens of blocks).
+	DefaultBlockBytes = 256 << 10
+)
+
+// Errors surfaced by the codec.
+var (
+	ErrBadMagic   = errors.New("archive: bad magic")
+	ErrBadVersion = errors.New("archive: unsupported version")
+	ErrCorrupt    = errors.New("archive: corrupt file")
+	ErrNoOrigins  = errors.New("archive: file carries no origins")
+)
+
+// ZoneMap summarizes one block for predicate pushdown: a query whose
+// predicate provably excludes every value range below can skip the block
+// without decompressing it.
+type ZoneMap struct {
+	// Offset and CompressedLen locate the DEFLATE stream in the file.
+	Offset        uint64
+	CompressedLen uint32
+	// RawLen is the uncompressed payload length.
+	RawLen uint32
+	// Scans counts records in the block; Qualified counts those over the
+	// campaign thresholds.
+	Scans     uint32
+	Qualified uint32
+	// MinStart and MaxStart bound the records' start times (ns).
+	MinStart, MaxStart int64
+	// MinSrc and MaxSrc bound the records' source addresses.
+	MinSrc, MaxSrc uint32
+	// ToolBits has bit t set when some record is attributed to Tool(t).
+	ToolBits uint16
+	// MinYear and MaxYear bound the records' start-time years (UTC).
+	MinYear, MaxYear uint16
+	// PortsFP is a 64-bit Bloom fingerprint of every port targeted in the
+	// block (see portBit): a port whose bit is clear is provably absent.
+	PortsFP uint64
+}
+
+// portBit maps a port to its fingerprint bit: the top six bits of a
+// Knuth-multiplicative hash, so dense low port ranges spread over the word.
+func portBit(p uint16) uint64 {
+	return 1 << (uint32(p) * 2654435761 >> 26)
+}
+
+// yearOf returns the UTC calendar year of a nanosecond timestamp.
+func yearOf(ns int64) int {
+	return time.Unix(0, ns).UTC().Year()
+}
+
+// reset clears z to the open state for a new block.
+func (z *ZoneMap) reset() {
+	*z = ZoneMap{
+		MinStart: math.MaxInt64, MaxStart: math.MinInt64,
+		MinSrc: math.MaxUint32, MaxSrc: 0,
+		MinYear: math.MaxUint16, MaxYear: 0,
+	}
+}
+
+// observe folds one record into the zone map.
+func (z *ZoneMap) observe(sc *core.Scan) {
+	z.Scans++
+	if sc.Qualified {
+		z.Qualified++
+	}
+	if sc.Start < z.MinStart {
+		z.MinStart = sc.Start
+	}
+	if sc.Start > z.MaxStart {
+		z.MaxStart = sc.Start
+	}
+	if sc.Src < z.MinSrc {
+		z.MinSrc = sc.Src
+	}
+	if sc.Src > z.MaxSrc {
+		z.MaxSrc = sc.Src
+	}
+	y := uint16(yearOf(sc.Start))
+	if y < z.MinYear {
+		z.MinYear = y
+	}
+	if y > z.MaxYear {
+		z.MaxYear = y
+	}
+	z.ToolBits |= 1 << uint(sc.Tool)
+	for _, p := range sc.Ports {
+		z.PortsFP |= portBit(p)
+	}
+}
+
+// marshal appends the fixed-width index entry.
+func (z *ZoneMap) marshal(b []byte) []byte {
+	var e [zoneMapLen]byte
+	binary.BigEndian.PutUint64(e[0:8], z.Offset)
+	binary.BigEndian.PutUint32(e[8:12], z.CompressedLen)
+	binary.BigEndian.PutUint32(e[12:16], z.RawLen)
+	binary.BigEndian.PutUint32(e[16:20], z.Scans)
+	binary.BigEndian.PutUint32(e[20:24], z.Qualified)
+	binary.BigEndian.PutUint64(e[24:32], uint64(z.MinStart))
+	binary.BigEndian.PutUint64(e[32:40], uint64(z.MaxStart))
+	binary.BigEndian.PutUint32(e[40:44], z.MinSrc)
+	binary.BigEndian.PutUint32(e[44:48], z.MaxSrc)
+	binary.BigEndian.PutUint16(e[48:50], z.ToolBits)
+	binary.BigEndian.PutUint16(e[50:52], z.MinYear)
+	binary.BigEndian.PutUint16(e[52:54], z.MaxYear)
+	binary.BigEndian.PutUint64(e[54:62], z.PortsFP)
+	return append(b, e[:]...)
+}
+
+// unmarshalZoneMap decodes one fixed-width index entry.
+func unmarshalZoneMap(e []byte) ZoneMap {
+	return ZoneMap{
+		Offset:        binary.BigEndian.Uint64(e[0:8]),
+		CompressedLen: binary.BigEndian.Uint32(e[8:12]),
+		RawLen:        binary.BigEndian.Uint32(e[12:16]),
+		Scans:         binary.BigEndian.Uint32(e[16:20]),
+		Qualified:     binary.BigEndian.Uint32(e[20:24]),
+		MinStart:      int64(binary.BigEndian.Uint64(e[24:32])),
+		MaxStart:      int64(binary.BigEndian.Uint64(e[32:40])),
+		MinSrc:        binary.BigEndian.Uint32(e[40:44]),
+		MaxSrc:        binary.BigEndian.Uint32(e[44:48]),
+		ToolBits:      binary.BigEndian.Uint16(e[48:50]),
+		MinYear:       binary.BigEndian.Uint16(e[50:52]),
+		MaxYear:       binary.BigEndian.Uint16(e[52:54]),
+		PortsFP:       binary.BigEndian.Uint64(e[54:62]),
+	}
+}
+
+// appendRecord delta/varint encodes one scan (and optionally its origin)
+// onto b. prevStart is the previous record's start time within the block
+// (zero for the first record).
+func appendRecord(b []byte, sc *core.Scan, o *enrich.Origin, prevStart int64) []byte {
+	b = binary.AppendUvarint(b, zigzag(sc.Start-prevStart))
+	b = binary.AppendUvarint(b, uint64(sc.End-sc.Start))
+	b = binary.BigEndian.AppendUint32(b, sc.Src)
+	b = binary.AppendUvarint(b, sc.Packets)
+	b = binary.AppendUvarint(b, uint64(sc.DistinctDsts))
+	b = binary.AppendUvarint(b, uint64(len(sc.Ports)))
+	prev := uint16(0)
+	for i, p := range sc.Ports {
+		if i == 0 {
+			b = binary.AppendUvarint(b, uint64(p))
+		} else {
+			b = binary.AppendUvarint(b, uint64(p-prev))
+		}
+		prev = p
+	}
+	tq := byte(sc.Tool) & 0x3f
+	if sc.Qualified {
+		tq |= 0x80
+	}
+	b = append(b, tq)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(sc.RatePPS))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(sc.Coverage))
+	if o != nil {
+		b = appendString(b, o.Country)
+		b = binary.AppendUvarint(b, uint64(o.ASN))
+		b = append(b, byte(o.Type))
+		b = binary.AppendUvarint(b, zigzag(int64(o.OrgID)))
+		b = appendString(b, o.OrgName)
+	}
+	return b
+}
+
+// decodeRecord is the inverse of appendRecord. It decodes one record from
+// b into sc (and o when withOrigin), returning the remaining bytes and the
+// record's start time for the next delta.
+func decodeRecord(b []byte, sc *core.Scan, o *enrich.Origin, withOrigin bool, prevStart int64) ([]byte, int64, error) {
+	delta, b, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc.Start = prevStart + unzigzag(delta)
+	durU, b, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	sc.End = sc.Start + int64(durU)
+	if len(b) < 4 {
+		return nil, 0, ErrCorrupt
+	}
+	sc.Src = binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if sc.Packets, b, err = readUvarint(b); err != nil {
+		return nil, 0, err
+	}
+	dsts, b, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if dsts > math.MaxInt32 {
+		return nil, 0, ErrCorrupt
+	}
+	sc.DistinctDsts = int(dsts)
+	nPorts, b, err := readUvarint(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if nPorts > 65536 {
+		return nil, 0, ErrCorrupt
+	}
+	sc.Ports = make([]uint16, nPorts)
+	var prev uint64
+	for i := range sc.Ports {
+		d, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		b = rest
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		if prev > math.MaxUint16 {
+			return nil, 0, ErrCorrupt
+		}
+		sc.Ports[i] = uint16(prev)
+	}
+	if len(b) < 1+8+8 {
+		return nil, 0, ErrCorrupt
+	}
+	sc.Tool = tools.Tool(b[0] & 0x3f)
+	sc.Qualified = b[0]&0x80 != 0
+	sc.RatePPS = math.Float64frombits(binary.BigEndian.Uint64(b[1:9]))
+	sc.Coverage = math.Float64frombits(binary.BigEndian.Uint64(b[9:17]))
+	b = b[17:]
+	if withOrigin {
+		var s string
+		if s, b, err = readString(b); err != nil {
+			return nil, 0, err
+		}
+		o.Country = s
+		asn, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		b = rest
+		if asn > math.MaxUint32 {
+			return nil, 0, ErrCorrupt
+		}
+		o.ASN = uint32(asn)
+		if len(b) < 1 {
+			return nil, 0, ErrCorrupt
+		}
+		o.Type = inetmodel.ScannerType(b[0])
+		b = b[1:]
+		org, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		b = rest
+		id := unzigzag(org)
+		if id < math.MinInt16 || id > math.MaxInt16 {
+			return nil, 0, ErrCorrupt
+		}
+		o.OrgID = int16(id)
+		if s, b, err = readString(b); err != nil {
+			return nil, 0, err
+		}
+		o.OrgName = s
+	}
+	return b, sc.Start, nil
+}
+
+// zigzag maps signed values to unsigned varint-friendly ones.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// readUvarint consumes one uvarint from b.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrCorrupt
+	}
+	return v, b[n:], nil
+}
+
+// appendString appends a uvarint-length-prefixed string.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// readString consumes one length-prefixed string from b.
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(b)) {
+		return "", nil, ErrCorrupt
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// header builds the 12-byte file header.
+func header(telescopeSize int, origins bool) ([]byte, error) {
+	if telescopeSize < 0 || telescopeSize > math.MaxUint32 {
+		return nil, fmt.Errorf("archive: telescope size %d out of range", telescopeSize)
+	}
+	h := make([]byte, headerLen)
+	copy(h[:4], Magic[:])
+	h[4] = version
+	if origins {
+		h[5] |= flagOrigins
+	}
+	binary.BigEndian.PutUint32(h[6:10], uint32(telescopeSize))
+	return h, nil
+}

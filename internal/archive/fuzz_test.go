@@ -1,0 +1,43 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+)
+
+// FuzzReader hardens the whole read path — header, trailer, index, block
+// decompression and record decode: arbitrary bytes must never panic or
+// allocate absurdly, and a valid archive must keep round-tripping.
+func FuzzReader(f *testing.F) {
+	scans, origins := testScans(64, 7)
+	valid := writeArchive(f, scans, origins, WriterConfig{
+		TelescopeSize: 4096, Origins: true, BlockBytes: 1 << 10,
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:headerLen])
+	f.Add(valid[:len(valid)-3])
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	f.Add(corrupt)
+	noOrigins := writeArchive(f, scans, nil, WriterConfig{BlockBytes: 1 << 10})
+	f.Add(noOrigins)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return
+		}
+		n := 0
+		_ = r.Scans(Filter{}, func(sc *core.Scan, _ enrich.Origin) {
+			n++
+			if n > 1<<20 {
+				t.Fatal("unbounded emit")
+			}
+			_ = sc.Duration()
+		})
+	})
+}

@@ -1,0 +1,312 @@
+package archive
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/obs"
+)
+
+// Reader queries an archive file. It parses the footer index once at open;
+// Scans then decompresses only the blocks a Filter cannot prune, on a
+// worker pool, and streams decoded scans to the caller in file order.
+// A Reader is safe for concurrent Scans calls (each call owns its pool).
+type Reader struct {
+	ra      io.ReaderAt
+	size    int64
+	telSize int
+	origins bool
+	index   []ZoneMap
+	total   uint64
+	workers int
+	closer  io.Closer
+
+	met         *obs.Registry
+	mScanned    *obs.Counter
+	mSkipped    *obs.Counter
+	mBytes      *obs.Counter
+	mDecoded    *obs.Counter
+	mMatched    *obs.Counter
+	mDecompress *obs.Histogram
+}
+
+// Open opens an archive file for querying; Close releases it.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f, st.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader opens an archive over any random-access byte source.
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	if size < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, size)
+	}
+	var hdr [headerLen]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, err
+	}
+	if [4]byte(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != version {
+		return nil, ErrBadVersion
+	}
+
+	var tr [trailerLen]byte
+	if _, err := ra.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, err
+	}
+	if [4]byte(tr[16:20]) != TrailerMagic {
+		return nil, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	}
+	idxOff := binary.BigEndian.Uint64(tr[0:8])
+	idxLen := binary.BigEndian.Uint32(tr[8:12])
+	wantCRC := binary.BigEndian.Uint32(tr[12:16])
+	if idxOff < headerLen || int64(idxOff)+int64(idxLen) != size-trailerLen {
+		return nil, fmt.Errorf("%w: index bounds", ErrCorrupt)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := ra.ReadAt(idx, int64(idxOff)); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(idx) != wantCRC {
+		return nil, fmt.Errorf("%w: index checksum mismatch", ErrCorrupt)
+	}
+	if len(idx) < 4 {
+		return nil, fmt.Errorf("%w: index too short", ErrCorrupt)
+	}
+	n := binary.BigEndian.Uint32(idx[:4])
+	if uint64(n)*zoneMapLen != uint64(len(idx)-4) {
+		return nil, fmt.Errorf("%w: index entry count", ErrCorrupt)
+	}
+
+	r := &Reader{
+		ra:      ra,
+		size:    size,
+		telSize: int(binary.BigEndian.Uint32(hdr[6:10])),
+		origins: hdr[5]&flagOrigins != 0,
+		index:   make([]ZoneMap, n),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	for i := range r.index {
+		z := unmarshalZoneMap(idx[4+i*zoneMapLen:])
+		if uint64(z.Offset)+uint64(z.CompressedLen) > idxOff {
+			return nil, fmt.Errorf("%w: block %d out of bounds", ErrCorrupt, i)
+		}
+		r.index[i] = z
+		r.total += uint64(z.Scans)
+	}
+	r.SetMetrics(nil)
+	return r, nil
+}
+
+// Close releases the underlying file when the reader came from Open.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// TelescopeSize returns the monitored-address count recorded at write time.
+func (r *Reader) TelescopeSize() int { return r.telSize }
+
+// HasOrigins reports whether scans carry their enrichment Origin.
+func (r *Reader) HasOrigins() bool { return r.origins }
+
+// NumBlocks returns the block count.
+func (r *Reader) NumBlocks() int { return len(r.index) }
+
+// NumScans returns the total archived scan count.
+func (r *Reader) NumScans() uint64 { return r.total }
+
+// Blocks returns a copy of the zone-map index, in file order.
+func (r *Reader) Blocks() []ZoneMap {
+	out := make([]ZoneMap, len(r.index))
+	copy(out, r.index)
+	return out
+}
+
+// SetWorkers bounds the decode pool for subsequent Scans calls (minimum 1;
+// the default is GOMAXPROCS). Not safe concurrently with Scans.
+func (r *Reader) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	r.workers = n
+}
+
+// SetMetrics wires the reader's instrumentation: blocks scanned vs skipped
+// by pruning, bytes decompressed, scans decoded vs matched, per-block
+// decompression time. A nil registry disables it.
+func (r *Reader) SetMetrics(reg *obs.Registry) {
+	r.met = reg
+	r.mScanned = reg.Counter("archive.blocks.scanned")
+	r.mSkipped = reg.Counter("archive.blocks.skipped")
+	r.mBytes = reg.Counter("archive.bytes.decompressed")
+	r.mDecoded = reg.Counter("archive.scans.decoded")
+	r.mMatched = reg.Counter("archive.scans.matched")
+	r.mDecompress = reg.Histogram("archive.decompress_ns")
+}
+
+// blockScans is one decoded block: scans and (when the file has them)
+// parallel origins.
+type blockScans struct {
+	scans   []*core.Scan
+	origins []enrich.Origin
+	err     error
+}
+
+// Scans streams every scan matching f to emit, in file order (block order,
+// record order within a block — i.e. the order scans were archived in).
+// Blocks whose zone map excludes f are skipped without decompression; the
+// surviving blocks are decoded on a worker pool while emit runs on the
+// calling goroutine. The origin is the zero Origin when the archive carries
+// none (see HasOrigins).
+func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) error {
+	// Predicate pushdown over the zone maps.
+	var live []int
+	for i := range r.index {
+		if f.MatchBlock(&r.index[i]) {
+			live = append(live, i)
+		} else {
+			r.mSkipped.Inc()
+		}
+	}
+	r.mScanned.Add(uint64(len(live)))
+	if len(live) == 0 {
+		return nil
+	}
+
+	workers := r.workers
+	if workers > len(live) {
+		workers = len(live)
+	}
+
+	// Ordered fan-out: workers decode any block, the caller drains results
+	// strictly in block order so archived order is preserved end to end.
+	results := make([]chan blockScans, len(live))
+	for i := range results {
+		results[i] = make(chan blockScans, 1)
+	}
+	jobs := make(chan int, len(live))
+	for i := range live {
+		jobs <- i
+	}
+	close(jobs)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j] <- r.decodeBlock(&r.index[live[j]], &f)
+			}
+		}()
+	}
+	defer wg.Wait()
+
+	for j := range results {
+		res := <-results[j]
+		if res.err != nil {
+			// Result channels are buffered, so the remaining workers finish
+			// without a drain; the deferred Wait joins them.
+			return res.err
+		}
+		for i, sc := range res.scans {
+			var o enrich.Origin
+			if res.origins != nil {
+				o = res.origins[i]
+			}
+			emit(sc, o)
+		}
+	}
+	return nil
+}
+
+// decodeBlock reads, decompresses and decodes one block, keeping only scans
+// matching f.
+func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
+	comp := make([]byte, z.CompressedLen)
+	if _, err := r.ra.ReadAt(comp, int64(z.Offset)); err != nil {
+		return blockScans{err: fmt.Errorf("archive: block at %d: %w", z.Offset, err)}
+	}
+	// Capacity hints come from the (checksummed but still untrusted) index;
+	// clamp them so a crafted file cannot force absurd allocations before
+	// the decode fails.
+	rawCap := int64(z.RawLen)
+	if rawCap > 4*int64(DefaultBlockBytes) {
+		rawCap = 4 * int64(DefaultBlockBytes)
+	}
+	sp := obs.StartSpan(r.mDecompress)
+	fr := flate.NewReader(bytes.NewReader(comp))
+	buf := bytes.NewBuffer(make([]byte, 0, rawCap))
+	if _, err := io.Copy(buf, io.LimitReader(fr, int64(z.RawLen)+1)); err != nil {
+		return blockScans{err: fmt.Errorf("archive: block at %d: %w", z.Offset, err)}
+	}
+	sp.End()
+	raw := buf.Bytes()
+	if uint32(len(raw)) != z.RawLen {
+		return blockScans{err: fmt.Errorf("%w: block at %d: raw length %d != %d",
+			ErrCorrupt, z.Offset, len(raw), z.RawLen)}
+	}
+	r.mBytes.Add(uint64(len(raw)))
+
+	// A record is at least 26 bytes, so the block bounds the scan count.
+	if uint64(z.Scans) > uint64(len(raw))/26+1 {
+		return blockScans{err: fmt.Errorf("%w: block at %d: %d scans in %d bytes",
+			ErrCorrupt, z.Offset, z.Scans, len(raw))}
+	}
+	out := blockScans{scans: make([]*core.Scan, 0, z.Scans)}
+	if r.origins {
+		out.origins = make([]enrich.Origin, 0, z.Scans)
+	}
+	var prev int64
+	b := raw
+	for i := uint32(0); i < z.Scans; i++ {
+		sc := new(core.Scan)
+		var o enrich.Origin
+		var err error
+		b, prev, err = decodeRecord(b, sc, &o, r.origins, prev)
+		if err != nil {
+			return blockScans{err: fmt.Errorf("archive: block at %d, record %d: %w", z.Offset, i, err)}
+		}
+		r.mDecoded.Inc()
+		if !f.MatchScan(sc) {
+			continue
+		}
+		r.mMatched.Inc()
+		out.scans = append(out.scans, sc)
+		if r.origins {
+			out.origins = append(out.origins, o)
+		}
+	}
+	if len(b) != 0 {
+		return blockScans{err: fmt.Errorf("%w: block at %d: %d trailing bytes", ErrCorrupt, z.Offset, len(b))}
+	}
+	return out
+}

@@ -1,10 +1,15 @@
 package collab
 
 import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/rng"
 	"github.com/synscan/synscan/internal/tools"
 )
 
@@ -128,6 +133,65 @@ func TestDetectDeterministic(t *testing.T) {
 	b := Summarize(Detect(scans, Config{}))
 	if a != b {
 		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestDetectOrderInvariant: grouping is a set operation — permuting the
+// input campaign order must yield the identical group set (same members,
+// same aggregates), not merely the same summary counts. Detect sorts each
+// bucket before its greedy pass; this test is the property pinning that.
+func TestDetectOrderInvariant(t *testing.T) {
+	// A mixed population: two /24 shard families, one equal-slice family,
+	// tool/port variants, and scattered singletons.
+	var scans []*core.Scan
+	for i := 0; i < 6; i++ {
+		scans = append(scans, mkScan(0x0A0B0C00|uint32(i+1), tools.ToolZMap, []uint16{443},
+			int64(i)*hour/6, 10*hour, 500, 20000))
+		scans = append(scans, mkScan(0x14161800|uint32(i+1), tools.ToolMasscan, []uint16{22, 80},
+			int64(i)*hour/3, 8*hour, 400, 15000))
+	}
+	for i := 0; i < 5; i++ {
+		scans = append(scans, mkScan(uint32(0x30000000+i*1<<16), tools.ToolZMap, []uint16{3389},
+			int64(i)*hour/5, 12*hour, 600, 18000))
+	}
+	for i := 0; i < 20; i++ {
+		scans = append(scans, mkScan(uint32(0x50000000+i*7919), tools.Tool(i%5), []uint16{uint16(1000 + i)},
+			int64(100+i*30)*hour, hour, 300, 9000))
+	}
+
+	// Canonical fingerprint of a Detect result: per group the sorted member
+	// identities plus the aggregates, then the group list itself sorted.
+	canon := func(groups []Group) []string {
+		sigs := make([]string, 0, len(groups))
+		for _, g := range groups {
+			members := make([]string, 0, len(g.Scans))
+			for _, sc := range g.Scans {
+				members = append(members, fmt.Sprintf("%08x@%d", sc.Src, sc.Start))
+			}
+			sort.Strings(members)
+			sigs = append(sigs, fmt.Sprintf("%v|%s|pkts=%d|cov=%.6f|s24=%v",
+				g.Tool, strings.Join(members, ","), g.TotalPackets, g.TotalCoverage, g.SameSlash24))
+		}
+		sort.Strings(sigs)
+		return sigs
+	}
+
+	want := canon(Detect(scans, Config{}))
+	if len(want) == 0 {
+		t.Fatal("no groups detected")
+	}
+	r := rng.New(99)
+	for trial := 0; trial < 25; trial++ {
+		perm := append([]*core.Scan(nil), scans...)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := r.Intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		got := canon(Detect(perm, Config{}))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: permuted input changed the group set:\n got %d groups %v\nwant %d groups %v",
+				trial, len(got), got, len(want), want)
+		}
 	}
 }
 

@@ -39,6 +39,8 @@ var (
 	ErrBadVersion = errors.New("flowlog: unsupported version")
 )
 
+var errOverflow = errors.New("varint overflows 64 bits")
+
 // Writer appends probes to a spool.
 type Writer struct {
 	w    *bufio.Writer
@@ -106,6 +108,7 @@ type Reader struct {
 	r       *bufio.Reader
 	last    int64
 	telSize int
+	idx     uint64 // records decoded so far; names the record in errors
 }
 
 // NewReader validates the header and returns a spool reader.
@@ -133,22 +136,49 @@ func NewReader(r io.Reader) (*Reader, error) {
 // TelescopeSize returns the monitored-address count recorded in the header.
 func (r *Reader) TelescopeSize() int { return r.telSize }
 
+// readUvarint is binary.ReadUvarint with byte accounting: it additionally
+// reports how many bytes it consumed, so the caller can tell a clean end of
+// stream (EOF before any byte) from a record cut off mid-varint.
+func (r *Reader) readUvarint() (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		c, err := r.r.ReadByte()
+		if err != nil {
+			return 0, i, err
+		}
+		if c < 0x80 {
+			if i == binary.MaxVarintLen64-1 && c > 1 {
+				return 0, i + 1, errOverflow
+			}
+			return x | uint64(c)<<s, i + 1, nil
+		}
+		x |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, binary.MaxVarintLen64, errOverflow
+}
+
 // Next decodes the next record into p. It returns io.EOF at a clean end of
-// stream and io.ErrUnexpectedEOF on truncation.
+// stream; a record cut off anywhere — even inside the leading timestamp
+// varint — surfaces io.ErrUnexpectedEOF wrapped with the record's index.
 func (r *Reader) Next(p *packet.Probe) error {
-	delta, err := binary.ReadUvarint(r.r)
+	delta, n, err := r.readUvarint()
 	if err != nil {
-		if err == io.EOF {
+		if err == io.EOF && n == 0 {
 			return io.EOF
 		}
-		return fmt.Errorf("flowlog: timestamp: %w", err)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("flowlog: record %d: truncated timestamp: %w", r.idx, io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("flowlog: record %d: timestamp: %w", r.idx, err)
 	}
 	var b [recordBodyLen]byte
 	if _, err := io.ReadFull(r.r, b[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return fmt.Errorf("flowlog: truncated record: %w", io.ErrUnexpectedEOF)
+			return fmt.Errorf("flowlog: record %d: truncated record: %w", r.idx, io.ErrUnexpectedEOF)
 		}
-		return err
+		return fmt.Errorf("flowlog: record %d: %w", r.idx, err)
 	}
 	r.last += unzigzag(delta)
 	p.Time = r.last
@@ -163,5 +193,6 @@ func (r *Reader) Next(p *packet.Probe) error {
 	p.Flags = b[23]
 	p.Window = binary.BigEndian.Uint16(b[24:26])
 	p.Proto = b[26]
+	r.idx++
 	return nil
 }

@@ -2,7 +2,9 @@ package flowlog
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -142,6 +144,66 @@ func TestTruncatedRecord(t *testing.T) {
 	}
 	if err := rd.Next(&p); err == nil {
 		t.Fatal("truncated record accepted")
+	}
+}
+
+// TestTruncationSurfacesUnexpectedEOF: a stream cut anywhere inside a
+// record — including mid-varint in the leading timestamp, which a plain
+// binary.ReadUvarint at the first byte would report as a clean io.EOF —
+// must surface io.ErrUnexpectedEOF naming the truncated record. Only cuts
+// exactly on a record boundary are a clean end of stream.
+func TestTruncationSurfacesUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := map[int]bool{}
+	var ends []int
+	for i := 0; i < 3; i++ {
+		// Terabyte-scale deltas force multi-byte timestamp varints, so
+		// mid-varint cut points exist for every record.
+		p := packet.Probe{Time: int64(i+1) * 1e12, Src: uint32(i)}
+		if err := w.Write(&p); err != nil {
+			t.Fatal(err)
+		}
+		w.Flush()
+		boundaries[buf.Len()] = true
+		ends = append(ends, buf.Len())
+	}
+	raw := buf.Bytes()
+
+	drain := func(data []byte) (int, error) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		var p packet.Probe
+		for n := 0; ; n++ {
+			if err := rd.Next(&p); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	for cut := headerLen + 1; cut < len(raw); cut++ {
+		if boundaries[cut] {
+			continue
+		}
+		if _, err := drain(raw[:cut]); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// A cut one byte into the second record's timestamp varint names
+	// record 1 in the error.
+	if _, err := drain(raw[:ends[0]+1]); err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("mid-varint cut error %v, want it to name record 1", err)
+	}
+
+	// The intact stream still ends cleanly.
+	if n, err := drain(raw); n != 3 || err != io.EOF {
+		t.Fatalf("clean stream: %d records, %v; want 3, io.EOF", n, err)
 	}
 }
 

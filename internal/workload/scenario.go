@@ -76,9 +76,11 @@ type Scenario struct {
 	specs []*spec
 }
 
-// windowStart pins each year's capture window to February 1, matching the
+// WindowStart pins each year's capture window to February 1, matching the
 // paper's "first half of the year" collection without any wall-clock use.
-func windowStart(year int) int64 {
+// Exported so archive-backed analyses can reconstruct a year's window
+// without building a scenario.
+func WindowStart(year int) int64 {
 	return time.Date(year, time.February, 1, 0, 0, 0, 0, time.UTC).UnixNano()
 }
 
@@ -144,7 +146,7 @@ func NewScenario(cfg Config) (*Scenario, error) {
 			MinRatePPS:      core.DefaultMinRatePPS,
 			Expiry:          expiry,
 		},
-		Start:       windowStart(cfg.Year),
+		Start:       WindowStart(cfg.Year),
 		WindowNanos: int64(prof.Days) * 24 * int64(time.Hour),
 		cfg:         cfg,
 	}

@@ -21,6 +21,7 @@ package synscan
 
 import (
 	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/inetmodel"
@@ -263,6 +264,49 @@ func (a *Analyzer) Finish() []*Scan {
 // counters, detector flow lifecycle, and — with WithWorkers — shard queue
 // behaviour. Safe to call from any goroutine while Ingest runs.
 func (a *Analyzer) Stats() PipelineSnapshot { return a.met.Snapshot() }
+
+// Campaign-archive surface, re-exported. An archive persists detected
+// campaigns (not raw probes) in a compressed, zone-map-indexed block
+// format, so scan-level analyses re-run as indexed reads instead of
+// re-simulating or re-replaying (see internal/archive).
+type (
+	// ArchiveWriter spools scans into an archive file or stream.
+	ArchiveWriter = archive.Writer
+	// ArchiveWriterConfig parameterizes NewArchiveWriter / CreateArchive.
+	ArchiveWriterConfig = archive.WriterConfig
+	// ArchiveReader queries an archive with zone-map predicate pushdown.
+	ArchiveReader = archive.Reader
+	// ArchiveFilter selects scans by year, tool, port, source prefix,
+	// rate, or qualification; its zero value matches everything.
+	ArchiveFilter = archive.Filter
+)
+
+// CreateArchive creates an archive file for writing.
+func CreateArchive(path string, cfg ArchiveWriterConfig) (*ArchiveWriter, error) {
+	return archive.Create(path, cfg)
+}
+
+// OpenArchive opens an archive file for querying.
+func OpenArchive(path string) (*ArchiveReader, error) {
+	return archive.Open(path)
+}
+
+// ArchiveYear appends one collected year's campaigns (with origins) to an
+// archive writer created with ArchiveWriterConfig.Origins.
+func ArchiveYear(w *ArchiveWriter, yd *YearData) error {
+	return analysis.ArchiveYear(w, yd)
+}
+
+// CollectArchive rebuilds one year's scan-level YearData from an archive;
+// packet-level aggregates stay empty (they need the raw probe stream).
+func CollectArchive(rd *ArchiveReader, year int) (*YearData, error) {
+	return analysis.CollectArchive(rd, year)
+}
+
+// CollectArchiveYears loads every calibrated year present in the archive.
+func CollectArchiveYears(rd *ArchiveReader) ([]*YearData, error) {
+	return analysis.CollectArchiveYears(rd)
+}
 
 // PaperTelescopeSize is the monitored-address count of the paper's
 // deployment (§3.2).
