@@ -14,6 +14,12 @@
 // are cached in an LRU keyed on the canonicalized query string. SIGINT or
 // SIGTERM drains in-flight requests before exiting.
 //
+// Archives are opened skip-corrupt by default (-skip-corrupt=false to fail
+// fast instead): checksum-failed blocks are skipped and counted, and every
+// query response carries "degraded": true once any block was lost. -timeout
+// bounds each query; an expired deadline returns 504 with a JSON error
+// body.
+//
 // Usage:
 //
 //	syneval -archive-out decade.syna
@@ -43,6 +49,8 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	workers := flag.Int("workers", 1, "block-decode workers per query; >1 decompresses surviving blocks in parallel")
 	cacheSize := flag.Int("cache", 128, "result-cache capacity in responses (0 disables caching)")
+	queryTimeout := flag.Duration("timeout", 30*time.Second, "per-query deadline; expired queries return 504 (0 = no deadline)")
+	skipCorrupt := flag.Bool("skip-corrupt", true, "skip checksum-failed archive blocks instead of failing the query; responses carry degraded=true")
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -66,10 +74,14 @@ func main() {
 	reg := obs.NewRegistry()
 	defer obs.StartDump(reg, os.Stderr, *metricsEvery)()
 
+	var opts []archive.ReaderOption
+	if *skipCorrupt {
+		opts = append(opts, archive.WithSkipCorrupt())
+	}
 	paths := flag.Args()
 	readers := make([]*archive.Reader, 0, len(paths))
 	for _, path := range paths {
-		rd, err := archive.Open(path)
+		rd, err := archive.Open(path, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,7 +93,7 @@ func main() {
 		readers = append(readers, rd)
 	}
 
-	srv := newServer(paths, readers, *cacheSize, reg)
+	srv := newServer(paths, readers, *cacheSize, *queryTimeout, reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
@@ -28,17 +30,22 @@ type server struct {
 	readers []*archive.Reader
 	cache   *lruCache
 	reg     *obs.Registry
+	// timeout bounds each query's archive walk; 0 means no deadline. An
+	// expired deadline surfaces as 504 with a JSON error body rather than a
+	// half-written response, because the walk is aborted before rendering.
+	timeout time.Duration
 
 	mRequests, mErrors, mHits, mMisses *obs.Counter
 	mLatency                           *obs.Histogram
 }
 
-func newServer(paths []string, readers []*archive.Reader, cacheSize int, reg *obs.Registry) *server {
+func newServer(paths []string, readers []*archive.Reader, cacheSize int, timeout time.Duration, reg *obs.Registry) *server {
 	return &server{
 		paths:   paths,
 		readers: readers,
 		cache:   newLRU(cacheSize),
 		reg:     reg,
+		timeout: timeout,
 
 		mRequests: reg.Counter("synserve.http.requests"),
 		mErrors:   reg.Counter("synserve.http.errors"),
@@ -97,15 +104,16 @@ func canonicalKey(u *url.URL) string {
 }
 
 // endpoint wraps a query handler with method filtering, instrumentation,
-// JSON rendering and (when cacheable) the LRU result cache.
-func (s *server) endpoint(h func(q url.Values) (any, error), cacheable bool) http.HandlerFunc {
+// the per-query deadline, JSON rendering and (when cacheable) the LRU
+// result cache.
+func (s *server) endpoint(h func(ctx context.Context, q url.Values) (any, error), cacheable bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sp := obs.StartSpan(s.mLatency)
 		defer sp.End()
 		s.mRequests.Inc()
 		if r.Method != http.MethodGet {
 			s.mErrors.Inc()
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
 		var key string
@@ -118,21 +126,29 @@ func (s *server) endpoint(h func(q url.Values) (any, error), cacheable bool) htt
 			}
 			s.mMisses.Inc()
 		}
-		res, err := h(r.URL.Query())
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		res, err := h(ctx, r.URL.Query())
 		if err != nil {
 			s.mErrors.Inc()
 			code := http.StatusInternalServerError
 			var he *httpError
 			if errors.As(err, &he) {
 				code = he.code
+			} else if errors.Is(err, context.DeadlineExceeded) {
+				code = http.StatusGatewayTimeout
 			}
-			http.Error(w, err.Error(), code)
+			writeJSONError(w, code, err.Error())
 			return
 		}
 		body, err := json.Marshal(res)
 		if err != nil {
 			s.mErrors.Inc()
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 		body = append(body, '\n')
@@ -147,6 +163,26 @@ func writeJSON(w http.ResponseWriter, body []byte, cache string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cache)
 	w.Write(body)
+}
+
+// writeJSONError renders an error as {"error": ...} so API clients never
+// have to sniff whether a failure body is text or JSON.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// degraded reports whether any loaded archive has skipped corrupt blocks so
+// far: query results are still served but may be missing the damaged
+// blocks' scans. Mirrored into every query response.
+func (s *server) degraded() bool {
+	for _, rd := range s.readers {
+		if rd.CorruptBlocks() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // toolNames maps lower-cased display names back to Tool values for the
@@ -234,11 +270,16 @@ func parseFilter(q url.Values) (archive.Filter, error) {
 	return f, nil
 }
 
-// forEach streams every matching scan from every archive, in file order.
-func (s *server) forEach(f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
+// forEach streams every matching scan from every archive, in file order,
+// aborting between blocks when ctx expires. Context errors come back
+// unwrapped so the endpoint wrapper can map them onto status codes.
+func (s *server) forEach(ctx context.Context, f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
 	for i, rd := range s.readers {
-		err := rd.Scans(f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
+		err := rd.ScansContext(ctx, f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
 		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return err
+			}
 			return fmt.Errorf("%s: %w", s.paths[i], err)
 		}
 	}
@@ -272,7 +313,7 @@ type scanJSON struct {
 
 // handleScans returns matching scans up to ?limit= (default 1000), with the
 // total match count so clients can detect truncation.
-func (s *server) handleScans(q url.Values) (any, error) {
+func (s *server) handleScans(ctx context.Context, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -285,7 +326,7 @@ func (s *server) handleScans(q url.Values) (any, error) {
 	}
 	scans := []scanJSON{}
 	var matched uint64
-	err = s.forEach(f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+	err = s.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
 		matched++
 		if len(scans) >= limit {
 			return
@@ -317,6 +358,7 @@ func (s *server) handleScans(q url.Values) (any, error) {
 		"matched":   matched,
 		"returned":  len(scans),
 		"truncated": uint64(len(scans)) < matched,
+		"degraded":  s.degraded(),
 		"scans":     scans,
 	}, nil
 }
@@ -330,7 +372,7 @@ type portRow struct {
 
 // handlePorts ranks destination ports by the number of matching scans
 // targeting them (?top=, default 10).
-func (s *server) handlePorts(q url.Values) (any, error) {
+func (s *server) handlePorts(ctx context.Context, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -344,7 +386,7 @@ func (s *server) handlePorts(q url.Values) (any, error) {
 	type agg struct{ scans, packets uint64 }
 	byPort := map[uint16]*agg{}
 	var total uint64
-	err = s.forEach(f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+	err = s.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
 		total++
 		for _, p := range sc.Ports {
 			a := byPort[p]
@@ -376,7 +418,7 @@ func (s *server) handlePorts(q url.Values) (any, error) {
 	if len(rows) > top {
 		rows = rows[:top]
 	}
-	return map[string]any{"total_scans": total, "ports": rows}, nil
+	return map[string]any{"total_scans": total, "ports": rows, "degraded": s.degraded()}, nil
 }
 
 type toolRow struct {
@@ -387,7 +429,7 @@ type toolRow struct {
 }
 
 // handleTools tallies matching scans per fingerprinted tool.
-func (s *server) handleTools(q url.Values) (any, error) {
+func (s *server) handleTools(ctx context.Context, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -395,7 +437,7 @@ func (s *server) handleTools(q url.Values) (any, error) {
 	scans := make([]uint64, tools.NumTools())
 	qualified := make([]uint64, tools.NumTools())
 	var total uint64
-	err = s.forEach(f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+	err = s.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
 		total++
 		scans[sc.Tool]++
 		if sc.Qualified {
@@ -415,7 +457,7 @@ func (s *server) handleTools(q url.Values) (any, error) {
 			Share: float64(scans[t]) / float64(total),
 		})
 	}
-	return map[string]any{"total_scans": total, "tools": rows}, nil
+	return map[string]any{"total_scans": total, "tools": rows, "degraded": s.degraded()}, nil
 }
 
 type originRow struct {
@@ -427,7 +469,7 @@ type originRow struct {
 
 // handleOrigins breaks matching scans down by scanner type (Table 2 view).
 // Only archives written with origins can serve it.
-func (s *server) handleOrigins(q url.Values) (any, error) {
+func (s *server) handleOrigins(ctx context.Context, q url.Values) (any, error) {
 	withOrigins := false
 	for _, rd := range s.readers {
 		if rd.HasOrigins() {
@@ -448,7 +490,7 @@ func (s *server) handleOrigins(q url.Values) (any, error) {
 		packets uint64
 	}
 	byType := map[inetmodel.ScannerType]*agg{}
-	err = s.forEach(f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+	err = s.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
 		if !rd.HasOrigins() {
 			return
 		}
@@ -477,7 +519,7 @@ func (s *server) handleOrigins(q url.Values) (any, error) {
 		}
 		return rows[i].Type < rows[j].Type
 	})
-	return map[string]any{"types": rows}, nil
+	return map[string]any{"types": rows, "degraded": s.degraded()}, nil
 }
 
 type archiveInfo struct {
@@ -495,7 +537,7 @@ type archiveInfo struct {
 // handleStats reports the loaded archives and a live metrics snapshot
 // (request/error counts, cache hits/misses, blocks scanned vs pruned).
 // Never cached: the counters move with every request.
-func (s *server) handleStats(url.Values) (any, error) {
+func (s *server) handleStats(_ context.Context, _ url.Values) (any, error) {
 	infos := make([]archiveInfo, 0, len(s.readers))
 	for i, rd := range s.readers {
 		minY, maxY := 0, 0
@@ -513,9 +555,12 @@ func (s *server) handleStats(url.Values) (any, error) {
 			MinYear: minY, MaxYear: maxY,
 		})
 	}
+	snap := s.reg.Snapshot()
 	return map[string]any{
 		"archives":      infos,
 		"cache_entries": s.cache.len(),
-		"metrics":       s.reg.Snapshot(),
+		"degraded":      s.degraded(),
+		"faults":        snap.CountersWithPrefix("faults."),
+		"metrics":       snap,
 	}, nil
 }

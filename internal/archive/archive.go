@@ -6,17 +6,27 @@
 // file; queries then run forever against the file without touching raw
 // packets.
 //
-// Format ("SYNA", version 1):
+// Format ("SYNA", version 2):
 //
 //	header:   magic "SYNA" | version u8 | flags u8 | telescopeSize u32 |
 //	          reserved u16                                  (12 bytes, BE)
-//	blocks:   back-to-back DEFLATE streams of scan records (offsets live in
-//	          the index, not the stream), each bounded to ~BlockBytes of
-//	          uncompressed payload
+//	blocks:   back-to-back checksummed DEFLATE streams of scan records
+//	          (offsets live in the index, not the stream): each block is a
+//	          CRC-32 (IEEE) of the compressed payload (u32 BE) followed by
+//	          the DEFLATE stream, bounded to ~BlockBytes of uncompressed
+//	          payload
 //	index:    u32 block count, then one fixed 64-byte zone-map entry per
 //	          block (see ZoneMap)
 //	trailer:  index offset u64 | index length u32 | CRC-32 (IEEE) of the
 //	          index | magic "SYNX"                          (20 bytes, BE)
+//
+// Version 1 files — identical except that blocks carry no CRC prefix — are
+// still readable. The per-block checksum is what makes degraded-mode reads
+// possible: a reader opened WithSkipCorrupt verifies each block before
+// decompressing it and skips damaged blocks (counting them in the
+// faults.archive.corrupt_blocks metric and Reader.CorruptBlocks) instead of
+// failing the whole query, so one flipped bit in a decade-long archive
+// costs one block of results, not the file.
 //
 // Records are delta/varint encoded within a block (start-time deltas between
 // consecutive records, ascending port-list deltas, varint counters), so the
@@ -51,10 +61,12 @@ var (
 )
 
 const (
-	version    = 1
-	headerLen  = 12
-	trailerLen = 20
-	zoneMapLen = 64
+	version1    = 1 // legacy: blocks carry no CRC prefix
+	version     = 2 // current: CRC-32 of the compressed payload prefixes each block
+	headerLen   = 12
+	trailerLen  = 20
+	zoneMapLen  = 64
+	blockCRCLen = 4
 
 	flagOrigins = 1 << 0
 

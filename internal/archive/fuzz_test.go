@@ -2,10 +2,12 @@ package archive
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/faultinject"
 )
 
 // FuzzReader hardens the whole read path — header, trailer, index, block
@@ -25,19 +27,43 @@ func FuzzReader(f *testing.F) {
 	f.Add(corrupt)
 	noOrigins := writeArchive(f, scans, nil, WriterConfig{BlockBytes: 1 << 10})
 	f.Add(noOrigins)
+	// Seeded fault-injection corpora: scattered byte flips across the whole
+	// file, and a stream passed through the corrupting reader wrapper — the
+	// damage patterns real storage produces, at several densities.
+	for seed := uint64(1); seed <= 3; seed++ {
+		flipped := append([]byte{}, valid...)
+		faultinject.FlipBytes(flipped, seed, 8*int(seed), 0, 0)
+		f.Add(flipped)
+		noisy, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(valid), faultinject.ReaderConfig{
+			Seed: seed, CorruptRate: 0.002 * float64(seed),
+		}))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(noisy)
+		truncated, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(valid), faultinject.ReaderConfig{
+			Seed: seed, TruncateAt: int64(len(valid)) / (1 + int64(seed)),
+		}))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(truncated)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data), int64(len(data)))
-		if err != nil {
-			return
-		}
-		n := 0
-		_ = r.Scans(Filter{}, func(sc *core.Scan, _ enrich.Origin) {
-			n++
-			if n > 1<<20 {
-				t.Fatal("unbounded emit")
+		for _, opts := range [][]ReaderOption{nil, {WithSkipCorrupt()}} {
+			r, err := NewReader(bytes.NewReader(data), int64(len(data)), opts...)
+			if err != nil {
+				continue
 			}
-			_ = sc.Duration()
-		})
+			n := 0
+			_ = r.Scans(Filter{}, func(sc *core.Scan, _ enrich.Origin) {
+				n++
+				if n > 1<<20 {
+					t.Fatal("unbounded emit")
+				}
+				_ = sc.Duration()
+			})
+		}
 	})
 }

@@ -3,6 +3,7 @@ package archive
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -10,6 +11,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
@@ -21,14 +23,17 @@ import (
 // worker pool, and streams decoded scans to the caller in file order.
 // A Reader is safe for concurrent Scans calls (each call owns its pool).
 type Reader struct {
-	ra      io.ReaderAt
-	size    int64
-	telSize int
-	origins bool
-	index   []ZoneMap
-	total   uint64
-	workers int
-	closer  io.Closer
+	ra          io.ReaderAt
+	size        int64
+	ver         uint8
+	telSize     int
+	origins     bool
+	skipCorrupt bool
+	index       []ZoneMap
+	total       uint64
+	workers     int
+	closer      io.Closer
+	corrupt     atomic.Uint64
 
 	met         *obs.Registry
 	mScanned    *obs.Counter
@@ -36,11 +41,25 @@ type Reader struct {
 	mBytes      *obs.Counter
 	mDecoded    *obs.Counter
 	mMatched    *obs.Counter
+	mCorrupt    *obs.Counter
 	mDecompress *obs.Histogram
 }
 
+// ReaderOption customizes Open and NewReader.
+type ReaderOption func(*Reader)
+
+// WithSkipCorrupt puts the reader in degraded mode: a block that fails its
+// checksum (or any other block-local read/decode check) is skipped instead
+// of failing the whole query. Skipped blocks are counted in CorruptBlocks
+// and the faults.archive.corrupt_blocks metric; every intact block still
+// streams, in order. The default (without this option) is fail-fast: any
+// damaged block aborts Scans with an error.
+func WithSkipCorrupt() ReaderOption {
+	return func(r *Reader) { r.skipCorrupt = true }
+}
+
 // Open opens an archive file for querying; Close releases it.
-func Open(path string) (*Reader, error) {
+func Open(path string, opts ...ReaderOption) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -50,7 +69,7 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	r, err := NewReader(f, st.Size())
+	r, err := NewReader(f, st.Size(), opts...)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -60,7 +79,7 @@ func Open(path string) (*Reader, error) {
 }
 
 // NewReader opens an archive over any random-access byte source.
-func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+func NewReader(ra io.ReaderAt, size int64, opts ...ReaderOption) (*Reader, error) {
 	if size < headerLen+trailerLen {
 		return nil, fmt.Errorf("%w: file too short (%d bytes)", ErrCorrupt, size)
 	}
@@ -71,7 +90,7 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	if [4]byte(hdr[:4]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[4] != version {
+	if hdr[4] != version && hdr[4] != version1 {
 		return nil, ErrBadVersion
 	}
 
@@ -106,14 +125,22 @@ func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
 	r := &Reader{
 		ra:      ra,
 		size:    size,
+		ver:     hdr[4],
 		telSize: int(binary.BigEndian.Uint32(hdr[6:10])),
 		origins: hdr[5]&flagOrigins != 0,
 		index:   make([]ZoneMap, n),
 		workers: runtime.GOMAXPROCS(0),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
 	for i := range r.index {
 		z := unmarshalZoneMap(idx[4+i*zoneMapLen:])
-		if uint64(z.Offset)+uint64(z.CompressedLen) > idxOff {
+		end := uint64(z.Offset) + uint64(z.CompressedLen)
+		if r.ver >= version {
+			end += blockCRCLen
+		}
+		if end > idxOff {
 			return nil, fmt.Errorf("%w: block %d out of bounds", ErrCorrupt, i)
 		}
 		r.index[i] = z
@@ -169,14 +196,22 @@ func (r *Reader) SetMetrics(reg *obs.Registry) {
 	r.mBytes = reg.Counter("archive.bytes.decompressed")
 	r.mDecoded = reg.Counter("archive.scans.decoded")
 	r.mMatched = reg.Counter("archive.scans.matched")
+	r.mCorrupt = reg.Counter("faults.archive.corrupt_blocks")
 	r.mDecompress = reg.Histogram("archive.decompress_ns")
 }
 
+// CorruptBlocks returns the number of damaged blocks skipped so far by a
+// WithSkipCorrupt reader, cumulative across Scans calls (a block damaged on
+// disk is counted once per query that decodes it).
+func (r *Reader) CorruptBlocks() uint64 { return r.corrupt.Load() }
+
 // blockScans is one decoded block: scans and (when the file has them)
-// parallel origins.
+// parallel origins. corrupt marks a damaged block a WithSkipCorrupt reader
+// converted into a counted skip.
 type blockScans struct {
 	scans   []*core.Scan
 	origins []enrich.Origin
+	corrupt bool
 	err     error
 }
 
@@ -185,8 +220,16 @@ type blockScans struct {
 // Blocks whose zone map excludes f are skipped without decompression; the
 // surviving blocks are decoded on a worker pool while emit runs on the
 // calling goroutine. The origin is the zero Origin when the archive carries
-// none (see HasOrigins).
+// none (see HasOrigins). Damaged blocks abort with an error unless the
+// reader was opened WithSkipCorrupt (see CorruptBlocks).
 func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) error {
+	return r.ScansContext(context.Background(), f, emit)
+}
+
+// ScansContext is Scans with cancellation: the query stops decoding and
+// returns ctx.Err() as soon as the context is done, between blocks. Emitted
+// scans up to that point are valid.
+func (r *Reader) ScansContext(ctx context.Context, f Filter, emit func(sc *core.Scan, o enrich.Origin)) error {
 	// Predicate pushdown over the zone maps.
 	var live []int
 	for i := range r.index {
@@ -224,6 +267,10 @@ func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) erro
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
+				if err := ctx.Err(); err != nil {
+					results[j] <- blockScans{err: err}
+					continue
+				}
 				results[j] <- r.decodeBlock(&r.index[live[j]], &f)
 			}
 		}()
@@ -237,6 +284,9 @@ func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) erro
 			// without a drain; the deferred Wait joins them.
 			return res.err
 		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		for i, sc := range res.scans {
 			var o enrich.Origin
 			if res.origins != nil {
@@ -248,12 +298,35 @@ func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) erro
 	return nil
 }
 
-// decodeBlock reads, decompresses and decodes one block, keeping only scans
-// matching f.
+// fail converts a block-local failure into either a query-aborting error
+// (the default) or, under WithSkipCorrupt, a counted skip.
+func (r *Reader) fail(err error) blockScans {
+	if r.skipCorrupt {
+		r.corrupt.Add(1)
+		r.mCorrupt.Inc()
+		return blockScans{corrupt: true}
+	}
+	return blockScans{err: err}
+}
+
+// decodeBlock reads, checksums, decompresses and decodes one block, keeping
+// only scans matching f.
 func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
-	comp := make([]byte, z.CompressedLen)
-	if _, err := r.ra.ReadAt(comp, int64(z.Offset)); err != nil {
-		return blockScans{err: fmt.Errorf("archive: block at %d: %w", z.Offset, err)}
+	n := int64(z.CompressedLen)
+	if r.ver >= version {
+		n += blockCRCLen
+	}
+	blk := make([]byte, n)
+	if _, err := r.ra.ReadAt(blk, int64(z.Offset)); err != nil {
+		return r.fail(fmt.Errorf("archive: block at %d: %w", z.Offset, err))
+	}
+	comp := blk
+	if r.ver >= version {
+		want := binary.BigEndian.Uint32(blk[:blockCRCLen])
+		comp = blk[blockCRCLen:]
+		if crc32.ChecksumIEEE(comp) != want {
+			return r.fail(fmt.Errorf("%w: block at %d: checksum mismatch", ErrCorrupt, z.Offset))
+		}
 	}
 	// Capacity hints come from the (checksummed but still untrusted) index;
 	// clamp them so a crafted file cannot force absurd allocations before
@@ -266,20 +339,20 @@ func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
 	fr := flate.NewReader(bytes.NewReader(comp))
 	buf := bytes.NewBuffer(make([]byte, 0, rawCap))
 	if _, err := io.Copy(buf, io.LimitReader(fr, int64(z.RawLen)+1)); err != nil {
-		return blockScans{err: fmt.Errorf("archive: block at %d: %w", z.Offset, err)}
+		return r.fail(fmt.Errorf("archive: block at %d: %w", z.Offset, err))
 	}
 	sp.End()
 	raw := buf.Bytes()
 	if uint32(len(raw)) != z.RawLen {
-		return blockScans{err: fmt.Errorf("%w: block at %d: raw length %d != %d",
-			ErrCorrupt, z.Offset, len(raw), z.RawLen)}
+		return r.fail(fmt.Errorf("%w: block at %d: raw length %d != %d",
+			ErrCorrupt, z.Offset, len(raw), z.RawLen))
 	}
 	r.mBytes.Add(uint64(len(raw)))
 
 	// A record is at least 26 bytes, so the block bounds the scan count.
 	if uint64(z.Scans) > uint64(len(raw))/26+1 {
-		return blockScans{err: fmt.Errorf("%w: block at %d: %d scans in %d bytes",
-			ErrCorrupt, z.Offset, z.Scans, len(raw))}
+		return r.fail(fmt.Errorf("%w: block at %d: %d scans in %d bytes",
+			ErrCorrupt, z.Offset, z.Scans, len(raw)))
 	}
 	out := blockScans{scans: make([]*core.Scan, 0, z.Scans)}
 	if r.origins {
@@ -293,7 +366,7 @@ func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
 		var err error
 		b, prev, err = decodeRecord(b, sc, &o, r.origins, prev)
 		if err != nil {
-			return blockScans{err: fmt.Errorf("archive: block at %d, record %d: %w", z.Offset, i, err)}
+			return r.fail(fmt.Errorf("archive: block at %d, record %d: %w", z.Offset, i, err))
 		}
 		r.mDecoded.Inc()
 		if !f.MatchScan(sc) {
@@ -306,7 +379,7 @@ func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
 		}
 	}
 	if len(b) != 0 {
-		return blockScans{err: fmt.Errorf("%w: block at %d: %d trailing bytes", ErrCorrupt, z.Offset, len(b))}
+		return r.fail(fmt.Errorf("%w: block at %d: %d trailing bytes", ErrCorrupt, z.Offset, len(b)))
 	}
 	return out
 }

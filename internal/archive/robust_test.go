@@ -1,0 +1,208 @@
+package archive
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/faultinject"
+	"github.com/synscan/synscan/internal/obs"
+)
+
+// asVersion1 rewrites a version-2 archive into the legacy CRC-less block
+// layout, for exercising the reader's back-compat path without keeping a
+// binary fixture around.
+func asVersion1(t *testing.T, data []byte) []byte {
+	t.Helper()
+	r := openArchive(t, data)
+	out := append([]byte{}, data[:headerLen]...)
+	out[4] = version1
+	index := r.Blocks()
+	for i := range index {
+		z := &index[i]
+		comp := data[z.Offset+blockCRCLen : z.Offset+blockCRCLen+uint64(z.CompressedLen)]
+		z.Offset = uint64(len(out))
+		out = append(out, comp...)
+	}
+	idx := binary.BigEndian.AppendUint32(nil, uint32(len(index)))
+	for i := range index {
+		idx = index[i].marshal(idx)
+	}
+	idxOff := uint64(len(out))
+	out = append(out, idx...)
+	var tr [trailerLen]byte
+	binary.BigEndian.PutUint64(tr[0:8], idxOff)
+	binary.BigEndian.PutUint32(tr[8:12], uint32(len(idx)))
+	binary.BigEndian.PutUint32(tr[12:16], crc32.ChecksumIEEE(idx))
+	copy(tr[16:20], TrailerMagic[:])
+	return append(out, tr[:]...)
+}
+
+// TestVersion1Compat: a legacy CRC-less file round-trips through the
+// current reader bit-identically.
+func TestVersion1Compat(t *testing.T) {
+	scans, origins := testScans(2000, 11)
+	data := writeArchive(t, scans, origins, WriterConfig{
+		TelescopeSize: 4096, Origins: true, BlockBytes: 4 << 10,
+	})
+	v1 := asVersion1(t, data)
+	if len(v1) >= len(data) {
+		t.Fatalf("v1 rewrite did not shrink the file (%d vs %d bytes)", len(v1), len(data))
+	}
+	r := openArchive(t, v1)
+	var got []*core.Scan
+	if err := r.Scans(Filter{}, func(sc *core.Scan, _ enrich.Origin) {
+		got = append(got, sc)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(scans) {
+		t.Fatalf("got %d scans, want %d", len(got), len(scans))
+	}
+	for i := range scans {
+		if !reflect.DeepEqual(scans[i], got[i]) {
+			t.Fatalf("scan %d mismatch", i)
+		}
+	}
+}
+
+// TestSkipCorrupt is the degraded-mode contract: with a third of the blocks
+// damaged, a WithSkipCorrupt reader still streams every intact block in
+// order, counts exactly the damaged blocks, and the default reader still
+// fails fast on the same bytes.
+func TestSkipCorrupt(t *testing.T) {
+	scans, origins := testScans(3000, 12)
+	data := writeArchive(t, scans, origins, WriterConfig{
+		TelescopeSize: 4096, Origins: true, BlockBytes: 4 << 10,
+	})
+	blocks := openArchive(t, data).Blocks()
+	if len(blocks) < 6 {
+		t.Fatalf("only %d blocks; test needs several", len(blocks))
+	}
+
+	bad := append([]byte{}, data...)
+	damaged := map[int]bool{}
+	for i := 0; i < len(blocks); i += 3 {
+		z := blocks[i]
+		lo := int(z.Offset) + blockCRCLen
+		faultinject.FlipBytes(bad, uint64(100+i), 3, lo, lo+int(z.CompressedLen))
+		damaged[i] = true
+	}
+
+	if err := openArchive(t, bad).Scans(Filter{}, func(*core.Scan, enrich.Origin) {}); err == nil {
+		t.Fatal("default reader must fail fast on damaged blocks")
+	}
+
+	reg := obs.NewRegistry()
+	r, err := NewReader(bytes.NewReader(bad), int64(len(bad)), WithSkipCorrupt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetMetrics(reg)
+	var got []*core.Scan
+	if err := r.Scans(Filter{}, func(sc *core.Scan, _ enrich.Origin) {
+		got = append(got, sc)
+	}); err != nil {
+		t.Fatalf("degraded read failed: %v", err)
+	}
+
+	var want []*core.Scan
+	off := 0
+	for i, z := range blocks {
+		if !damaged[i] {
+			want = append(want, scans[off:off+int(z.Scans)]...)
+		}
+		off += int(z.Scans)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("degraded read emitted %d scans, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("scan %d mismatch after skipping corrupt blocks", i)
+		}
+	}
+	if n := r.CorruptBlocks(); n != uint64(len(damaged)) {
+		t.Fatalf("CorruptBlocks = %d, want %d", n, len(damaged))
+	}
+	if n := reg.Snapshot().Counter("faults.archive.corrupt_blocks"); n != uint64(len(damaged)) {
+		t.Fatalf("faults.archive.corrupt_blocks = %d, want %d", n, len(damaged))
+	}
+}
+
+// TestSkipCorruptIndexStillFatal: degraded mode covers block damage only —
+// a broken index means no zone maps to navigate by, so open must still fail.
+func TestSkipCorruptIndexStillFatal(t *testing.T) {
+	scans, origins := testScans(300, 13)
+	data := writeArchive(t, scans, origins, WriterConfig{BlockBytes: 4 << 10})
+	bad := append([]byte{}, data...)
+	bad[len(bad)-trailerLen-3] ^= 0xff
+	if _, err := NewReader(bytes.NewReader(bad), int64(len(bad)), WithSkipCorrupt()); err == nil {
+		t.Fatal("index damage must fail open even with WithSkipCorrupt")
+	}
+}
+
+// TestScansContext: a done context aborts the query with its error.
+func TestScansContext(t *testing.T) {
+	scans, origins := testScans(2000, 14)
+	data := writeArchive(t, scans, origins, WriterConfig{BlockBytes: 4 << 10})
+	r := openArchive(t, data)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.ScansContext(ctx, Filter{}, func(*core.Scan, enrich.Origin) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	if err := r.ScansContext(expired, Filter{}, func(*core.Scan, enrich.Origin) {}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+
+	n := 0
+	if err := r.ScansContext(context.Background(), Filter{}, func(*core.Scan, enrich.Origin) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(scans) {
+		t.Fatalf("background context read %d scans, want %d", n, len(scans))
+	}
+}
+
+// TestEmptyArchiveFile: the zero-block case through the file-based
+// Create/Open path — a working reader whose queries emit nothing and
+// return nil, with and without degraded mode.
+func TestEmptyArchiveFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.syna")
+	w, err := Create(path, WriterConfig{TelescopeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(path, WithSkipCorrupt())
+	if err != nil {
+		t.Fatalf("Open on zero-block archive: %v", err)
+	}
+	defer r.Close()
+	if r.NumBlocks() != 0 || r.NumScans() != 0 || r.TelescopeSize() != 64 {
+		t.Fatalf("blocks %d scans %d telescope %d", r.NumBlocks(), r.NumScans(), r.TelescopeSize())
+	}
+	if err := r.ScansContext(context.Background(), Filter{}, func(*core.Scan, enrich.Origin) {
+		t.Fatal("emit on empty archive")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r.CorruptBlocks() != 0 {
+		t.Fatalf("CorruptBlocks = %d on pristine empty file", r.CorruptBlocks())
+	}
+}

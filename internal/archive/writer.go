@@ -159,14 +159,22 @@ func (w *Writer) flushBlock() error {
 	}
 	sp.End()
 
+	// The zone map's Offset points at the block's CRC word; CompressedLen
+	// covers the DEFLATE stream only.
 	w.zone.Offset = w.off
 	w.zone.CompressedLen = uint32(w.scratch.Len())
 	w.zone.RawLen = uint32(len(w.buf))
+	var crc [blockCRCLen]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(w.scratch.Bytes()))
+	if _, err := w.w.Write(crc[:]); err != nil {
+		w.err = err
+		return err
+	}
 	if _, err := w.w.Write(w.scratch.Bytes()); err != nil {
 		w.err = err
 		return err
 	}
-	w.off += uint64(w.scratch.Len())
+	w.off += blockCRCLen + uint64(w.scratch.Len())
 	w.index = append(w.index, w.zone)
 
 	w.mBlocks.Inc()

@@ -43,6 +43,12 @@ type ShardedConfig struct {
 	// advance every shard's expiry clock even when the shard's own sources
 	// are idle, bounding how long expired flows stay resident.
 	WatermarkInterval int64
+	// StallHook, when non-nil, is called by each worker goroutine with its
+	// shard index before it processes a message. It exists so tests can
+	// inject scheduling skew — e.g. a faultinject.ShardStaller that delays
+	// one shard — and assert that results stay deterministic under
+	// backpressure. It must not call back into the detector.
+	StallHook func(shard int)
 }
 
 // ShardStats is one shard's view of the rolled-up detector counters.
@@ -174,7 +180,7 @@ func newShardedDetector(cfg ShardedConfig, emit func(*Scan), reg *obs.Registry) 
 		sh.det = newSequentialDetector(cfg.Config, func(s *Scan) { sh.scans = append(sh.scans, s) }, dm)
 		sd.shards[i] = sh
 		sd.wg.Add(1)
-		go sd.run(sh)
+		go sd.run(i, sh)
 	}
 	if reg != nil {
 		for i, sh := range sd.shards {
@@ -196,9 +202,12 @@ func newShardedDetector(cfg ShardedConfig, emit func(*Scan), reg *obs.Registry) 
 }
 
 // run is the shard worker loop.
-func (sd *ShardedDetector) run(sh *shard) {
+func (sd *ShardedDetector) run(idx int, sh *shard) {
 	defer sd.wg.Done()
 	for msg := range sh.ch {
+		if sd.cfg.StallHook != nil {
+			sd.cfg.StallHook(idx)
+		}
 		for i := range msg.batch {
 			sh.det.Ingest(&msg.batch[i])
 		}

@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+)
+
+// StreamConfig parameterizes a Stream mutator. The zero value passes probes
+// through untouched.
+type StreamConfig struct {
+	// Seed determines every mutation decision.
+	Seed uint64
+	// DropRate is the probability a probe is silently discarded.
+	DropRate float64
+	// DupRate is the probability a probe is delivered twice back to back
+	// (the duplicate keeps the original timestamp, like a mirrored span
+	// port).
+	DupRate float64
+	// ReorderRate is the probability a probe is held back and re-emitted
+	// after later probes, displacing it in the stream.
+	ReorderRate float64
+	// ReorderDepth bounds how many probes may be held back at once
+	// (default 16). A held probe is force-released when the buffer fills.
+	ReorderDepth int
+	// SkewRate is the probability a probe's timestamp is perturbed by a
+	// uniform offset in [-MaxSkew, +MaxSkew].
+	SkewRate float64
+	// MaxSkew is the clock-skew bound in nanoseconds.
+	MaxSkew int64
+}
+
+// StreamStats counts the mutations a Stream performed.
+type StreamStats struct {
+	// In and Out count probes entering Apply and probes emitted.
+	In, Out uint64
+	// Dropped, Duplicated, Reordered and Skewed count each fault kind.
+	Dropped, Duplicated, Reordered, Skewed uint64
+}
+
+// Stream mutates a probe stream at telescope ingress: drop, duplicate,
+// reorder, clock-skew — the packet-level damage of a lossy capture path.
+// Mutations are deterministic in (seed, arrival index). Not safe for
+// concurrent use; wrap the single ingress goroutine.
+type Stream struct {
+	cfg   StreamConfig
+	rnd   *rng.Rand
+	held  []packet.Probe
+	stats StreamStats
+}
+
+// NewStream builds a mutator from cfg.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.ReorderDepth <= 0 {
+		cfg.ReorderDepth = 16
+	}
+	return &Stream{cfg: cfg, rnd: rng.New(cfg.Seed).Derive("faultinject/stream")}
+}
+
+// Apply feeds one probe through the mutator; surviving probes (possibly
+// duplicated, delayed or skewed) are delivered to emit. The probe is copied,
+// so callers may reuse p.
+func (s *Stream) Apply(p *packet.Probe, emit func(*packet.Probe)) {
+	s.stats.In++
+	if s.rnd.Bool(s.cfg.DropRate) {
+		s.stats.Dropped++
+		return
+	}
+	q := *p
+	if s.cfg.MaxSkew > 0 && s.rnd.Bool(s.cfg.SkewRate) {
+		q.Time += s.rnd.Int63n(2*s.cfg.MaxSkew+1) - s.cfg.MaxSkew
+		s.stats.Skewed++
+	}
+	if s.rnd.Bool(s.cfg.ReorderRate) {
+		s.stats.Reordered++
+		s.held = append(s.held, q)
+		if len(s.held) > s.cfg.ReorderDepth {
+			s.release(emit)
+		}
+		return
+	}
+	s.deliver(&q, emit)
+	// Occasionally let a held probe out behind the current one, so held
+	// probes interleave with the live stream instead of all surfacing at
+	// Flush.
+	if len(s.held) > 0 && s.rnd.Bool(0.5) {
+		s.release(emit)
+	}
+}
+
+// deliver emits one probe and possibly its duplicate.
+func (s *Stream) deliver(p *packet.Probe, emit func(*packet.Probe)) {
+	s.stats.Out++
+	emit(p)
+	if s.rnd.Bool(s.cfg.DupRate) {
+		s.stats.Duplicated++
+		s.stats.Out++
+		dup := *p
+		emit(&dup)
+	}
+}
+
+// release emits the oldest held probe.
+func (s *Stream) release(emit func(*packet.Probe)) {
+	p := s.held[0]
+	s.held = s.held[1:]
+	s.deliver(&p, emit)
+}
+
+// Flush delivers every still-held probe in hold order. Call at end of
+// stream.
+func (s *Stream) Flush(emit func(*packet.Probe)) {
+	for len(s.held) > 0 {
+		s.release(emit)
+	}
+}
+
+// Stats returns the mutation counters.
+func (s *Stream) Stats() StreamStats { return s.stats }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 )
 
@@ -31,6 +32,12 @@ const (
 	version       = 1
 	headerLen     = 10
 	recordBodyLen = 27
+	maxRecordLen  = binary.MaxVarintLen64 + recordBodyLen
+
+	// maxResyncDeltaNS bounds a plausible inter-record timestamp delta
+	// (~2 years) for WithResync readers. The first record's delta is
+	// absolute time and exempt.
+	maxResyncDeltaNS = 730 * 24 * 3600 * 1e9
 )
 
 // Errors.
@@ -109,10 +116,34 @@ type Reader struct {
 	last    int64
 	telSize int
 	idx     uint64 // records decoded so far; names the record in errors
+
+	resync   bool
+	resyncs  uint64
+	skipped  uint64
+	mResyncs *obs.Counter
+	mSkipped *obs.Counter
+}
+
+// ReaderOption configures a Reader.
+type ReaderOption func(*Reader)
+
+// WithResync makes the reader recover from in-stream corruption instead of
+// failing: an overflowing timestamp varint or an implausible inter-record
+// delta (beyond ±2 years) triggers a forward scan to the next offset that
+// decodes as a plausible record (bounded delta, protocol byte in the set
+// the writer emits), and a record cut off at end of stream is dropped with
+// a clean io.EOF. Skipped spans are counted in Resyncs/SkippedBytes and the
+// faults.flowlog.* metrics. Flowlog records carry no checksum, so damage
+// confined to the fixed-width body decodes silently — resync bounds
+// structural damage, it cannot prove integrity. And because timestamps are
+// delta-encoded, records after a resynced gap inherit the last good
+// record's clock and may sit offset by the skipped records' deltas.
+func WithResync() ReaderOption {
+	return func(r *Reader) { r.resync = true }
 }
 
 // NewReader validates the header and returns a spool reader.
-func NewReader(r io.Reader) (*Reader, error) {
+func NewReader(r io.Reader, opts ...ReaderOption) (*Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -127,72 +158,149 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if hdr[4] != version {
 		return nil, ErrBadVersion
 	}
-	return &Reader{
+	rd := &Reader{
 		r:       br,
 		telSize: int(binary.BigEndian.Uint32(hdr[6:10])),
-	}, nil
+	}
+	for _, o := range opts {
+		o(rd)
+	}
+	rd.SetMetrics(nil)
+	return rd, nil
 }
 
 // TelescopeSize returns the monitored-address count recorded in the header.
 func (r *Reader) TelescopeSize() int { return r.telSize }
 
-// readUvarint is binary.ReadUvarint with byte accounting: it additionally
-// reports how many bytes it consumed, so the caller can tell a clean end of
-// stream (EOF before any byte) from a record cut off mid-varint.
-func (r *Reader) readUvarint() (uint64, int, error) {
-	var x uint64
-	var s uint
-	for i := 0; i < binary.MaxVarintLen64; i++ {
-		c, err := r.r.ReadByte()
-		if err != nil {
-			return 0, i, err
-		}
-		if c < 0x80 {
-			if i == binary.MaxVarintLen64-1 && c > 1 {
-				return 0, i + 1, errOverflow
-			}
-			return x | uint64(c)<<s, i + 1, nil
-		}
-		x |= uint64(c&0x7f) << s
-		s += 7
-	}
-	return 0, binary.MaxVarintLen64, errOverflow
+// SetMetrics wires the reader's fault instrumentation (resyncs performed,
+// bytes skipped while resyncing). A nil registry disables it.
+func (r *Reader) SetMetrics(reg *obs.Registry) {
+	r.mResyncs = reg.Counter("faults.flowlog.resyncs")
+	r.mSkipped = reg.Counter("faults.flowlog.skipped_bytes")
 }
+
+// Resyncs returns how many corruption recoveries a WithResync reader has
+// performed.
+func (r *Reader) Resyncs() uint64 { return r.resyncs }
+
+// SkippedBytes returns how many bytes a WithResync reader has discarded
+// while scanning for record boundaries.
+func (r *Reader) SkippedBytes() uint64 { return r.skipped }
 
 // Next decodes the next record into p. It returns io.EOF at a clean end of
 // stream; a record cut off anywhere — even inside the leading timestamp
 // varint — surfaces io.ErrUnexpectedEOF wrapped with the record's index.
+// A reader built WithResync skips corrupt spans instead of erroring; see
+// WithResync.
 func (r *Reader) Next(p *packet.Probe) error {
-	delta, n, err := r.readUvarint()
-	if err != nil {
-		if err == io.EOF && n == 0 {
-			return io.EOF
+	for {
+		buf, peekErr := r.r.Peek(maxRecordLen)
+		if len(buf) == 0 {
+			if peekErr == nil || peekErr == io.EOF {
+				return io.EOF
+			}
+			return peekErr
 		}
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return fmt.Errorf("flowlog: record %d: truncated timestamp: %w", r.idx, io.ErrUnexpectedEOF)
+		delta, n := binary.Uvarint(buf)
+		if n < 0 {
+			if r.resync {
+				if !r.resyncScan() {
+					return io.EOF
+				}
+				continue
+			}
+			return fmt.Errorf("flowlog: record %d: timestamp: %w", r.idx, errOverflow)
 		}
-		return fmt.Errorf("flowlog: record %d: timestamp: %w", r.idx, err)
-	}
-	var b [recordBodyLen]byte
-	if _, err := io.ReadFull(r.r, b[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
+		if n == 0 || len(buf) < n+recordBodyLen {
+			// Fewer bytes remain than one record needs.
+			if peekErr != nil && peekErr != io.EOF {
+				return fmt.Errorf("flowlog: record %d: %w", r.idx, peekErr)
+			}
+			if r.resync {
+				d, _ := r.r.Discard(len(buf))
+				r.addSkipped(d)
+				return io.EOF
+			}
+			if n == 0 {
+				return fmt.Errorf("flowlog: record %d: truncated timestamp: %w", r.idx, io.ErrUnexpectedEOF)
+			}
 			return fmt.Errorf("flowlog: record %d: truncated record: %w", r.idx, io.ErrUnexpectedEOF)
 		}
-		return fmt.Errorf("flowlog: record %d: %w", r.idx, err)
+		d := unzigzag(delta)
+		if r.resync && r.idx > 0 && (d > maxResyncDeltaNS || d < -maxResyncDeltaNS) {
+			if !r.resyncScan() {
+				return io.EOF
+			}
+			continue
+		}
+		b := buf[n : n+recordBodyLen]
+		r.last += d
+		p.Time = r.last
+		p.Src = binary.BigEndian.Uint32(b[0:4])
+		p.Dst = binary.BigEndian.Uint32(b[4:8])
+		p.SrcPort = binary.BigEndian.Uint16(b[8:10])
+		p.DstPort = binary.BigEndian.Uint16(b[10:12])
+		p.Seq = binary.BigEndian.Uint32(b[12:16])
+		p.Ack = binary.BigEndian.Uint32(b[16:20])
+		p.IPID = binary.BigEndian.Uint16(b[20:22])
+		p.TTL = b[22]
+		p.Flags = b[23]
+		p.Window = binary.BigEndian.Uint16(b[24:26])
+		p.Proto = b[26]
+		if _, err := r.r.Discard(n + recordBodyLen); err != nil {
+			return fmt.Errorf("flowlog: record %d: %w", r.idx, err)
+		}
+		r.idx++
+		return nil
 	}
-	r.last += unzigzag(delta)
-	p.Time = r.last
-	p.Src = binary.BigEndian.Uint32(b[0:4])
-	p.Dst = binary.BigEndian.Uint32(b[4:8])
-	p.SrcPort = binary.BigEndian.Uint16(b[8:10])
-	p.DstPort = binary.BigEndian.Uint16(b[10:12])
-	p.Seq = binary.BigEndian.Uint32(b[12:16])
-	p.Ack = binary.BigEndian.Uint32(b[16:20])
-	p.IPID = binary.BigEndian.Uint16(b[20:22])
-	p.TTL = b[22]
-	p.Flags = b[23]
-	p.Window = binary.BigEndian.Uint16(b[24:26])
-	p.Proto = b[26]
-	r.idx++
-	return nil
+}
+
+// resyncScan advances the stream one byte at a time until an offset decodes
+// as a plausible record, counting the span it skips. It reports false when
+// the stream ends first (the remaining tail is consumed and counted).
+func (r *Reader) resyncScan() bool {
+	r.resyncs++
+	r.mResyncs.Inc()
+	skipped := 0
+	for {
+		n, _ := r.r.Discard(1)
+		skipped += n
+		if n == 0 {
+			r.addSkipped(skipped)
+			return false
+		}
+		buf, _ := r.r.Peek(maxRecordLen)
+		if len(buf) == 0 {
+			r.addSkipped(skipped)
+			return false
+		}
+		if plausibleRecord(buf) {
+			r.addSkipped(skipped)
+			return true
+		}
+	}
+}
+
+// plausibleRecord reports whether buf starts with a believable record: a
+// full record's worth of bytes, a bounded timestamp delta, and a protocol
+// byte among ICMP/TCP/UDP. Zero-proto records are legal but are not used as
+// anchors — zero bytes are far too common in record bodies to resync on.
+func plausibleRecord(buf []byte) bool {
+	delta, n := binary.Uvarint(buf)
+	if n <= 0 || len(buf) < n+recordBodyLen {
+		return false
+	}
+	if d := unzigzag(delta); d > maxResyncDeltaNS || d < -maxResyncDeltaNS {
+		return false
+	}
+	switch buf[n+recordBodyLen-1] {
+	case 1, 6, 17:
+		return true
+	}
+	return false
+}
+
+func (r *Reader) addSkipped(n int) {
+	r.skipped += uint64(n)
+	r.mSkipped.Add(uint64(n))
 }

@@ -5,16 +5,19 @@ import (
 	"io"
 	"testing"
 
+	"github.com/synscan/synscan/internal/faultinject"
 	"github.com/synscan/synscan/internal/packet"
 )
 
-// FuzzReader hardens the spool parser: arbitrary bytes must never panic,
-// and valid prefixes must decode exactly the records they contain.
+// FuzzReader hardens the spool parser, in both fail-fast and resync modes:
+// arbitrary bytes must never panic, valid prefixes must decode exactly the
+// records they contain, and resync mode must always terminate with io.EOF
+// rather than an error.
 func FuzzReader(f *testing.F) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf, 4096)
 	for i := 0; i < 5; i++ {
-		p := packet.Probe{Time: int64(i) * 1e9, Src: uint32(i), Flags: packet.FlagSYN}
+		p := packet.Probe{Time: int64(i) * 1e9, Src: uint32(i), Flags: packet.FlagSYN, Proto: 6}
 		w.Write(&p)
 	}
 	w.Flush()
@@ -26,19 +29,39 @@ func FuzzReader(f *testing.F) {
 	corrupt := append([]byte{}, valid...)
 	corrupt[4] = 99 // bad version
 	f.Add(corrupt)
+	// Seeded fault-injection corpora: scattered flips past the spool header,
+	// and a corrupting-reader pass over the whole stream.
+	for seed := uint64(1); seed <= 3; seed++ {
+		flipped := append([]byte{}, valid...)
+		faultinject.FlipBytes(flipped, seed, 3*int(seed), headerLen, 0)
+		f.Add(flipped)
+		noisy, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(valid), faultinject.ReaderConfig{
+			Seed: seed, CorruptRate: 0.02 * float64(seed), CorruptStart: headerLen,
+		}))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(noisy)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
-		var p packet.Probe
-		for i := 0; i < 10000; i++ {
-			if err := r.Next(&p); err != nil {
+		for _, opts := range [][]ReaderOption{nil, {WithResync()}} {
+			r, err := NewReader(bytes.NewReader(data), opts...)
+			if err != nil {
+				continue
+			}
+			var p packet.Probe
+			for i := 0; i < 10000; i++ {
+				err := r.Next(&p)
 				if err == io.EOF {
-					return
+					break
 				}
-				return // parse error: fine
+				if err != nil {
+					if len(opts) > 0 {
+						t.Fatalf("resync reader surfaced %v", err)
+					}
+					break // parse error in fail-fast mode: fine
+				}
 			}
 		}
 	})

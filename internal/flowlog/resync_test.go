@@ -1,0 +1,184 @@
+package flowlog
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// resyncSpool writes n millisecond-spaced TCP probes starting in 2020 and
+// returns the stream plus each record's file offset.
+func resyncSpool(t *testing.T, n int) ([]byte, []int, []packet.Probe) {
+	t.Helper()
+	const base = int64(1577836800) * 1e9 // 2020-01-01 UTC, ns
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int, n)
+	probes := make([]packet.Probe, n)
+	for i := 0; i < n; i++ {
+		if err := w.Flush(); err != nil { // expose the true offset through the bufio layer
+			t.Fatal(err)
+		}
+		offsets[i] = buf.Len()
+		probes[i] = packet.Probe{
+			Time: base + int64(i)*1e6, Src: 0xC0A80000 + uint32(i), Dst: uint32(i),
+			SrcPort: 40000, DstPort: 23, Seq: uint32(i) * 7, TTL: 64,
+			Flags: packet.FlagSYN, Window: 1024, Proto: 6,
+		}
+		if err := w.Write(&probes[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), offsets, probes
+}
+
+// TestResyncOverflowVarint: a record whose timestamp varint is smashed into
+// an overflow is skipped; the stream re-anchors on the next record and every
+// later probe still decodes (timestamps shifted by the lost delta, the
+// documented delta-encoding consequence).
+func TestResyncOverflowVarint(t *testing.T) {
+	data, offsets, probes := resyncSpool(t, 50)
+	bad := append([]byte{}, data...)
+	for i := 0; i < 10; i++ {
+		bad[offsets[10]+i] = 0xff
+	}
+
+	rd, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Probe
+	var lastErr error
+	for lastErr == nil {
+		lastErr = rd.Next(&p)
+	}
+	if lastErr == io.EOF || !errors.Is(lastErr, errOverflow) {
+		t.Fatalf("default reader: got %v, want overflow error", lastErr)
+	}
+
+	reg := obs.NewRegistry()
+	rd2, err := NewReader(bytes.NewReader(bad), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd2.SetMetrics(reg)
+	var got []packet.Probe
+	for {
+		var q packet.Probe
+		if err := rd2.Next(&q); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		got = append(got, q)
+	}
+	if len(got) != 49 {
+		t.Fatalf("recovered %d probes, want 49 (all but the smashed one)", len(got))
+	}
+	// Record 10's delta was lost with the record, so every probe after the
+	// gap sits one delta (1 ms) early.
+	for i, q := range got {
+		want := probes[i]
+		if i >= 10 {
+			want = probes[i+1]
+			want.Time -= 1e6
+		}
+		if q != want {
+			t.Fatalf("probe %d:\n got %+v\nwant %+v", i, q, want)
+		}
+	}
+	if rd2.Resyncs() != 1 || rd2.SkippedBytes() == 0 {
+		t.Fatalf("Resyncs = %d, SkippedBytes = %d", rd2.Resyncs(), rd2.SkippedBytes())
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("faults.flowlog.resyncs") != 1 ||
+		snap.Counter("faults.flowlog.skipped_bytes") != rd2.SkippedBytes() {
+		t.Fatalf("metrics disagree: resyncs %d skipped %d",
+			snap.Counter("faults.flowlog.resyncs"), snap.Counter("faults.flowlog.skipped_bytes"))
+	}
+}
+
+// TestResyncImplausibleDelta: a corrupted timestamp that still decodes as a
+// varint but jumps decades is treated as damage, not data.
+func TestResyncImplausibleDelta(t *testing.T) {
+	data, offsets, _ := resyncSpool(t, 20)
+	bad := append([]byte{}, data...)
+	// Rewrite record 5's delta varint (3 bytes at default spacing) into a
+	// maximal 10-byte varint the bounds check must reject. That grows the
+	// record, so splice instead of overwrite.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}
+	rec := bad[offsets[5]:offsets[6]]
+	spliced := append(append(append([]byte{}, bad[:offsets[5]]...), huge...), rec[len(rec)-recordBodyLen:]...)
+	spliced = append(spliced, bad[offsets[6]:]...)
+
+	rd, err := NewReader(bytes.NewReader(spliced), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var p packet.Probe
+	for {
+		if err := rd.Next(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		n++
+	}
+	if rd.Resyncs() == 0 {
+		t.Fatal("implausible delta did not trigger a resync")
+	}
+	if n < 18 {
+		t.Fatalf("recovered only %d of 20 probes", n)
+	}
+}
+
+// TestResyncTruncatedTail: a record cut off at end of stream ends a resync
+// reader with clean io.EOF; the default reader surfaces io.ErrUnexpectedEOF.
+func TestResyncTruncatedTail(t *testing.T) {
+	data, offsets, _ := resyncSpool(t, 5)
+	cut := data[:offsets[4]+5] // mid-record
+
+	rd, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Probe
+	var lastErr error
+	for lastErr == nil {
+		lastErr = rd.Next(&p)
+	}
+	if !errors.Is(lastErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("default reader: got %v, want io.ErrUnexpectedEOF", lastErr)
+	}
+
+	rd2, err := NewReader(bytes.NewReader(cut), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if err := rd2.Next(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("read %d probes before the truncated tail, want 4", n)
+	}
+	if rd2.SkippedBytes() != 5 {
+		t.Fatalf("SkippedBytes = %d, want 5", rd2.SkippedBytes())
+	}
+}

@@ -137,6 +137,33 @@ func TestRegistryIdentity(t *testing.T) {
 	}
 }
 
+func TestCountersWithPrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("faults.archive.corrupt_blocks").Add(3)
+	r.Counter("faults.pcap.resyncs").Add(2)
+	r.Counter("telescope.drop.policy").Add(9)
+	s := r.Snapshot()
+	got := s.CountersWithPrefix("faults.")
+	want := map[string]uint64{
+		"faults.archive.corrupt_blocks": 3,
+		"faults.pcap.resyncs":           2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CountersWithPrefix(faults.) = %v", got)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Fatalf("%s = %d, want %d", name, got[name], v)
+		}
+	}
+	if all := s.CountersWithPrefix(""); len(all) != 3 {
+		t.Fatalf("empty prefix returned %d counters, want all 3", len(all))
+	}
+	if none := s.CountersWithPrefix("nope."); len(none) != 0 {
+		t.Fatalf("unmatched prefix returned %v", none)
+	}
+}
+
 func TestNilRegistry(t *testing.T) {
 	var r *Registry
 	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -151,6 +152,20 @@ func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
 
 // Gauge returns a gauge's value, 0 when absent.
 func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// CountersWithPrefix returns every counter whose name starts with prefix,
+// keyed by full name. The degraded-mode surfaces use it to roll up the
+// "faults." family without enumerating each reader's metric; an empty
+// prefix returns a copy of all counters.
+func (s Snapshot) CountersWithPrefix(prefix string) map[string]uint64 {
+	out := make(map[string]uint64)
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			out[name] = v
+		}
+	}
+	return out
+}
 
 // WriteJSON writes the snapshot as one indented JSON object.
 func (s Snapshot) WriteJSON(w io.Writer) error {

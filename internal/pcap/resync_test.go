@@ -1,0 +1,151 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/synscan/synscan/internal/obs"
+)
+
+// resyncCapture writes n records of 20 bytes each with second-spaced
+// timestamps starting in 2020, and returns the stream plus each record's
+// file offset.
+func resyncCapture(t *testing.T, n int) ([]byte, []int) {
+	t.Helper()
+	const base = int64(1577836800) // 2020-01-01 UTC, seconds
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int, n)
+	for i := 0; i < n; i++ {
+		offsets[i] = fileHeaderLen + i*(recordHeaderLen+20)
+		if err := w.WritePacket((base+int64(i))*1e9, bytes.Repeat([]byte{0xff}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), offsets
+}
+
+// TestResyncSkipsCorruptRecord: a record whose header is smashed is skipped
+// and every other record still decodes; the default reader fails on the
+// same bytes.
+func TestResyncSkipsCorruptRecord(t *testing.T) {
+	data, offsets := resyncCapture(t, 50)
+	bad := append([]byte{}, data...)
+	for i := 0; i < recordHeaderLen; i++ {
+		bad[offsets[10]+i] = 0xff // incl = 0xffffffff > snaplen
+	}
+
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			fails++
+			break
+		}
+	}
+	if fails == 0 {
+		t.Fatal("default reader must error on the smashed header")
+	}
+
+	reg := obs.NewRegistry()
+	r2, err := NewReader(bytes.NewReader(bad), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetMetrics(reg)
+	var got []int64
+	for {
+		rec, err := r2.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		if len(rec.Data) != 20 || rec.OrigLen != 20 {
+			t.Fatalf("resync reader produced a garbage record: %d bytes, orig %d", len(rec.Data), rec.OrigLen)
+		}
+		got = append(got, rec.Time)
+	}
+	const base = int64(1577836800)
+	var want []int64
+	for i := 0; i < 50; i++ {
+		if i == 10 {
+			continue
+		}
+		want = append(want, (base+int64(i))*1e9)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: time %d, want %d", i, got[i], want[i])
+		}
+	}
+	if r2.Resyncs() != 1 {
+		t.Fatalf("Resyncs = %d, want 1", r2.Resyncs())
+	}
+	if r2.SkippedBytes() == 0 {
+		t.Fatal("SkippedBytes = 0 after a resync")
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("faults.pcap.resyncs") != 1 {
+		t.Fatalf("faults.pcap.resyncs = %d", snap.Counter("faults.pcap.resyncs"))
+	}
+	if snap.Counter("faults.pcap.skipped_bytes") != r2.SkippedBytes() {
+		t.Fatal("skipped-bytes metric disagrees with the accessor")
+	}
+}
+
+// TestResyncTruncatedTail: a record cut off at end of stream ends a resync
+// reader with clean io.EOF (tail counted as skipped); the default reader
+// surfaces io.ErrUnexpectedEOF.
+func TestResyncTruncatedTail(t *testing.T) {
+	data, offsets := resyncCapture(t, 5)
+	cut := data[:offsets[4]+recordHeaderLen+7] // mid-body of the last record
+
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for lastErr == nil {
+		_, lastErr = r.Next()
+	}
+	if lastErr == io.EOF {
+		t.Fatal("default reader hid the truncation")
+	}
+
+	r2, err := NewReader(bytes.NewReader(cut), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, err := r2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("read %d records before the truncated tail, want 4", n)
+	}
+	if r2.SkippedBytes() != recordHeaderLen+7 {
+		t.Fatalf("SkippedBytes = %d, want %d", r2.SkippedBytes(), recordHeaderLen+7)
+	}
+}

@@ -1,38 +1,46 @@
-package pcap
+package pcapng
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 
 	"github.com/synscan/synscan/internal/faultinject"
 )
 
-// FuzzReader hardens the pcap parser against malformed capture files, in
-// both fail-fast and resync modes; resync mode must always terminate with
-// io.EOF rather than an error.
+// FuzzReader hardens the pcapng block parser, in both fail-fast and resync
+// modes: arbitrary bytes must never panic or loop, and resync mode must
+// always terminate with io.EOF rather than an error.
 func FuzzReader(f *testing.F) {
 	var buf bytes.Buffer
-	w, _ := NewWriter(&buf)
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
 	w.WritePacket(1e9, []byte{1, 2, 3})
-	w.WritePacket(2e9, bytes.Repeat([]byte{9}, 100))
+	w.WritePacket(2e9, bytes.Repeat([]byte{9}, 60))
 	w.Flush()
 	valid := buf.Bytes()
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add(valid[:fileHeaderLen])
-	f.Add(valid[:len(valid)-1])
-	swapped := append([]byte{}, valid...)
-	swapped[0], swapped[3] = swapped[3], swapped[0] // endianness flip
-	f.Add(swapped)
-	// Seeded fault-injection corpora: scattered flips past the file header,
-	// and a corrupting-reader pass over the whole stream.
+	f.Add(valid[:12])
+	f.Add(valid[:len(valid)-3])
+	b := newBuilder(binary.LittleEndian)
+	b.sectionHeader()
+	b.interfaceDesc(1, nil)
+	b.enhancedPacket(0, 1, []byte{1, 2, 3})
+	handBuilt := b.buf.Bytes()
+	f.Add(handBuilt)
+	f.Add(handBuilt[:13])
+	// Seeded fault-injection corpora: scattered flips past the magic, and a
+	// corrupting-reader pass over the whole stream.
 	for seed := uint64(1); seed <= 3; seed++ {
 		flipped := append([]byte{}, valid...)
-		faultinject.FlipBytes(flipped, seed, 4*int(seed), fileHeaderLen, 0)
+		faultinject.FlipBytes(flipped, seed, 4*int(seed), 4, 0)
 		f.Add(flipped)
 		noisy, err := io.ReadAll(faultinject.NewReader(bytes.NewReader(valid), faultinject.ReaderConfig{
-			Seed: seed, CorruptRate: 0.02 * float64(seed), CorruptStart: fileHeaderLen,
+			Seed: seed, CorruptRate: 0.01 * float64(seed), CorruptStart: 4,
 		}))
 		if err != nil {
 			f.Fatal(err)
@@ -47,7 +55,7 @@ func FuzzReader(f *testing.F) {
 				continue
 			}
 			for i := 0; i < 10000; i++ {
-				_, err := r.Next()
+				_, _, _, err := r.Next()
 				if err == io.EOF {
 					break
 				}

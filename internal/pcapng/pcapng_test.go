@@ -237,28 +237,6 @@ func TestMultipleSections(t *testing.T) {
 	}
 }
 
-func FuzzReader(f *testing.F) {
-	b := newBuilder(binary.LittleEndian)
-	b.sectionHeader()
-	b.interfaceDesc(1, nil)
-	b.enhancedPacket(0, 1, []byte{1, 2, 3})
-	valid := b.buf.Bytes()
-	f.Add(valid)
-	f.Add([]byte{})
-	f.Add(valid[:13])
-	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := NewReader(bytes.NewReader(data))
-		if err != nil {
-			return
-		}
-		for i := 0; i < 10000; i++ {
-			if _, _, _, err := r.Next(); err != nil {
-				return
-			}
-		}
-	})
-}
-
 func TestWriterReaderRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w, err := NewWriter(&buf, 1)

@@ -1,0 +1,166 @@
+package pcapng
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"github.com/synscan/synscan/internal/obs"
+)
+
+// resyncStream builds a stream of n Enhanced Packet Blocks and returns the
+// bytes plus each EPB's file offset.
+func resyncStream(t *testing.T, n int) ([]byte, []int) {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	offsets := make([]int, n)
+	for i := 0; i < n; i++ {
+		offsets[i] = buf.Len()
+		if err := w.WritePacket(int64(i+1)*1e9, []byte{0xaa, 0xbb, 0xcc}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), offsets
+}
+
+// TestResyncSkipsCorruptBlock: a block whose total-length field is smashed
+// is skipped and every other packet still decodes; the default reader fails
+// on the same bytes.
+func TestResyncSkipsCorruptBlock(t *testing.T) {
+	data, offsets := resyncStream(t, 5)
+	bad := append([]byte{}, data...)
+	binary.LittleEndian.PutUint32(bad[offsets[2]+4:offsets[2]+8], 0xffffffff)
+
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for lastErr == nil {
+		_, _, _, lastErr = r.Next()
+	}
+	if lastErr == io.EOF {
+		t.Fatal("default reader hid the corrupt block")
+	}
+
+	reg := obs.NewRegistry()
+	r2, err := NewReader(bytes.NewReader(bad), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetMetrics(reg)
+	var got []int64
+	for {
+		ts, pkt, _, err := r2.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		if !bytes.Equal(pkt, []byte{0xaa, 0xbb, 0xcc}) {
+			t.Fatalf("resync reader produced garbage data %x", pkt)
+		}
+		got = append(got, ts)
+	}
+	want := []int64{1e9, 2e9, 4e9, 5e9}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d packets, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d: ts %d, want %d", i, got[i], want[i])
+		}
+	}
+	if r2.Resyncs() != 1 || r2.SkippedBytes() == 0 {
+		t.Fatalf("Resyncs = %d, SkippedBytes = %d", r2.Resyncs(), r2.SkippedBytes())
+	}
+	snap := reg.Snapshot()
+	if snap.Counter("faults.pcapng.resyncs") != 1 ||
+		snap.Counter("faults.pcapng.skipped_bytes") != r2.SkippedBytes() {
+		t.Fatalf("metrics disagree: resyncs %d skipped %d",
+			snap.Counter("faults.pcapng.resyncs"), snap.Counter("faults.pcapng.skipped_bytes"))
+	}
+}
+
+// TestResyncTrailerMismatch: a block whose trailer length disagrees with its
+// header is dropped without losing the blocks around it.
+func TestResyncTrailerMismatch(t *testing.T) {
+	data, offsets := resyncStream(t, 5)
+	bad := append([]byte{}, data...)
+	// The trailer is the last 4 bytes before the next block.
+	binary.LittleEndian.PutUint32(bad[offsets[3]-4:offsets[3]], 0xdeadbeef)
+
+	r, err := NewReader(bytes.NewReader(bad), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		ts, _, _, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		got = append(got, ts)
+	}
+	// Block 2 (the one with the bad trailer) is lost; everything else reads.
+	want := []int64{1e9, 2e9, 4e9, 5e9}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d packets, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d: ts %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestResyncTruncatedTail: a block cut off at end of stream ends a resync
+// reader with clean io.EOF; the default reader surfaces an error.
+func TestResyncTruncatedTail(t *testing.T) {
+	data, offsets := resyncStream(t, 3)
+	cut := data[:offsets[2]+10]
+
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for lastErr == nil {
+		_, _, _, lastErr = r.Next()
+	}
+	if lastErr == io.EOF {
+		t.Fatal("default reader hid the truncation")
+	}
+
+	r2, err := NewReader(bytes.NewReader(cut), WithResync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		if _, _, _, err := r2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatalf("resync reader errored: %v", err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d packets before the truncated tail, want 2", n)
+	}
+}

@@ -26,6 +26,7 @@ func TestObserveMetricsMirrorStats(t *testing.T) {
 		{Time: 3, Dst: 1, DstPort: 80, Flags: packet.FlagSYN},                          // not monitored
 		{Time: 4, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, // not SYN
 		{Time: 5500, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},               // outage
+		{Time: -7, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                 // bad time
 	}
 	for i := range probes {
 		tel.Observe(&probes[i])
@@ -40,12 +41,13 @@ func TestObserveMetricsMirrorStats(t *testing.T) {
 		"telescope.drop.not_syn":       st.NotSYN,
 		"telescope.drop.not_tcp":       st.NotTCP,
 		"telescope.drop.outage":        st.Outage,
+		"telescope.drop.bad_time":      st.BadTime,
 	} {
 		if got := s.Counter(name); got != want {
 			t.Fatalf("%s = %d, want %d (stats %+v)", name, got, want, st)
 		}
 	}
-	if st.Accepted != 1 || st.Policy != 1 || st.NotMonitored != 1 || st.NotSYN != 1 || st.Outage != 1 {
+	if st.Accepted != 1 || st.Policy != 1 || st.NotMonitored != 1 || st.NotSYN != 1 || st.Outage != 1 || st.BadTime != 1 {
 		t.Fatalf("unexpected stats mix: %+v", st)
 	}
 

@@ -92,6 +92,7 @@ const (
 	DropPolicy
 	DropOutage
 	DropNotTCP
+	DropBadTime
 )
 
 // String names the reason.
@@ -109,6 +110,8 @@ func (d DropReason) String() string {
 		return "outage"
 	case DropNotTCP:
 		return "not-tcp"
+	case DropBadTime:
+		return "bad-time"
 	default:
 		return "invalid"
 	}
@@ -122,11 +125,12 @@ type Stats struct {
 	NotTCP       uint64
 	Policy       uint64
 	Outage       uint64
+	BadTime      uint64
 }
 
 // Total returns the number of packets that arrived.
 func (s Stats) Total() uint64 {
-	return s.Accepted + s.NotMonitored + s.NotSYN + s.NotTCP + s.Policy + s.Outage
+	return s.Accepted + s.NotMonitored + s.NotSYN + s.NotTCP + s.Policy + s.Outage + s.BadTime
 }
 
 type outage struct{ from, to int64 }
@@ -151,6 +155,7 @@ type telMetrics struct {
 	notTCP       *obs.Counter
 	policy       *obs.Counter
 	outage       *obs.Counter
+	badTime      *obs.Counter
 }
 
 // SetMetrics attaches an observability registry: Observe reports the
@@ -168,6 +173,7 @@ func (t *Telescope) SetMetrics(reg *obs.Registry) {
 		notTCP:       reg.Counter("telescope.drop.not_tcp"),
 		policy:       reg.Counter("telescope.drop.policy"),
 		outage:       reg.Counter("telescope.drop.outage"),
+		badTime:      reg.Counter("telescope.drop.bad_time"),
 	}
 }
 
@@ -236,6 +242,18 @@ func (t *Telescope) Contains(ip uint32) bool {
 // windows to one arriving packet, updates the counters, and returns whether
 // the packet enters the dataset.
 func (t *Telescope) Observe(p *packet.Probe) DropReason {
+	// A negative timestamp cannot come from the capture infrastructure: it is
+	// the signature of a record damaged upstream (and decoded anyway by a
+	// resyncing reader — a corrupted flowlog delta can walk the decoded clock
+	// below zero). Dropping it here keeps garbage out of the time-bucketed
+	// analyses instead of crediting traffic to before the epoch.
+	if p.Time < 0 {
+		t.stats.BadTime++
+		if t.met != nil {
+			t.met.badTime.Inc()
+		}
+		return DropBadTime
+	}
 	for _, o := range t.outages {
 		if p.Time >= o.from && p.Time < o.to {
 			t.stats.Outage++

@@ -154,6 +154,7 @@ func TestObserveFiltering(t *testing.T) {
 		{"synack", packet.Probe{Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, DropNotSYN},
 		{"rst", packet.Probe{Dst: monitored, DstPort: 80, Flags: packet.FlagRST}, DropNotSYN},
 		{"policy", packet.Probe{Dst: monitored, DstPort: 23, Flags: packet.FlagSYN}, DropPolicy},
+		{"bad-time", packet.Probe{Time: -1, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN}, DropBadTime},
 	}
 	for _, c := range cases {
 		p := c.probe
@@ -162,10 +163,10 @@ func TestObserveFiltering(t *testing.T) {
 		}
 	}
 	s := tel.Stats()
-	if s.Accepted != 1 || s.NotMonitored != 1 || s.NotSYN != 2 || s.Policy != 1 {
+	if s.Accepted != 1 || s.NotMonitored != 1 || s.NotSYN != 2 || s.Policy != 1 || s.BadTime != 1 {
 		t.Fatalf("stats %+v", s)
 	}
-	if s.Total() != 5 {
+	if s.Total() != 6 {
 		t.Fatalf("Total = %d", s.Total())
 	}
 }
@@ -206,7 +207,7 @@ func TestDropReasonString(t *testing.T) {
 	want := map[DropReason]string{
 		Accepted: "accepted", DropNotMonitored: "not-monitored",
 		DropNotSYN: "not-syn", DropPolicy: "policy", DropOutage: "outage",
-		DropReason(99): "invalid",
+		DropBadTime: "bad-time", DropReason(99): "invalid",
 	}
 	for r, s := range want {
 		if r.String() != s {

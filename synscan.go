@@ -279,7 +279,14 @@ type (
 	// ArchiveFilter selects scans by year, tool, port, source prefix,
 	// rate, or qualification; its zero value matches everything.
 	ArchiveFilter = archive.Filter
+	// ArchiveReaderOption configures OpenArchive (see WithSkipCorrupt).
+	ArchiveReaderOption = archive.ReaderOption
 )
+
+// WithSkipCorrupt opens an archive in degraded mode: blocks failing their
+// checksum are skipped and counted (ArchiveReader.CorruptBlocks) instead of
+// aborting the query.
+func WithSkipCorrupt() ArchiveReaderOption { return archive.WithSkipCorrupt() }
 
 // CreateArchive creates an archive file for writing.
 func CreateArchive(path string, cfg ArchiveWriterConfig) (*ArchiveWriter, error) {
@@ -287,8 +294,8 @@ func CreateArchive(path string, cfg ArchiveWriterConfig) (*ArchiveWriter, error)
 }
 
 // OpenArchive opens an archive file for querying.
-func OpenArchive(path string) (*ArchiveReader, error) {
-	return archive.Open(path)
+func OpenArchive(path string, opts ...ArchiveReaderOption) (*ArchiveReader, error) {
+	return archive.Open(path, opts...)
 }
 
 // ArchiveYear appends one collected year's campaigns (with origins) to an
