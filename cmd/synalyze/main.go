@@ -22,7 +22,6 @@ import (
 	"io"
 	"log"
 	"os"
-	"time"
 
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
@@ -114,22 +113,11 @@ func main() {
 		}
 	}
 
-	cfg := core.Config{TelescopeSize: *telSize}
+	// Thresholds scale with the telescope size (shared with syningest so the
+	// batch and live paths detect identical campaigns).
+	cfg := core.ScaledConfig(*telSize)
 	if *minDsts > 0 {
 		cfg.MinDistinctDsts = *minDsts
-	} else if scaled := core.DefaultMinDistinctDsts * *telSize / 71536; scaled >= 6 {
-		cfg.MinDistinctDsts = scaled
-	} else {
-		cfg.MinDistinctDsts = 6
-	}
-	// Scale the idle expiry with the telescope size like the simulator
-	// does: smaller telescopes see longer gaps between a scan's hits.
-	if *telSize < 71536 {
-		expiry := int64(float64(core.DefaultExpiry) * 71536 / float64(*telSize))
-		if max := int64(12 * time.Hour); expiry > max {
-			expiry = max
-		}
-		cfg.Expiry = expiry
 	}
 
 	// Write-on-detect: every closed flow is spooled into the archive from

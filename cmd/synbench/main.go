@@ -1,0 +1,352 @@
+// Command synbench is the pinned benchmark runner behind the committed
+// BENCH_<n>.json perf trajectory. It measures the four numbers the ROADMAP
+// names as the hot-path baseline — probe ingest throughput, archive scan
+// bandwidth, segment discovery latency, and synserve query latency — with
+// fixed seeds and workload sizes so successive PRs produce comparable
+// records.
+//
+// Usage:
+//
+//	go run ./cmd/synbench -out BENCH_6.json        # full run (commit this)
+//	go run ./cmd/synbench -quick -out -            # CI smoke: small sizes
+//
+// The synserve measurement execs a real server binary so the number includes
+// HTTP, JSON encoding, and the result cache. By default the binary is built
+// from ./cmd/synserve (run from the repo root); -synserve points at a
+// prebuilt one.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// record is the BENCH_<n>.json schema. Sizes are recorded alongside the
+// numbers so a record is self-describing even if the defaults change later.
+type record struct {
+	Bench     int    `json:"bench"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Quick     bool   `json:"quick,omitempty"`
+
+	IngestProbes    int     `json:"ingest_probes"`
+	ProbeIngestPPS  float64 `json:"probe_ingest_pps"`
+	ArchiveScans    int     `json:"archive_scans"`
+	ArchiveBytes    int64   `json:"archive_bytes"`
+	ArchiveScanMBps float64 `json:"archive_scan_mb_per_s"`
+
+	DiscoveryRounds int     `json:"discovery_rounds"`
+	DiscoveryP50Ms  float64 `json:"segment_discovery_p50_ms"`
+	DiscoveryMaxMs  float64 `json:"segment_discovery_max_ms"`
+
+	ServeRequests int     `json:"serve_requests"`
+	ServeP50Ms    float64 `json:"synserve_p50_ms"`
+	ServeP99Ms    float64 `json:"synserve_p99_ms"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synbench: ")
+
+	out := flag.String("out", "-", `output path for the JSON record ("-" = stdout)`)
+	benchN := flag.Int("n", 6, "benchmark sequence number recorded in the output")
+	quick := flag.Bool("quick", false, "CI smoke mode: ~10x smaller workloads, not comparable to full runs")
+	servePath := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
+	flag.Parse()
+
+	rec := record{
+		Bench:     *benchN,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Quick:     *quick,
+	}
+	nProbes, nScans, nRounds, nReqs := 2_000_000, 200_000, 20, 1000
+	if *quick {
+		nProbes, nScans, nRounds, nReqs = 200_000, 20_000, 5, 100
+	}
+
+	tmp, err := os.MkdirTemp("", "synbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+
+	rec.IngestProbes = nProbes
+	rec.ProbeIngestPPS = benchIngest(nProbes)
+	log.Printf("probe ingest: %.0f pkts/s", rec.ProbeIngestPPS)
+
+	archivePath := filepath.Join(tmp, "bench.syna")
+	scans := makeScans(nScans)
+	rec.ArchiveScans = nScans
+	rec.ArchiveBytes, rec.ArchiveScanMBps = benchArchiveScan(archivePath, scans)
+	log.Printf("archive scan: %.1f MB/s over %d bytes", rec.ArchiveScanMBps, rec.ArchiveBytes)
+
+	rec.DiscoveryRounds = nRounds
+	rec.DiscoveryP50Ms, rec.DiscoveryMaxMs = benchDiscovery(filepath.Join(tmp, "store"), scans, nRounds)
+	log.Printf("segment discovery: p50 %.3f ms, max %.3f ms", rec.DiscoveryP50Ms, rec.DiscoveryMaxMs)
+
+	rec.ServeRequests = nReqs
+	rec.ServeP50Ms, rec.ServeP99Ms = benchServe(*servePath, tmp, archivePath, nReqs)
+	log.Printf("synserve: p50 %.3f ms, p99 %.3f ms over %d requests", rec.ServeP50Ms, rec.ServeP99Ms, nReqs)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}
+
+// benchIngest feeds a deterministic pre-built probe stream through the
+// sequential detector and reports the best-of-3 packets-per-second rate.
+// The stream mirrors bench_test.go's ablation shape: many sources, bursty
+// inter-arrival times, periodic quiet gaps that exercise expiry.
+func benchIngest(n int) float64 {
+	const sources = 16384
+	r := rng.New(3)
+	probers := make([]tools.Prober, sources)
+	for i := range probers {
+		probers[i] = tools.NewMasscan(uint32(i+1), r.DeriveN("s", uint64(i)))
+	}
+	stream := make([]packet.Probe, n)
+	tm := int64(0)
+	for i := 0; i < n; i++ {
+		p := probers[i%sources].Probe(uint32(i), 443)
+		tm += int64(r.Intn(10)) * int64(time.Millisecond)
+		if i%50000 == 0 && i > 0 {
+			tm += 2 * int64(time.Hour)
+		}
+		p.Time = tm
+		stream[i] = p
+	}
+
+	best := math.MaxFloat64
+	for iter := 0; iter < 3; iter++ {
+		d := core.NewDetector(core.Config{TelescopeSize: 65536}, func(*core.Scan) {})
+		t0 := time.Now()
+		for i := range stream {
+			d.Ingest(&stream[i])
+		}
+		d.FlushAll()
+		if el := time.Since(t0).Seconds(); el < best {
+			best = el
+		}
+	}
+	return float64(n) / best
+}
+
+// makeScans builds n deterministic closed flows spread over several years
+// and ports, so the archive under test has realistic zone-map diversity.
+func makeScans(n int) []*core.Scan {
+	r := rng.New(7)
+	ports := []uint16{22, 23, 80, 443, 445, 3389, 5060, 8080}
+	out := make([]*core.Scan, n)
+	for i := 0; i < n; i++ {
+		year := 2015 + i%10
+		start := time.Date(year, time.January, 1, 0, 0, 0, 0, time.UTC).UnixNano() +
+			int64(r.Intn(300*24))*int64(time.Hour)
+		sc := &core.Scan{
+			Src:          uint32(r.Intn(1 << 30)),
+			Start:        start,
+			End:          start + int64(1+r.Intn(120))*int64(time.Minute),
+			Packets:      uint64(50 + r.Intn(5000)),
+			DistinctDsts: 20 + r.Intn(1000),
+			Ports:        []uint16{ports[i%len(ports)]},
+			Tool:         tools.ToolZMap,
+			Qualified:    i%3 != 0,
+			RatePPS:      float64(100 + r.Intn(100000)),
+			Coverage:     float64(r.Intn(1000)) / 1000,
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// benchArchiveScan writes the scans as one sealed archive and measures the
+// best-of-3 full-file scan bandwidth (file bytes over wall time, nil filter
+// so every block decompresses and decodes).
+func benchArchiveScan(path string, scans []*core.Scan) (int64, float64) {
+	w, err := archive.Create(path, archive.WriterConfig{TelescopeSize: 65536})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scans {
+		if err := w.Add(sc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rd, err := archive.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rd.Close()
+	best := math.MaxFloat64
+	for iter := 0; iter < 3; iter++ {
+		var n uint64
+		t0 := time.Now()
+		err := rd.Scans(archive.Filter{}, func(sc *core.Scan, _ enrich.Origin) { n++ })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n != uint64(len(scans)) {
+			log.Fatalf("archive scan returned %d of %d scans", n, len(scans))
+		}
+		if el := time.Since(t0).Seconds(); el < best {
+			best = el
+		}
+	}
+	return fi.Size(), float64(fi.Size()) / (1 << 20) / best
+}
+
+// benchDiscovery seals one segment per round into a fresh store and times
+// how long the serving-side catalog takes to surface it via Refresh — the
+// latency a running synserve adds on top of its rescan interval.
+func benchDiscovery(dir string, scans []*core.Scan, rounds int) (p50, max float64) {
+	sw, err := archive.OpenSegmentDir(dir, archive.SegmentConfig{TelescopeSize: 65536})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sw.Close()
+	cat, err := archive.OpenCatalog(dir, archive.CatalogConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cat.Close()
+
+	perRound := len(scans) / rounds
+	if perRound == 0 {
+		perRound = 1
+	}
+	lat := make([]float64, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		for _, sc := range scans[i*perRound : (i+1)*perRound] {
+			if err := sw.Add(sc); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sw.Seal(); err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		changed, err := cat.Refresh()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !changed {
+			log.Fatalf("round %d: refresh saw no new segment", i)
+		}
+		lat = append(lat, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	sort.Float64s(lat)
+	return lat[len(lat)/2], lat[len(lat)-1]
+}
+
+// benchServe starts a real synserve over the benchmark archive and measures
+// per-request latency across a fixed mix of endpoints (scans with filters,
+// table aggregations, stats), warm cache included — the steady-state profile
+// of a dashboard polling the service.
+func benchServe(bin, tmp, archivePath string, reqs int) (p50, p99 float64) {
+	if bin == "" {
+		bin = filepath.Join(tmp, "synserve")
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/synserve").CombinedOutput(); err != nil {
+			log.Fatalf("building synserve (run from the repo root or pass -synserve): %v\n%s", err, out)
+		}
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", archivePath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if line := sc.Text(); strings.Contains(line, "serving on ") {
+			base = strings.TrimSpace(line[strings.Index(line, "serving on ")+len("serving on "):])
+			break
+		}
+	}
+	if base == "" {
+		log.Fatal("synserve never reported its address")
+	}
+	go io.Copy(io.Discard, stderr)
+
+	queries := []string{
+		"/v1/scans?limit=100",
+		"/v1/scans?year=2020&limit=100",
+		"/v1/scans?port=443&limit=100",
+		"/v1/scans?tool=zmap&qualified=true&limit=100",
+		"/v1/tables/ports?top=10",
+		"/v1/tables/tools",
+		"/v1/tables/ports?year=2018&top=20",
+		"/v1/stats",
+	}
+	get := func(q string) {
+		resp, err := http.Get(base + q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("GET %s: %d", q, resp.StatusCode)
+		}
+	}
+	for _, q := range queries { // warm the result cache
+		get(q)
+	}
+	lat := make([]float64, reqs)
+	for i := 0; i < reqs; i++ {
+		q := queries[i%len(queries)]
+		t0 := time.Now()
+		get(q)
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+	}
+	sort.Float64s(lat)
+	return lat[reqs/2], lat[reqs*99/100]
+}

@@ -1,6 +1,7 @@
-// Command synserve serves campaign archives over HTTP. It loads one or more
-// archive files written by synalyze -archive or syneval -archive-out and
-// exposes their scans through a small JSON API:
+// Command synserve serves campaign archives over HTTP. It loads archive
+// files written by synalyze -archive or syneval -archive-out, and/or live
+// segment store directories written by syningest, and exposes their scans
+// through a small JSON API:
 //
 //	GET /v1/scans?year=2022&tool=zmap&port=443&limit=100
 //	GET /v1/tables/ports?year=2022&top=10
@@ -20,10 +21,20 @@
 // bounds each query; an expired deadline returns 504 with a JSON error
 // body.
 //
+// A directory argument is served as a live segment store: its manifest is
+// re-read every -rescan interval, so segments sealed by a concurrently
+// running syningest (and compactions merging them) become queryable without
+// a restart. Result-cache entries are keyed on the store generation and
+// invalidate automatically when the segment set changes; degraded responses
+// are never cached.
+//
 // Usage:
 //
 //	syneval -archive-out decade.syna
 //	synserve -addr localhost:8080 decade.syna
+//
+//	syningest -dir store/ -follow spool.synl &
+//	synserve -addr localhost:8080 -rescan 2s store/
 package main
 
 import (
@@ -51,6 +62,7 @@ func main() {
 	cacheSize := flag.Int("cache", 128, "result-cache capacity in responses (0 disables caching)")
 	queryTimeout := flag.Duration("timeout", 30*time.Second, "per-query deadline; expired queries return 504 (0 = no deadline)")
 	skipCorrupt := flag.Bool("skip-corrupt", true, "skip checksum-failed archive blocks instead of failing the query; responses carry degraded=true")
+	rescan := flag.Duration("rescan", 2*time.Second, "poll interval for discovering newly sealed segments in store directories (0 = only at startup)")
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -62,7 +74,7 @@ func main() {
 		log.Fatalf("-cache must be at least 0, got %d", *cacheSize)
 	}
 	if flag.NArg() < 1 {
-		log.Fatal("usage: synserve [flags] archive.syna [more.syna...]")
+		log.Fatal("usage: synserve [flags] archive.syna|storedir [more...]")
 	}
 	if *pprofAddr != "" {
 		if err := obs.StartPprof(*pprofAddr); err != nil {
@@ -78,10 +90,27 @@ func main() {
 	if *skipCorrupt {
 		opts = append(opts, archive.WithSkipCorrupt())
 	}
-	paths := flag.Args()
-	readers := make([]*archive.Reader, 0, len(paths))
-	for _, path := range paths {
-		rd, err := archive.Open(path, opts...)
+	var paths, dirs []string
+	var readers []*archive.Reader
+	var catalogs []*archive.Catalog
+	for _, arg := range flag.Args() {
+		if fi, err := os.Stat(arg); err == nil && fi.IsDir() {
+			cat, err := archive.OpenCatalog(arg, archive.CatalogConfig{
+				SkipCorrupt: *skipCorrupt, Workers: *workers, Metrics: reg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer cat.Close()
+			v := cat.View()
+			log.Printf("opened store %s: %d segments, %d scans, generation %d",
+				arg, v.Len(), v.NumScans(), v.Generation())
+			v.Release()
+			dirs = append(dirs, arg)
+			catalogs = append(catalogs, cat)
+			continue
+		}
+		rd, err := archive.Open(arg, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -89,14 +118,19 @@ func main() {
 		rd.SetWorkers(*workers)
 		rd.SetMetrics(reg)
 		log.Printf("loaded %s: %d blocks, %d scans, telescope %d, origins=%v",
-			path, rd.NumBlocks(), rd.NumScans(), rd.TelescopeSize(), rd.HasOrigins())
+			arg, rd.NumBlocks(), rd.NumScans(), rd.TelescopeSize(), rd.HasOrigins())
+		paths = append(paths, arg)
 		readers = append(readers, rd)
 	}
 
-	srv := newServer(paths, readers, *cacheSize, *queryTimeout, reg)
+	srv := newServer(paths, readers, dirs, catalogs, *cacheSize, *queryTimeout, reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if len(catalogs) > 0 && *rescan > 0 {
+		go rescanLoop(ctx, dirs, catalogs, *rescan)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -107,6 +141,35 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
+}
+
+// rescanLoop polls every store's manifest until ctx is done, logging
+// discoveries. Refresh failures (a manifest swap caught mid-read never
+// happens — the write is atomic — but a permission or I/O error can) are
+// logged and retried next tick; the last good segment set keeps serving.
+func rescanLoop(ctx context.Context, dirs []string, catalogs []*archive.Catalog, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			for i, cat := range catalogs {
+				changed, err := cat.Refresh()
+				if err != nil {
+					log.Printf("rescan %s: %v", dirs[i], err)
+					continue
+				}
+				if changed {
+					v := cat.View()
+					log.Printf("store %s: now %d segments, %d scans, generation %d",
+						dirs[i], v.Len(), v.NumScans(), v.Generation())
+					v.Release()
+				}
+			}
+		}
+	}
 }
 
 // shutdownTimeout bounds the in-flight request drain after a signal.

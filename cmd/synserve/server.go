@@ -20,16 +20,21 @@ import (
 	"github.com/synscan/synscan/internal/tools"
 )
 
-// server answers queries over one or more campaign archives. /v1/scans and
-// /v1/tables/* responses are cached in an LRU keyed on the canonicalized
-// query, so a repeated dashboard refresh hits memory instead of the
-// decompressor; /v1/stats is always computed live (it exposes the moving
-// metric counters, including the cache's own hit/miss tallies).
+// server answers queries over campaign archives: static sealed files and/or
+// live segment stores (directories written by syningest, polled for newly
+// sealed segments). /v1/scans and /v1/tables/* responses are cached in an LRU
+// keyed on the canonicalized query prefixed with the stores' catalog
+// generations, so a repeated dashboard refresh hits memory instead of the
+// decompressor and cached bodies die with the segment set they were computed
+// from; /v1/stats is always computed live (it exposes the moving metric
+// counters, including the cache's own hit/miss tallies).
 type server struct {
-	paths   []string
-	readers []*archive.Reader
-	cache   *lruCache
-	reg     *obs.Registry
+	paths    []string
+	readers  []*archive.Reader
+	dirs     []string
+	catalogs []*archive.Catalog
+	cache    *lruCache
+	reg      *obs.Registry
 	// timeout bounds each query's archive walk; 0 means no deadline. An
 	// expired deadline surfaces as 504 with a JSON error body rather than a
 	// half-written response, because the walk is aborted before rendering.
@@ -39,13 +44,15 @@ type server struct {
 	mLatency                           *obs.Histogram
 }
 
-func newServer(paths []string, readers []*archive.Reader, cacheSize int, timeout time.Duration, reg *obs.Registry) *server {
+func newServer(paths []string, readers []*archive.Reader, dirs []string, catalogs []*archive.Catalog, cacheSize int, timeout time.Duration, reg *obs.Registry) *server {
 	return &server{
-		paths:   paths,
-		readers: readers,
-		cache:   newLRU(cacheSize),
-		reg:     reg,
-		timeout: timeout,
+		paths:    paths,
+		readers:  readers,
+		dirs:     dirs,
+		catalogs: catalogs,
+		cache:    newLRU(cacheSize),
+		reg:      reg,
+		timeout:  timeout,
 
 		mRequests: reg.Counter("synserve.http.requests"),
 		mErrors:   reg.Counter("synserve.http.errors"),
@@ -104,9 +111,9 @@ func canonicalKey(u *url.URL) string {
 }
 
 // endpoint wraps a query handler with method filtering, instrumentation,
-// the per-query deadline, JSON rendering and (when cacheable) the LRU
-// result cache.
-func (s *server) endpoint(h func(ctx context.Context, q url.Values) (any, error), cacheable bool) http.HandlerFunc {
+// source acquisition, the per-query deadline, JSON rendering and (when
+// cacheable) the LRU result cache.
+func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values) (any, error), cacheable bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sp := obs.StartSpan(s.mLatency)
 		defer sp.End()
@@ -116,9 +123,11 @@ func (s *server) endpoint(h func(ctx context.Context, q url.Values) (any, error)
 			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
+		src := s.acquire()
+		defer src.release()
 		var key string
 		if cacheable {
-			key = canonicalKey(r.URL)
+			key = src.genToken() + canonicalKey(r.URL)
 			if body, ok := s.cache.get(key); ok {
 				s.mHits.Inc()
 				writeJSON(w, body, "hit")
@@ -132,7 +141,7 @@ func (s *server) endpoint(h func(ctx context.Context, q url.Values) (any, error)
 			ctx, cancel = context.WithTimeout(ctx, s.timeout)
 			defer cancel()
 		}
-		res, err := h(ctx, r.URL.Query())
+		res, err := h(ctx, src, r.URL.Query())
 		if err != nil {
 			s.mErrors.Inc()
 			code := http.StatusInternalServerError
@@ -152,7 +161,12 @@ func (s *server) endpoint(h func(ctx context.Context, q url.Values) (any, error)
 			return
 		}
 		body = append(body, '\n')
-		if cacheable {
+		// A degraded body (corrupt blocks skipped, a segment unreadable) is
+		// never cached: the damage may heal — or be discovered — without a
+		// generation bump, and a cached incomplete result would outlive both.
+		// The check runs after the handler so corruption found during this
+		// very read already counts.
+		if cacheable && !src.degraded() {
 			s.cache.put(key, body)
 		}
 		writeJSON(w, body, "miss")
@@ -171,18 +185,6 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
-}
-
-// degraded reports whether any loaded archive has skipped corrupt blocks so
-// far: query results are still served but may be missing the damaged
-// blocks' scans. Mirrored into every query response.
-func (s *server) degraded() bool {
-	for _, rd := range s.readers {
-		if rd.CorruptBlocks() > 0 {
-			return true
-		}
-	}
-	return false
 }
 
 // toolNames maps lower-cased display names back to Tool values for the
@@ -270,22 +272,6 @@ func parseFilter(q url.Values) (archive.Filter, error) {
 	return f, nil
 }
 
-// forEach streams every matching scan from every archive, in file order,
-// aborting between blocks when ctx expires. Context errors come back
-// unwrapped so the endpoint wrapper can map them onto status codes.
-func (s *server) forEach(ctx context.Context, f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
-	for i, rd := range s.readers {
-		err := rd.ScansContext(ctx, f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				return err
-			}
-			return fmt.Errorf("%s: %w", s.paths[i], err)
-		}
-	}
-	return nil
-}
-
 func ipString(ip uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
@@ -313,7 +299,7 @@ type scanJSON struct {
 
 // handleScans returns matching scans up to ?limit= (default 1000), with the
 // total match count so clients can detect truncation.
-func (s *server) handleScans(ctx context.Context, q url.Values) (any, error) {
+func (s *server) handleScans(ctx context.Context, src *sources, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -326,7 +312,7 @@ func (s *server) handleScans(ctx context.Context, q url.Values) (any, error) {
 	}
 	scans := []scanJSON{}
 	var matched uint64
-	err = s.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+	err = src.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
 		matched++
 		if len(scans) >= limit {
 			return
@@ -358,7 +344,7 @@ func (s *server) handleScans(ctx context.Context, q url.Values) (any, error) {
 		"matched":   matched,
 		"returned":  len(scans),
 		"truncated": uint64(len(scans)) < matched,
-		"degraded":  s.degraded(),
+		"degraded":  src.degraded(),
 		"scans":     scans,
 	}, nil
 }
@@ -372,7 +358,7 @@ type portRow struct {
 
 // handlePorts ranks destination ports by the number of matching scans
 // targeting them (?top=, default 10).
-func (s *server) handlePorts(ctx context.Context, q url.Values) (any, error) {
+func (s *server) handlePorts(ctx context.Context, src *sources, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -386,7 +372,7 @@ func (s *server) handlePorts(ctx context.Context, q url.Values) (any, error) {
 	type agg struct{ scans, packets uint64 }
 	byPort := map[uint16]*agg{}
 	var total uint64
-	err = s.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+	err = src.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
 		total++
 		for _, p := range sc.Ports {
 			a := byPort[p]
@@ -418,7 +404,7 @@ func (s *server) handlePorts(ctx context.Context, q url.Values) (any, error) {
 	if len(rows) > top {
 		rows = rows[:top]
 	}
-	return map[string]any{"total_scans": total, "ports": rows, "degraded": s.degraded()}, nil
+	return map[string]any{"total_scans": total, "ports": rows, "degraded": src.degraded()}, nil
 }
 
 type toolRow struct {
@@ -429,7 +415,7 @@ type toolRow struct {
 }
 
 // handleTools tallies matching scans per fingerprinted tool.
-func (s *server) handleTools(ctx context.Context, q url.Values) (any, error) {
+func (s *server) handleTools(ctx context.Context, src *sources, q url.Values) (any, error) {
 	f, err := parseFilter(q)
 	if err != nil {
 		return nil, err
@@ -437,7 +423,7 @@ func (s *server) handleTools(ctx context.Context, q url.Values) (any, error) {
 	scans := make([]uint64, tools.NumTools())
 	qualified := make([]uint64, tools.NumTools())
 	var total uint64
-	err = s.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
+	err = src.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
 		total++
 		scans[sc.Tool]++
 		if sc.Qualified {
@@ -457,7 +443,7 @@ func (s *server) handleTools(ctx context.Context, q url.Values) (any, error) {
 			Share: float64(scans[t]) / float64(total),
 		})
 	}
-	return map[string]any{"total_scans": total, "tools": rows, "degraded": s.degraded()}, nil
+	return map[string]any{"total_scans": total, "tools": rows, "degraded": src.degraded()}, nil
 }
 
 type originRow struct {
@@ -469,15 +455,8 @@ type originRow struct {
 
 // handleOrigins breaks matching scans down by scanner type (Table 2 view).
 // Only archives written with origins can serve it.
-func (s *server) handleOrigins(ctx context.Context, q url.Values) (any, error) {
-	withOrigins := false
-	for _, rd := range s.readers {
-		if rd.HasOrigins() {
-			withOrigins = true
-			break
-		}
-	}
-	if !withOrigins {
+func (s *server) handleOrigins(ctx context.Context, src *sources, q url.Values) (any, error) {
+	if !src.hasOrigins() {
 		return nil, badRequest("no loaded archive carries origins (write one with syneval -archive-out)")
 	}
 	f, err := parseFilter(q)
@@ -490,7 +469,7 @@ func (s *server) handleOrigins(ctx context.Context, q url.Values) (any, error) {
 		packets uint64
 	}
 	byType := map[inetmodel.ScannerType]*agg{}
-	err = s.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
+	err = src.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
 		if !rd.HasOrigins() {
 			return
 		}
@@ -519,7 +498,7 @@ func (s *server) handleOrigins(ctx context.Context, q url.Values) (any, error) {
 		}
 		return rows[i].Type < rows[j].Type
 	})
-	return map[string]any{"types": rows, "degraded": s.degraded()}, nil
+	return map[string]any{"types": rows, "degraded": src.degraded()}, nil
 }
 
 type archiveInfo struct {
@@ -534,10 +513,20 @@ type archiveInfo struct {
 	MaxYear int `json:"max_year"`
 }
 
-// handleStats reports the loaded archives and a live metrics snapshot
-// (request/error counts, cache hits/misses, blocks scanned vs pruned).
-// Never cached: the counters move with every request.
-func (s *server) handleStats(_ context.Context, _ url.Values) (any, error) {
+// storeInfo describes one live segment store in /v1/stats.
+type storeInfo struct {
+	Dir        string `json:"dir"`
+	Generation uint64 `json:"generation"`
+	Segments   int    `json:"segments"`
+	Scans      uint64 `json:"scans"`
+	Unreadable int    `json:"unreadable"`
+}
+
+// handleStats reports the loaded archives, the live segment stores, and a
+// metrics snapshot (request/error counts, cache hits/misses, blocks scanned
+// vs pruned, segment discovery/compaction counters). Never cached: the
+// counters move with every request.
+func (s *server) handleStats(_ context.Context, src *sources, _ url.Values) (any, error) {
 	infos := make([]archiveInfo, 0, len(s.readers))
 	for i, rd := range s.readers {
 		minY, maxY := 0, 0
@@ -555,11 +544,22 @@ func (s *server) handleStats(_ context.Context, _ url.Values) (any, error) {
 			MinYear: minY, MaxYear: maxY,
 		})
 	}
+	stores := make([]storeInfo, 0, len(src.views))
+	for i, v := range src.views {
+		stores = append(stores, storeInfo{
+			Dir:        s.dirs[i],
+			Generation: v.Generation(),
+			Segments:   v.Len(),
+			Scans:      v.NumScans(),
+			Unreadable: v.Missing(),
+		})
+	}
 	snap := s.reg.Snapshot()
 	return map[string]any{
 		"archives":      infos,
+		"stores":        stores,
 		"cache_entries": s.cache.len(),
-		"degraded":      s.degraded(),
+		"degraded":      src.degraded(),
 		"faults":        snap.CountersWithPrefix("faults."),
 		"metrics":       snap,
 	}, nil

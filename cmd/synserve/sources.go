@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+)
+
+// sources is one request's frozen view of everything the server can query:
+// the static single-file readers plus a CatalogView per live segment store.
+// Acquiring the views up front pins each store's segment set for the whole
+// request, so a catalog refresh or compaction mid-query never changes (or
+// closes) what the request is reading. Release returns the views when the
+// response is rendered.
+type sources struct {
+	s     *server
+	views []*archive.CatalogView
+}
+
+// acquire snapshots every catalog. Cheap: a refcount bump per store, no I/O.
+func (s *server) acquire() *sources {
+	src := &sources{s: s}
+	for _, c := range s.catalogs {
+		src.views = append(src.views, c.View())
+	}
+	return src
+}
+
+// release returns the catalog views; retired segment readers close on their
+// last release.
+func (src *sources) release() {
+	for _, v := range src.views {
+		v.Release()
+	}
+}
+
+// genToken renders the stores' catalog generations into a cache-key prefix
+// ("g3.7|"). Any segment-set change — discovery, compaction, an unreadable
+// segment healing — bumps a generation, so bodies cached against the old
+// segment set can never be served for the new one. Static-file-only servers
+// get the empty token: their archive set is fixed for the process lifetime.
+func (src *sources) genToken() string {
+	if len(src.views) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('g')
+	for i, v := range src.views {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(v.Generation(), 10))
+	}
+	b.WriteByte('|')
+	return b.String()
+}
+
+// degraded reports whether results served from these sources may be
+// incomplete: a static reader skipped corrupt blocks, a store is missing an
+// unreadable segment, or a segment reader skipped corrupt blocks.
+func (src *sources) degraded() bool {
+	for _, rd := range src.s.readers {
+		if rd.CorruptBlocks() > 0 {
+			return true
+		}
+	}
+	for _, v := range src.views {
+		if v.Degraded() {
+			return true
+		}
+	}
+	return false
+}
+
+// hasOrigins reports whether any queryable archive carries origins.
+func (src *sources) hasOrigins() bool {
+	for _, rd := range src.s.readers {
+		if rd.HasOrigins() {
+			return true
+		}
+	}
+	for _, v := range src.views {
+		for i := 0; i < v.Len(); i++ {
+			if v.Reader(i).HasOrigins() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// forEach streams every matching scan from every source — static files first,
+// then each store's segments in manifest (= emit) order — aborting between
+// blocks when ctx expires. Context errors come back unwrapped so the endpoint
+// wrapper can map them onto status codes.
+func (src *sources) forEach(ctx context.Context, f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
+	stream := func(rd *archive.Reader, where string) error {
+		err := rd.ScansContext(ctx, f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				return err
+			}
+			return fmt.Errorf("%s: %w", where, err)
+		}
+		return nil
+	}
+	for i, rd := range src.s.readers {
+		if err := stream(rd, src.s.paths[i]); err != nil {
+			return err
+		}
+	}
+	for vi, v := range src.views {
+		for i := 0; i < v.Len(); i++ {
+			if err := stream(v.Reader(i), filepath.Join(src.s.dirs[vi], v.Name(i))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -122,6 +122,36 @@ func yearOf(ns int64) int {
 	return time.Unix(0, ns).UTC().Year()
 }
 
+// yearCache memoizes one calendar year's nanosecond boundaries so the write
+// path's per-record year lookup is a two-comparison range check instead of a
+// time.Unix breakdown. Consecutive records overwhelmingly share a year (a
+// block spans minutes of record time; years change once per ~31.5M seconds),
+// so the slow path runs a handful of times per archive. Not safe for
+// concurrent use — each Writer owns one.
+type yearCache struct {
+	lo, hi int64 // [lo, hi) bounds the cached year; hi == 0 means empty
+	y      uint16
+}
+
+// year returns uint16(yearOf(ns)), consulting the cached boundaries first.
+func (c *yearCache) year(ns int64) uint16 {
+	if c.hi != 0 && ns >= c.lo && ns < c.hi {
+		return c.y
+	}
+	y := yearOf(ns)
+	// Years whose full [Jan 1, next Jan 1) span fits in int64 nanoseconds
+	// are cacheable; the extremes (outside 1678–2261) fall back to the
+	// direct computation every time, which only synthetic inputs hit.
+	if y > 1678 && y < 2261 {
+		c.lo = time.Date(y, time.January, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+		c.hi = time.Date(y+1, time.January, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+		c.y = uint16(y)
+	} else {
+		c.hi = 0
+	}
+	return uint16(y)
+}
+
 // reset clears z to the open state for a new block.
 func (z *ZoneMap) reset() {
 	*z = ZoneMap{
@@ -131,8 +161,10 @@ func (z *ZoneMap) reset() {
 	}
 }
 
-// observe folds one record into the zone map.
-func (z *ZoneMap) observe(sc *core.Scan) {
+// observe folds one record into the zone map. y must be the record's UTC
+// start year (the caller's yearCache supplies it without a per-record
+// time.Unix breakdown — this is the ingest hot path).
+func (z *ZoneMap) observe(sc *core.Scan, y uint16) {
 	z.Scans++
 	if sc.Qualified {
 		z.Qualified++
@@ -149,7 +181,6 @@ func (z *ZoneMap) observe(sc *core.Scan) {
 	if sc.Src > z.MaxSrc {
 		z.MaxSrc = sc.Src
 	}
-	y := uint16(yearOf(sc.Start))
 	if y < z.MinYear {
 		z.MinYear = y
 	}

@@ -206,3 +206,69 @@ func TestEmptyArchiveFile(t *testing.T) {
 		t.Fatalf("CorruptBlocks = %d on pristine empty file", r.CorruptBlocks())
 	}
 }
+
+// TestWriterCloseIdempotent: Close decides its result once; later calls
+// replay it without emitting a second index/trailer (which would corrupt the
+// file for readers) and Add keeps failing. Regression test for the double-
+// Close path, companion to the Add-after-Close check below.
+func TestWriterCloseIdempotent(t *testing.T) {
+	scans, _ := testScans(500, 21)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, WriterConfig{TelescopeSize: 4096, BlockBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scans {
+		if err := w.Add(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	for i := 0; i < 3; i++ {
+		if err := w.Close(); err != nil {
+			t.Fatalf("Close #%d: %v", i+2, err)
+		}
+	}
+	if buf.Len() != size {
+		t.Fatalf("repeated Close grew the stream by %d bytes", buf.Len()-size)
+	}
+	if err := w.Add(scans[0]); err == nil {
+		t.Fatal("Add after Close succeeded")
+	}
+	r := openArchive(t, buf.Bytes())
+	n := 0
+	if err := r.Scans(Filter{}, func(*core.Scan, enrich.Origin) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != len(scans) {
+		t.Fatalf("read %d scans, want %d", n, len(scans))
+	}
+}
+
+// TestWriterCloseErrorStable: a Close that fails keeps returning that same
+// error, and the underlying file is released exactly once.
+func TestWriterCloseErrorStable(t *testing.T) {
+	w, err := NewWriter(failWriter{}, WriterConfig{TelescopeSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans, _ := testScans(1, 22)
+	if err := w.Add(scans[0]); err != nil {
+		t.Fatal(err)
+	}
+	first := w.Close()
+	if first == nil {
+		t.Fatal("Close over a failing writer returned nil")
+	}
+	if again := w.Close(); again != first {
+		t.Fatalf("second Close returned %v, first returned %v", again, first)
+	}
+}
+
+// failWriter fails every write once the bufio buffer flushes.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }

@@ -39,18 +39,23 @@ type WriterConfig struct {
 // Not safe for concurrent use; both detector variants emit scans from a
 // single goroutine.
 type Writer struct {
-	w       *bufio.Writer
-	cfg     WriterConfig
-	off     uint64 // bytes written so far (= next block offset)
-	buf     []byte // current block's uncompressed payload
-	zone    ZoneMap
-	prev    int64 // previous record's start time within the block
-	index   []ZoneMap
-	scratch bytes.Buffer
-	fw      *flate.Writer
-	closer  io.Closer // set by Create; closed by Close
-	closed  bool
-	err     error
+	w        *bufio.Writer
+	cfg      WriterConfig
+	off      uint64 // bytes written so far (= next block offset)
+	buf      []byte // current block's uncompressed payload
+	zone     ZoneMap
+	years    yearCache
+	prev     int64 // previous record's start time within the block
+	index    []ZoneMap
+	scratch  bytes.Buffer
+	fw       *flate.Writer
+	closer   io.Closer // set by Create; closed by Close
+	closed   bool
+	closeErr error // Close's result, replayed by every later Close
+	err      error
+
+	nScans             uint64
+	minStart, maxStart int64
 
 	mScans, mBlocks, mRaw, mCompressed *obs.Counter
 	mCompressNS                        *obs.Histogram
@@ -133,7 +138,14 @@ func (w *Writer) add(sc *core.Scan, o *enrich.Origin) error {
 	}
 	w.buf = appendRecord(w.buf, sc, o, w.prev)
 	w.prev = sc.Start
-	w.zone.observe(sc)
+	w.zone.observe(sc, w.years.year(sc.Start))
+	if w.nScans == 0 || sc.Start < w.minStart {
+		w.minStart = sc.Start
+	}
+	if w.nScans == 0 || sc.Start > w.maxStart {
+		w.maxStart = sc.Start
+	}
+	w.nScans++
 	w.mScans.Inc()
 	if len(w.buf) >= w.cfg.BlockBytes {
 		return w.flushBlock()
@@ -187,16 +199,57 @@ func (w *Writer) flushBlock() error {
 	return nil
 }
 
+// NumScans returns the number of scans added so far.
+func (w *Writer) NumScans() uint64 { return w.nScans }
+
+// Offset returns the bytes emitted so far (header plus flushed blocks); the
+// open block's buffered records are not included. Segment rotation uses it
+// as the on-disk size signal.
+func (w *Writer) Offset() uint64 { return w.off }
+
+// StartBounds returns the min and max start times (ns) over every scan added
+// so far, or (0, 0) when none were.
+func (w *Writer) StartBounds() (min, max int64) {
+	if w.nScans == 0 {
+		return 0, 0
+	}
+	return w.minStart, w.maxStart
+}
+
 // Close flushes the open block, writes the index and trailer, and closes
-// the underlying file when the writer was opened with Create.
+// the underlying file when the writer was opened with Create. Close is
+// idempotent: the first call decides the outcome and every later call
+// returns that same result without touching the stream again (a second
+// trailer on the file would corrupt it for readers).
 func (w *Writer) Close() error {
+	if w.closed {
+		return w.closeErr
+	}
+	w.closed = true
+	w.closeErr = w.close()
+	return w.closeErr
+}
+
+// close runs the single real close. Whatever happens, the underlying file
+// (when the writer owns one) is released exactly once.
+func (w *Writer) close() error {
+	if err := w.finish(); err != nil {
+		if w.closer != nil {
+			w.closer.Close()
+		}
+		return err
+	}
+	if w.closer != nil {
+		return w.closer.Close()
+	}
+	return nil
+}
+
+// finish writes the remaining block, index and trailer onto the stream.
+func (w *Writer) finish() error {
 	if w.err != nil {
 		return w.err
 	}
-	if w.closed {
-		return nil
-	}
-	w.closed = true
 	if err := w.flushBlock(); err != nil {
 		return err
 	}
@@ -223,9 +276,6 @@ func (w *Writer) Close() error {
 	if err := w.w.Flush(); err != nil {
 		w.err = err
 		return err
-	}
-	if w.closer != nil {
-		return w.closer.Close()
 	}
 	return nil
 }

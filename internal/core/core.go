@@ -55,6 +55,35 @@ type Config struct {
 	Expiry int64
 }
 
+// ReferenceTelescopeSize is the monitored-address count the paper's §3.4
+// thresholds were calibrated against (the /18 + /22 + /24 telescope).
+const ReferenceTelescopeSize = 71536
+
+// ScaledConfig returns a Config with the paper's thresholds rescaled to a
+// telescope of the given size: a smaller telescope sees proportionally fewer
+// hits from the same Internet-wide campaign, spaced further apart, so
+// MinDistinctDsts shrinks linearly (floor 6 — below that, qualification is
+// noise) and the idle expiry stretches inversely (capped at 12 hours so state
+// still ages out). At ReferenceTelescopeSize and above this is the paper's
+// default Config. Shared by the replay tools (synalyze, syningest) so both
+// derive identical campaigns from the same capture.
+func ScaledConfig(telescopeSize int) Config {
+	cfg := Config{TelescopeSize: telescopeSize}
+	if scaled := DefaultMinDistinctDsts * telescopeSize / ReferenceTelescopeSize; scaled >= 6 {
+		cfg.MinDistinctDsts = scaled
+	} else {
+		cfg.MinDistinctDsts = 6
+	}
+	if telescopeSize < ReferenceTelescopeSize && telescopeSize > 0 {
+		expiry := int64(float64(DefaultExpiry) * ReferenceTelescopeSize / float64(telescopeSize))
+		if max := int64(12 * time.Hour); expiry > max {
+			expiry = max
+		}
+		cfg.Expiry = expiry
+	}
+	return cfg
+}
+
 // Scan is one closed flow: a campaign if Qualified, otherwise background
 // noise that did not meet the §3.4 thresholds (analyses still need those
 // sources for the "top ports by sources" style tallies).

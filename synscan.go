@@ -298,6 +298,48 @@ func OpenArchive(path string, opts ...ArchiveReaderOption) (*ArchiveReader, erro
 	return archive.Open(path, opts...)
 }
 
+// Segment-store surface, re-exported. A segment store is the live variant of
+// the archive: a directory of bounded sealed segments plus an atomically-
+// replaced manifest, grown by a SegmentWriter while Catalogs (and synserve)
+// discover new segments without restarting, and tidied by a Compactor that
+// merges runs of small segments LSM-style (see internal/archive).
+type (
+	// SegmentWriter appends scans to a segment store, sealing bounded
+	// segments and publishing each through the manifest.
+	SegmentWriter = archive.SegmentWriter
+	// SegmentConfig parameterizes OpenSegmentDir (rotation bounds etc.).
+	SegmentConfig = archive.SegmentConfig
+	// SegmentMeta is one sealed segment's manifest entry.
+	SegmentMeta = archive.SegmentMeta
+	// Catalog is the read side of a segment store: refreshable, with
+	// refcounted immutable views for in-flight queries.
+	Catalog = archive.Catalog
+	// CatalogConfig parameterizes OpenCatalog.
+	CatalogConfig = archive.CatalogConfig
+	// CatalogView is one query's frozen segment set.
+	CatalogView = archive.CatalogView
+	// Compactor merges runs of small sealed segments inside a live store.
+	Compactor = archive.Compactor
+	// CompactorConfig parameterizes NewCompactor.
+	CompactorConfig = archive.CompactorConfig
+)
+
+// OpenSegmentDir opens (creating if needed) a segment store for appending,
+// recovering from any crash the previous writer suffered.
+func OpenSegmentDir(dir string, cfg SegmentConfig) (*SegmentWriter, error) {
+	return archive.OpenSegmentDir(dir, cfg)
+}
+
+// OpenCatalog opens a segment store for querying.
+func OpenCatalog(dir string, cfg CatalogConfig) (*Catalog, error) {
+	return archive.OpenCatalog(dir, cfg)
+}
+
+// NewCompactor creates a compactor over an open segment store.
+func NewCompactor(sw *SegmentWriter, cfg CompactorConfig) *Compactor {
+	return archive.NewCompactor(sw, cfg)
+}
+
 // ArchiveYear appends one collected year's campaigns (with origins) to an
 // archive writer created with ArchiveWriterConfig.Origins.
 func ArchiveYear(w *ArchiveWriter, yd *YearData) error {
