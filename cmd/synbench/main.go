@@ -1,13 +1,13 @@
 // Command synbench is the pinned benchmark runner behind the committed
-// BENCH_<n>.json perf trajectory. It measures the four numbers the ROADMAP
-// names as the hot-path baseline — probe ingest throughput, archive scan
-// bandwidth, segment discovery latency, and synserve query latency — with
-// fixed seeds and workload sizes so successive PRs produce comparable
-// records.
+// BENCH_<n>.json perf trajectory. It measures the numbers the ROADMAP names
+// as the hot-path baseline — probe ingest throughput, archive scan
+// bandwidth, segment discovery latency, synserve query latency, and the
+// query engine's pushdown-vs-materialized profile — with fixed seeds and
+// workload sizes so successive PRs produce comparable records.
 //
 // Usage:
 //
-//	go run ./cmd/synbench -out BENCH_6.json        # full run (commit this)
+//	go run ./cmd/synbench -out BENCH_7.json        # full run (commit this)
 //	go run ./cmd/synbench -quick -out -            # CI smoke: small sizes
 //
 // The synserve measurement execs a real server binary so the number includes
@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/query"
 	"github.com/synscan/synscan/internal/rng"
 	"github.com/synscan/synscan/internal/tools"
 )
@@ -63,6 +65,21 @@ type record struct {
 	ServeRequests int     `json:"serve_requests"`
 	ServeP50Ms    float64 `json:"synserve_p50_ms"`
 	ServeP99Ms    float64 `json:"synserve_p99_ms"`
+
+	QueryScans int          `json:"query_scans"`
+	Queries    []queryBench `json:"queries"`
+}
+
+// queryBench compares one engine query executed with zone-map predicate
+// pushdown against the materialize-then-aggregate baseline (read the whole
+// archive into a scan slice, then aggregate in memory) over the same file.
+type queryBench struct {
+	Name            string  `json:"name"`
+	PushdownMs      float64 `json:"pushdown_ms"`
+	PushdownAllocMB float64 `json:"pushdown_alloc_mb"`
+	MaterialMs      float64 `json:"materialized_ms"`
+	MaterialAllocMB float64 `json:"materialized_alloc_mb"`
+	Speedup         float64 `json:"speedup"`
 }
 
 func main() {
@@ -70,7 +87,7 @@ func main() {
 	log.SetPrefix("synbench: ")
 
 	out := flag.String("out", "-", `output path for the JSON record ("-" = stdout)`)
-	benchN := flag.Int("n", 6, "benchmark sequence number recorded in the output")
+	benchN := flag.Int("n", 7, "benchmark sequence number recorded in the output")
 	quick := flag.Bool("quick", false, "CI smoke mode: ~10x smaller workloads, not comparable to full runs")
 	servePath := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
 	flag.Parse()
@@ -111,6 +128,13 @@ func main() {
 	rec.ServeRequests = nReqs
 	rec.ServeP50Ms, rec.ServeP99Ms = benchServe(*servePath, tmp, archivePath, nReqs)
 	log.Printf("synserve: p50 %.3f ms, p99 %.3f ms over %d requests", rec.ServeP50Ms, rec.ServeP99Ms, nReqs)
+
+	rec.QueryScans = nScans
+	rec.Queries = benchQueries(filepath.Join(tmp, "query.syna"), scans)
+	for _, qb := range rec.Queries {
+		log.Printf("query %s: pushdown %.3f ms / %.2f MB alloc, materialized %.3f ms / %.2f MB alloc (%.2fx)",
+			qb.Name, qb.PushdownMs, qb.PushdownAllocMB, qb.MaterialMs, qb.MaterialAllocMB, qb.Speedup)
+	}
 
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -277,6 +301,98 @@ func benchDiscovery(dir string, scans []*core.Scan, rounds int) (p50, max float6
 	}
 	sort.Float64s(lat)
 	return lat[len(lat)/2], lat[len(lat)-1]
+}
+
+// benchQueries writes the benchmark scans to a time-sorted archive (blocks
+// then carry tight year zone maps, the layout a per-year simulation or a
+// compacted store produces) and compares three engine queries — a pruned
+// filter, a grouped top-k, and a full-decade quantile — executed with
+// predicate pushdown against the materialize-then-aggregate baseline.
+func benchQueries(path string, scans []*core.Scan) []queryBench {
+	sorted := make([]*core.Scan, len(scans))
+	copy(sorted, scans)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	w, err := archive.Create(path, archive.WriterConfig{TelescopeSize: 65536})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range sorted {
+		if err := w.Add(sc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	rd, err := archive.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rd.Close()
+
+	mk := func(b *query.Builder) *query.Query {
+		q, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		return q
+	}
+	cases := []struct {
+		name string
+		q    *query.Query
+	}{
+		{"filter_year_port", mk(query.NewBuilder().Years(2020).Ports(443).Count())},
+		{"group_tool_topk_port", mk(query.NewBuilder().Qualified(true).
+			GroupBy(query.FieldTool).Count().TopK(query.FieldPort, 10))},
+		{"quantile_rate_decade", mk(query.NewBuilder().
+			Quantiles(query.FieldRate, 0.5, 0.9, 0.99))},
+	}
+
+	ctx := context.Background()
+	out := make([]queryBench, 0, len(cases))
+	for _, c := range cases {
+		qb := queryBench{Name: c.name}
+		qb.PushdownMs, qb.PushdownAllocMB = measure(func() {
+			if _, err := query.Run(ctx, c.q, query.ReaderSource{R: rd}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		qb.MaterialMs, qb.MaterialAllocMB = measure(func() {
+			all := make([]*core.Scan, 0, 1024)
+			err := rd.Scans(archive.Filter{}, func(sc *core.Scan, _ enrich.Origin) {
+				all = append(all, sc)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := query.Run(ctx, c.q, query.SliceSource{Scans: all}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		qb.Speedup = qb.MaterialMs / qb.PushdownMs
+		out = append(out, qb)
+	}
+	return out
+}
+
+// measure reports f's best-of-3 wall time (ms) and the heap allocated by a
+// single run (MB).
+func measure(f func()) (ms, allocMB float64) {
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	f()
+	runtime.ReadMemStats(&m1)
+	allocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
+	best := math.MaxFloat64
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		f()
+		if el := time.Since(t0).Seconds(); el < best {
+			best = el
+		}
+	}
+	return best * 1000, allocMB
 }
 
 // benchServe starts a real synserve over the benchmark archive and measures

@@ -1,0 +1,435 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/query"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// maxQueryBody bounds a POST /v1/query request body; a structurally valid
+// request never comes close, and the cap keeps a hostile body from ballooning
+// the JSON decoder.
+const maxQueryBody = 1 << 20
+
+// querySources adapts the request's frozen source set for the query engine:
+// static single-file readers first, then each live store's pinned view, the
+// same order the legacy streaming walk used, so select-mode row order is
+// unchanged across the rewiring.
+func (src *sources) querySources() []query.Source {
+	out := make([]query.Source, 0, len(src.s.readers)+len(src.views))
+	for _, rd := range src.s.readers {
+		out = append(out, query.ReaderSource{R: rd})
+	}
+	for _, v := range src.views {
+		out = append(out, query.ViewSource{V: v})
+	}
+	return out
+}
+
+// runQuery executes a validated query against the request's sources through
+// the engine: one streaming partial per source under zone-map pushdown,
+// merged in source order. Every endpoint — POST /v1/query and the legacy GET
+// surfaces — funnels through here, so pushdown, deadline abort, degraded
+// reads and the query.* metrics behave identically everywhere.
+func (src *sources) runQuery(ctx context.Context, q *query.Query) (*query.Result, error) {
+	s := src.s
+	sp := obs.StartSpan(s.mQueryExec)
+	defer sp.End()
+	srcs := src.querySources()
+	res, err := query.Run(ctx, q, srcs...)
+	if err != nil {
+		return nil, err
+	}
+	s.mQueryPartials.Add(uint64(len(srcs)))
+	if q.SelectMode() {
+		s.mQueryRows.Add(uint64(len(res.Scans)))
+	} else {
+		s.mQueryRows.Add(uint64(len(res.Rows)))
+	}
+	return res, nil
+}
+
+// handleQuery serves POST /v1/query: the typed-AST analytical endpoint. The
+// JSON body parses into a query (any malformed or over-cap request is a 400),
+// which is canonicalized so semantically identical requests share one
+// generation-keyed cache entry, then executed under the per-query deadline
+// with the same degraded-read semantics as every other endpoint.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	sp := obs.StartSpan(s.mLatency)
+	defer sp.End()
+	s.mRequests.Inc()
+	s.mQueryRequests.Inc()
+	if r.Method != http.MethodPost {
+		s.mErrors.Inc()
+		writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed (POST a JSON query)")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxQueryBody))
+	if err != nil {
+		s.mErrors.Inc()
+		s.mQueryParseErrors.Inc()
+		writeJSONError(w, http.StatusBadRequest, "read request body: "+err.Error())
+		return
+	}
+	q, err := query.Parse(body)
+	if err != nil {
+		s.mErrors.Inc()
+		s.mQueryParseErrors.Inc()
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q = q.Canonicalize()
+
+	src := s.acquire()
+	defer src.release()
+	if q.NeedsOrigin() && !src.hasOrigins() {
+		s.mErrors.Inc()
+		writeJSONError(w, http.StatusBadRequest,
+			"query needs origins, but no loaded archive carries them (write one with syneval -archive-out)")
+		return
+	}
+	key := src.genToken() + "/v1/query?" + q.Key()
+	if cached, ok := s.cache.get(key); ok {
+		s.mHits.Inc()
+		writeJSON(w, cached, "hit")
+		return
+	}
+	s.mMisses.Inc()
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := src.runQuery(ctx, q)
+	if err != nil {
+		s.mErrors.Inc()
+		writeJSONError(w, errCode(err), err.Error())
+		return
+	}
+	out, err := json.Marshal(renderResult(q, res, src.degraded()))
+	if err != nil {
+		s.mErrors.Inc()
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	out = append(out, '\n')
+	if !src.degraded() {
+		s.cache.put(key, out)
+	}
+	writeJSON(w, out, "miss")
+}
+
+// renderResult shapes an engine result for the /v1/query wire form: select
+// mode mirrors /v1/scans (matched/returned/truncated/scans), aggregate mode
+// returns the sorted rows with their group keys and per-aggregate values.
+func renderResult(q *query.Query, res *query.Result, degraded bool) map[string]any {
+	if q.SelectMode() {
+		scans := make([]scanJSON, 0, len(res.Scans))
+		for _, rec := range res.Scans {
+			scans = append(scans, toScanJSON(rec.Scan, rec.Origin))
+		}
+		return map[string]any{
+			"matched":   res.Matched,
+			"returned":  len(scans),
+			"truncated": res.Truncated,
+			"degraded":  degraded,
+			"scans":     scans,
+		}
+	}
+	rows := res.Rows
+	if rows == nil {
+		rows = []query.Row{}
+	}
+	return map[string]any{
+		"matched":    res.Matched,
+		"total_rows": res.TotalRows,
+		"rows":       rows,
+		"degraded":   degraded,
+	}
+}
+
+func toScanJSON(sc *core.Scan, o *enrich.Origin) scanJSON {
+	sj := scanJSON{
+		Src:          ipString(sc.Src),
+		StartNS:      sc.Start,
+		EndNS:        sc.End,
+		Packets:      sc.Packets,
+		DistinctDsts: sc.DistinctDsts,
+		Ports:        sc.Ports,
+		Tool:         sc.Tool.String(),
+		Qualified:    sc.Qualified,
+		RatePPS:      sc.RatePPS,
+		Coverage:     sc.Coverage,
+	}
+	if o != nil {
+		sj.Origin = &originJSON{
+			Country: o.Country, ASN: o.ASN,
+			Type: o.Type.String(), OrgName: o.OrgName,
+		}
+	}
+	return sj
+}
+
+// filterExpr compiles the legacy fixed URL parameters — year, tool, port
+// (each repeatable or comma-separated), src (CIDR), minrate/maxrate (pps),
+// qualified (bool) — into the query AST, so the deprecated parameter surface
+// and POST /v1/query share one filter representation, one pushdown planner
+// and one execution path. nil means no filter.
+func filterExpr(vals url.Values) (query.Expr, error) {
+	var conj []query.Expr
+	if vs := splitList(vals["year"]); len(vs) > 0 {
+		years := make([]int, 0, len(vs))
+		for _, v := range vs {
+			y, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, badRequest("invalid year %q", v)
+			}
+			years = append(years, y)
+		}
+		conj = append(conj, query.YearIn(years...))
+	}
+	if vs := splitList(vals["tool"]); len(vs) > 0 {
+		ts := make([]tools.Tool, 0, len(vs))
+		for _, v := range vs {
+			t, ok := toolNames[strings.ToLower(v)]
+			if !ok {
+				return nil, badRequest("unknown tool %q (want one of %s)", v, strings.Join(knownToolNames(), ", "))
+			}
+			ts = append(ts, t)
+		}
+		conj = append(conj, query.ToolIn(ts...))
+	}
+	if vs := splitList(vals["port"]); len(vs) > 0 {
+		ports := make([]uint16, 0, len(vs))
+		for _, v := range vs {
+			p, err := strconv.ParseUint(v, 10, 16)
+			if err != nil {
+				return nil, badRequest("invalid port %q", v)
+			}
+			ports = append(ports, uint16(p))
+		}
+		conj = append(conj, query.PortAny(ports...))
+	}
+	if v := vals.Get("src"); v != "" {
+		pfx, err := inetmodel.ParsePrefix(v)
+		if err != nil {
+			return nil, badRequest("invalid src prefix %q: %v", v, err)
+		}
+		conj = append(conj, query.SrcIn(pfx))
+	}
+	var minRate, maxRate float64
+	var err error
+	if v := vals.Get("minrate"); v != "" {
+		if minRate, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, badRequest("invalid minrate %q", v)
+		}
+	}
+	if v := vals.Get("maxrate"); v != "" {
+		if maxRate, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, badRequest("invalid maxrate %q", v)
+		}
+	}
+	if minRate > 0 || maxRate > 0 {
+		conj = append(conj, query.RateBetween(minRate, maxRate))
+	}
+	if v := vals.Get("qualified"); v != "" {
+		want, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, badRequest("invalid qualified %q", v)
+		}
+		// The legacy parameter only ever narrowed (qualified=false was a
+		// no-op); compile it the same way.
+		if want {
+			conj = append(conj, query.Qualified(true))
+		}
+	}
+	switch len(conj) {
+	case 0:
+		return nil, nil
+	case 1:
+		return conj[0], nil
+	default:
+		return query.And(conj...), nil
+	}
+}
+
+// renderFunc shapes an engine result into one legacy endpoint's historical
+// response body.
+type renderFunc func(res *query.Result) (any, error)
+
+// compileFunc turns one legacy endpoint's URL parameters into an engine query
+// plus the renderer for its historical wire shape. Compilation happens before
+// the cache lookup: the canonicalized query IS the cache key, so any two
+// parameterizations that mean the same thing (list order, comma vs repeated
+// params, a defaulted limit spelled out) share one entry.
+type compileFunc func(src *sources, vals url.Values) (*query.Query, renderFunc, error)
+
+// compileScans maps /v1/scans onto a select-mode query (limit default 1000).
+func compileScans(src *sources, vals url.Values) (*query.Query, renderFunc, error) {
+	where, err := filterExpr(vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	limit := 1000
+	if v := vals.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+			return nil, nil, badRequest("invalid limit %q (want a positive integer)", v)
+		}
+	}
+	q := &query.Query{Where: where, Limit: limit}
+	render := func(res *query.Result) (any, error) {
+		scans := make([]scanJSON, 0, len(res.Scans))
+		for _, rec := range res.Scans {
+			scans = append(scans, toScanJSON(rec.Scan, rec.Origin))
+		}
+		return map[string]any{
+			"matched":   res.Matched,
+			"returned":  len(scans),
+			"truncated": res.Truncated,
+			"degraded":  src.degraded(),
+			"scans":     scans,
+		}, nil
+	}
+	return q, render, nil
+}
+
+// compilePorts maps /v1/tables/ports onto group-by-port with count and the
+// split packet sum; the engine's default ordering (count descending, port
+// ascending) and row limit reproduce the historical ranking exactly.
+func compilePorts(src *sources, vals url.Values) (*query.Query, renderFunc, error) {
+	where, err := filterExpr(vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	top := 10
+	if v := vals.Get("top"); v != "" {
+		if top, err = strconv.Atoi(v); err != nil || top < 1 {
+			return nil, nil, badRequest("invalid top %q (want a positive integer)", v)
+		}
+	}
+	q := &query.Query{
+		Where:   where,
+		GroupBy: []query.Field{query.FieldPort},
+		Aggs: []query.Agg{
+			{Op: query.OpCount},
+			{Op: query.OpSum, Field: query.FieldPackets},
+		},
+		Limit: top,
+	}
+	render := func(res *query.Result) (any, error) {
+		rows := make([]portRow, 0, len(res.Rows))
+		for _, r := range res.Rows {
+			share := 0.0
+			if res.Matched > 0 {
+				share = float64(r.Aggs[0].Count) / float64(res.Matched)
+			}
+			rows = append(rows, portRow{
+				Port:    uint16(r.Key[0].Num),
+				Scans:   r.Aggs[0].Count,
+				Packets: r.Aggs[1].Int,
+				Share:   share,
+			})
+		}
+		return map[string]any{"total_scans": res.Matched, "ports": rows, "degraded": src.degraded()}, nil
+	}
+	return q, render, nil
+}
+
+// compileTools maps /v1/tables/tools onto group-by-tool with count and the
+// qualified tally (an exact 0/1 integer sum); the renderer walks the
+// canonical tool display order, skipping tools with no scans, as the
+// hand-rolled tally always did.
+func compileTools(src *sources, vals url.Values) (*query.Query, renderFunc, error) {
+	where, err := filterExpr(vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &query.Query{
+		Where:   where,
+		GroupBy: []query.Field{query.FieldTool},
+		Aggs: []query.Agg{
+			{Op: query.OpCount},
+			{Op: query.OpSum, Field: query.FieldQualified},
+		},
+		Order: query.OrderKey,
+	}
+	render := func(res *query.Result) (any, error) {
+		scans := make([]uint64, tools.NumTools())
+		qualified := make([]uint64, tools.NumTools())
+		for _, r := range res.Rows {
+			t := tools.Tool(r.Key[0].Num)
+			scans[t] = r.Aggs[0].Count
+			qualified[t] = r.Aggs[1].Int
+		}
+		rows := []toolRow{}
+		for _, t := range append([]tools.Tool{tools.ToolUnknown}, tools.Tools...) {
+			if scans[t] == 0 {
+				continue
+			}
+			rows = append(rows, toolRow{
+				Tool: t.String(), Scans: scans[t], Qualified: qualified[t],
+				Share: float64(scans[t]) / float64(res.Matched),
+			})
+		}
+		return map[string]any{"total_scans": res.Matched, "tools": rows, "degraded": src.degraded()}, nil
+	}
+	return q, render, nil
+}
+
+// compileOrigins maps /v1/tables/origins onto group-by-scanner-type with
+// count, the unsplit packet sum and an exact distinct-source count. The
+// legacy table sorts by scans descending with ties broken by the type NAME
+// (a string comparison), which differs from the engine's numeric-key
+// tiebreak, so the renderer re-sorts.
+func compileOrigins(src *sources, vals url.Values) (*query.Query, renderFunc, error) {
+	if !src.hasOrigins() {
+		return nil, nil, badRequest("no loaded archive carries origins (write one with syneval -archive-out)")
+	}
+	where, err := filterExpr(vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &query.Query{
+		Where:   where,
+		GroupBy: []query.Field{query.FieldType},
+		Aggs: []query.Agg{
+			{Op: query.OpCount},
+			{Op: query.OpSum, Field: query.FieldPackets},
+			{Op: query.OpCountDistinct, Field: query.FieldSrc},
+		},
+		Order: query.OrderKey,
+	}
+	render := func(res *query.Result) (any, error) {
+		rows := []originRow{}
+		for _, r := range res.Rows {
+			rows = append(rows, originRow{
+				Type:    r.Key[0].Str,
+				Sources: int(r.Aggs[2].Count),
+				Scans:   r.Aggs[0].Count,
+				Packets: r.Aggs[1].Int,
+			})
+		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].Scans != rows[j].Scans {
+				return rows[i].Scans > rows[j].Scans
+			}
+			return rows[i].Type < rows[j].Type
+		})
+		return map[string]any{"types": rows, "degraded": src.degraded()}, nil
+	}
+	return q, render, nil
+}

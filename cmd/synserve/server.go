@@ -8,26 +8,25 @@ import (
 	"net/http"
 	"net/url"
 	"sort"
-	"strconv"
 	"strings"
 	"time"
 
 	"github.com/synscan/synscan/internal/archive"
-	"github.com/synscan/synscan/internal/core"
-	"github.com/synscan/synscan/internal/enrich"
-	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/query"
 	"github.com/synscan/synscan/internal/tools"
 )
 
 // server answers queries over campaign archives: static sealed files and/or
 // live segment stores (directories written by syningest, polled for newly
-// sealed segments). /v1/scans and /v1/tables/* responses are cached in an LRU
-// keyed on the canonicalized query prefixed with the stores' catalog
-// generations, so a repeated dashboard refresh hits memory instead of the
-// decompressor and cached bodies die with the segment set they were computed
-// from; /v1/stats is always computed live (it exposes the moving metric
-// counters, including the cache's own hit/miss tallies).
+// sealed segments). Every analytical endpoint — POST /v1/query and the
+// deprecated fixed-parameter GET surfaces — compiles to one internal/query
+// request and runs through the same streaming engine under zone-map pushdown.
+// Responses are cached in an LRU keyed on the canonicalized query prefixed
+// with the stores' catalog generations, so any two spellings of the same
+// request share one entry and cached bodies die with the segment set they
+// were computed from; /v1/stats is always computed live (it exposes the
+// moving metric counters, including the cache's own hit/miss tallies).
 type server struct {
 	paths    []string
 	readers  []*archive.Reader
@@ -42,6 +41,11 @@ type server struct {
 
 	mRequests, mErrors, mHits, mMisses *obs.Counter
 	mLatency                           *obs.Histogram
+
+	// Engine metrics, shared by every surface that compiles into a query.
+	mQueryRequests, mQueryParseErrors *obs.Counter
+	mQueryRows, mQueryPartials        *obs.Counter
+	mQueryExec                        *obs.Histogram
 }
 
 func newServer(paths []string, readers []*archive.Reader, dirs []string, catalogs []*archive.Catalog, cacheSize int, timeout time.Duration, reg *obs.Registry) *server {
@@ -59,16 +63,23 @@ func newServer(paths []string, readers []*archive.Reader, dirs []string, catalog
 		mHits:     reg.Counter("synserve.cache.hits"),
 		mMisses:   reg.Counter("synserve.cache.misses"),
 		mLatency:  reg.Histogram("synserve.http.latency_ns"),
+
+		mQueryRequests:    reg.Counter("query.requests"),
+		mQueryParseErrors: reg.Counter("query.parse_errors"),
+		mQueryRows:        reg.Counter("query.rows"),
+		mQueryPartials:    reg.Counter("query.partials_merged"),
+		mQueryExec:        reg.Histogram("query.exec_ns"),
 	}
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/scans", s.endpoint(s.handleScans, true))
-	mux.HandleFunc("/v1/tables/ports", s.endpoint(s.handlePorts, true))
-	mux.HandleFunc("/v1/tables/tools", s.endpoint(s.handleTools, true))
-	mux.HandleFunc("/v1/tables/origins", s.endpoint(s.handleOrigins, true))
-	mux.HandleFunc("/v1/stats", s.endpoint(s.handleStats, false))
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/scans", s.queryEndpoint("/v1/scans", compileScans))
+	mux.HandleFunc("/v1/tables/ports", s.queryEndpoint("/v1/tables/ports", compilePorts))
+	mux.HandleFunc("/v1/tables/tools", s.queryEndpoint("/v1/tables/tools", compileTools))
+	mux.HandleFunc("/v1/tables/origins", s.queryEndpoint("/v1/tables/origins", compileOrigins))
+	mux.HandleFunc("/v1/stats", s.endpoint(s.handleStats))
 	return mux
 }
 
@@ -84,36 +95,103 @@ func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// canonicalKey renders a request URL with sorted query keys (and sorted
-// values per key), so parameter order never fragments the cache.
-func canonicalKey(u *url.URL) string {
-	q := u.Query()
-	keys := make([]string, 0, len(q))
-	for k := range q {
-		keys = append(keys, k)
+// errCode maps a handler error onto an HTTP status: explicit httpErrors keep
+// their code, engine client errors (malformed or over-cap queries) are 400s,
+// an expired per-query deadline is a 504, anything else a 500.
+func errCode(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code
 	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(u.Path)
-	sep := byte('?')
-	for _, k := range keys {
-		vs := append([]string(nil), q[k]...)
-		sort.Strings(vs)
-		for _, v := range vs {
-			b.WriteByte(sep)
-			sep = '&'
-			b.WriteString(k)
-			b.WriteByte('=')
-			b.WriteString(v)
-		}
+	if query.IsClientError(err) {
+		return http.StatusBadRequest
 	}
-	return b.String()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
-// endpoint wraps a query handler with method filtering, instrumentation,
-// source acquisition, the per-query deadline, JSON rendering and (when
-// cacheable) the LRU result cache.
-func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values) (any, error), cacheable bool) http.HandlerFunc {
+// queryEndpoint wraps a deprecated fixed-parameter GET endpoint whose
+// parameters compile into an engine query: method filtering,
+// instrumentation, compile → canonicalize → generation-keyed cache lookup →
+// engine run under the per-query deadline → historical response rendering.
+// The cache key is the canonicalized compiled query, not the raw URL, so
+// every spelling of the same request (parameter order, comma vs repeated
+// lists, a default spelled out) shares one entry — and shares its execution
+// path with POST /v1/query.
+func (s *server) queryEndpoint(path string, compile compileFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sp := obs.StartSpan(s.mLatency)
+		defer sp.End()
+		s.mRequests.Inc()
+		s.mQueryRequests.Inc()
+		if r.Method != http.MethodGet {
+			s.mErrors.Inc()
+			writeJSONError(w, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		src := s.acquire()
+		defer src.release()
+		q, render, err := compile(src, r.URL.Query())
+		if err == nil {
+			q = q.Canonicalize()
+			err = q.Validate()
+		}
+		if err != nil {
+			s.mErrors.Inc()
+			s.mQueryParseErrors.Inc()
+			writeJSONError(w, errCode(err), err.Error())
+			return
+		}
+		key := src.genToken() + path + "?" + q.Key()
+		if body, ok := s.cache.get(key); ok {
+			s.mHits.Inc()
+			writeJSON(w, body, "hit")
+			return
+		}
+		s.mMisses.Inc()
+		ctx := r.Context()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		res, err := src.runQuery(ctx, q)
+		if err != nil {
+			s.mErrors.Inc()
+			writeJSONError(w, errCode(err), err.Error())
+			return
+		}
+		out, err := render(res)
+		if err != nil {
+			s.mErrors.Inc()
+			writeJSONError(w, errCode(err), err.Error())
+			return
+		}
+		body, err := json.Marshal(out)
+		if err != nil {
+			s.mErrors.Inc()
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		body = append(body, '\n')
+		// A degraded body (corrupt blocks skipped, a segment unreadable) is
+		// never cached: the damage may heal — or be discovered — without a
+		// generation bump, and a cached incomplete result would outlive both.
+		// The check runs after the engine walk so corruption found during
+		// this very read already counts.
+		if !src.degraded() {
+			s.cache.put(key, body)
+		}
+		writeJSON(w, body, "miss")
+	}
+}
+
+// endpoint wraps a live (uncached, engine-less) handler — /v1/stats — with
+// method filtering, instrumentation, source acquisition, the per-query
+// deadline and JSON rendering.
+func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sp := obs.StartSpan(s.mLatency)
 		defer sp.End()
@@ -125,16 +203,6 @@ func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values
 		}
 		src := s.acquire()
 		defer src.release()
-		var key string
-		if cacheable {
-			key = src.genToken() + canonicalKey(r.URL)
-			if body, ok := s.cache.get(key); ok {
-				s.mHits.Inc()
-				writeJSON(w, body, "hit")
-				return
-			}
-			s.mMisses.Inc()
-		}
 		ctx := r.Context()
 		if s.timeout > 0 {
 			var cancel context.CancelFunc
@@ -144,14 +212,7 @@ func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values
 		res, err := h(ctx, src, r.URL.Query())
 		if err != nil {
 			s.mErrors.Inc()
-			code := http.StatusInternalServerError
-			var he *httpError
-			if errors.As(err, &he) {
-				code = he.code
-			} else if errors.Is(err, context.DeadlineExceeded) {
-				code = http.StatusGatewayTimeout
-			}
-			writeJSONError(w, code, err.Error())
+			writeJSONError(w, errCode(err), err.Error())
 			return
 		}
 		body, err := json.Marshal(res)
@@ -161,14 +222,6 @@ func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values
 			return
 		}
 		body = append(body, '\n')
-		// A degraded body (corrupt blocks skipped, a segment unreadable) is
-		// never cached: the damage may heal — or be discovered — without a
-		// generation bump, and a cached incomplete result would outlive both.
-		// The check runs after the handler so corruption found during this
-		// very read already counts.
-		if cacheable && !src.degraded() {
-			s.cache.put(key, body)
-		}
 		writeJSON(w, body, "miss")
 	}
 }
@@ -220,58 +273,6 @@ func splitList(vals []string) []string {
 	return out
 }
 
-// parseFilter maps the shared query parameters onto an archive.Filter:
-// year, tool, port (each repeatable or comma-separated), src (CIDR),
-// minrate/maxrate (pps), qualified (bool).
-func parseFilter(q url.Values) (archive.Filter, error) {
-	var f archive.Filter
-	for _, v := range splitList(q["year"]) {
-		y, err := strconv.Atoi(v)
-		if err != nil {
-			return f, badRequest("invalid year %q", v)
-		}
-		f.Years = append(f.Years, y)
-	}
-	for _, v := range splitList(q["tool"]) {
-		t, ok := toolNames[strings.ToLower(v)]
-		if !ok {
-			return f, badRequest("unknown tool %q (want one of %s)", v, strings.Join(knownToolNames(), ", "))
-		}
-		f.Tools = append(f.Tools, t)
-	}
-	for _, v := range splitList(q["port"]) {
-		p, err := strconv.ParseUint(v, 10, 16)
-		if err != nil {
-			return f, badRequest("invalid port %q", v)
-		}
-		f.Ports = append(f.Ports, uint16(p))
-	}
-	if v := q.Get("src"); v != "" {
-		pfx, err := inetmodel.ParsePrefix(v)
-		if err != nil {
-			return f, badRequest("invalid src prefix %q: %v", v, err)
-		}
-		f.SrcPrefix = &pfx
-	}
-	var err error
-	if v := q.Get("minrate"); v != "" {
-		if f.MinRate, err = strconv.ParseFloat(v, 64); err != nil {
-			return f, badRequest("invalid minrate %q", v)
-		}
-	}
-	if v := q.Get("maxrate"); v != "" {
-		if f.MaxRate, err = strconv.ParseFloat(v, 64); err != nil {
-			return f, badRequest("invalid maxrate %q", v)
-		}
-	}
-	if v := q.Get("qualified"); v != "" {
-		if f.QualifiedOnly, err = strconv.ParseBool(v); err != nil {
-			return f, badRequest("invalid qualified %q", v)
-		}
-	}
-	return f, nil
-}
-
 func ipString(ip uint32) string {
 	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
 }
@@ -297,114 +298,11 @@ type scanJSON struct {
 	Origin       *originJSON `json:"origin,omitempty"`
 }
 
-// handleScans returns matching scans up to ?limit= (default 1000), with the
-// total match count so clients can detect truncation.
-func (s *server) handleScans(ctx context.Context, src *sources, q url.Values) (any, error) {
-	f, err := parseFilter(q)
-	if err != nil {
-		return nil, err
-	}
-	limit := 1000
-	if v := q.Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
-			return nil, badRequest("invalid limit %q (want a positive integer)", v)
-		}
-	}
-	scans := []scanJSON{}
-	var matched uint64
-	err = src.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
-		matched++
-		if len(scans) >= limit {
-			return
-		}
-		sj := scanJSON{
-			Src:          ipString(sc.Src),
-			StartNS:      sc.Start,
-			EndNS:        sc.End,
-			Packets:      sc.Packets,
-			DistinctDsts: sc.DistinctDsts,
-			Ports:        sc.Ports,
-			Tool:         sc.Tool.String(),
-			Qualified:    sc.Qualified,
-			RatePPS:      sc.RatePPS,
-			Coverage:     sc.Coverage,
-		}
-		if rd.HasOrigins() {
-			sj.Origin = &originJSON{
-				Country: o.Country, ASN: o.ASN,
-				Type: o.Type.String(), OrgName: o.OrgName,
-			}
-		}
-		scans = append(scans, sj)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return map[string]any{
-		"matched":   matched,
-		"returned":  len(scans),
-		"truncated": uint64(len(scans)) < matched,
-		"degraded":  src.degraded(),
-		"scans":     scans,
-	}, nil
-}
-
 type portRow struct {
 	Port    uint16  `json:"port"`
 	Scans   uint64  `json:"scans"`
 	Packets uint64  `json:"packets"`
 	Share   float64 `json:"share"`
-}
-
-// handlePorts ranks destination ports by the number of matching scans
-// targeting them (?top=, default 10).
-func (s *server) handlePorts(ctx context.Context, src *sources, q url.Values) (any, error) {
-	f, err := parseFilter(q)
-	if err != nil {
-		return nil, err
-	}
-	top := 10
-	if v := q.Get("top"); v != "" {
-		if top, err = strconv.Atoi(v); err != nil || top < 1 {
-			return nil, badRequest("invalid top %q (want a positive integer)", v)
-		}
-	}
-	type agg struct{ scans, packets uint64 }
-	byPort := map[uint16]*agg{}
-	var total uint64
-	err = src.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
-		total++
-		for _, p := range sc.Ports {
-			a := byPort[p]
-			if a == nil {
-				a = &agg{}
-				byPort[p] = a
-			}
-			a.scans++
-			a.packets += sc.Packets / uint64(len(sc.Ports))
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	rows := make([]portRow, 0, len(byPort))
-	for p, a := range byPort {
-		share := 0.0
-		if total > 0 {
-			share = float64(a.scans) / float64(total)
-		}
-		rows = append(rows, portRow{Port: p, Scans: a.scans, Packets: a.packets, Share: share})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Scans != rows[j].Scans {
-			return rows[i].Scans > rows[j].Scans
-		}
-		return rows[i].Port < rows[j].Port
-	})
-	if len(rows) > top {
-		rows = rows[:top]
-	}
-	return map[string]any{"total_scans": total, "ports": rows, "degraded": src.degraded()}, nil
 }
 
 type toolRow struct {
@@ -414,91 +312,11 @@ type toolRow struct {
 	Share     float64 `json:"share"`
 }
 
-// handleTools tallies matching scans per fingerprinted tool.
-func (s *server) handleTools(ctx context.Context, src *sources, q url.Values) (any, error) {
-	f, err := parseFilter(q)
-	if err != nil {
-		return nil, err
-	}
-	scans := make([]uint64, tools.NumTools())
-	qualified := make([]uint64, tools.NumTools())
-	var total uint64
-	err = src.forEach(ctx, f, func(_ *archive.Reader, sc *core.Scan, _ enrich.Origin) {
-		total++
-		scans[sc.Tool]++
-		if sc.Qualified {
-			qualified[sc.Tool]++
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	rows := []toolRow{}
-	for _, t := range append([]tools.Tool{tools.ToolUnknown}, tools.Tools...) {
-		if scans[t] == 0 {
-			continue
-		}
-		rows = append(rows, toolRow{
-			Tool: t.String(), Scans: scans[t], Qualified: qualified[t],
-			Share: float64(scans[t]) / float64(total),
-		})
-	}
-	return map[string]any{"total_scans": total, "tools": rows, "degraded": src.degraded()}, nil
-}
-
 type originRow struct {
 	Type    string `json:"type"`
 	Sources int    `json:"sources"`
 	Scans   uint64 `json:"scans"`
 	Packets uint64 `json:"packets"`
-}
-
-// handleOrigins breaks matching scans down by scanner type (Table 2 view).
-// Only archives written with origins can serve it.
-func (s *server) handleOrigins(ctx context.Context, src *sources, q url.Values) (any, error) {
-	if !src.hasOrigins() {
-		return nil, badRequest("no loaded archive carries origins (write one with syneval -archive-out)")
-	}
-	f, err := parseFilter(q)
-	if err != nil {
-		return nil, err
-	}
-	type agg struct {
-		sources map[uint32]struct{}
-		scans   uint64
-		packets uint64
-	}
-	byType := map[inetmodel.ScannerType]*agg{}
-	err = src.forEach(ctx, f, func(rd *archive.Reader, sc *core.Scan, o enrich.Origin) {
-		if !rd.HasOrigins() {
-			return
-		}
-		a := byType[o.Type]
-		if a == nil {
-			a = &agg{sources: map[uint32]struct{}{}}
-			byType[o.Type] = a
-		}
-		a.sources[sc.Src] = struct{}{}
-		a.scans++
-		a.packets += sc.Packets
-	})
-	if err != nil {
-		return nil, err
-	}
-	rows := []originRow{}
-	for typ, a := range byType {
-		rows = append(rows, originRow{
-			Type: typ.String(), Sources: len(a.sources),
-			Scans: a.scans, Packets: a.packets,
-		})
-	}
-	sort.Slice(rows, func(i, j int) bool {
-		if rows[i].Scans != rows[j].Scans {
-			return rows[i].Scans > rows[j].Scans
-		}
-		return rows[i].Type < rows[j].Type
-	})
-	return map[string]any{"types": rows, "degraded": src.degraded()}, nil
 }
 
 type archiveInfo struct {

@@ -1,16 +1,10 @@
 package main
 
 import (
-	"context"
-	"errors"
-	"fmt"
-	"path/filepath"
 	"strconv"
 	"strings"
 
 	"github.com/synscan/synscan/internal/archive"
-	"github.com/synscan/synscan/internal/core"
-	"github.com/synscan/synscan/internal/enrich"
 )
 
 // sources is one request's frozen view of everything the server can query:
@@ -94,34 +88,4 @@ func (src *sources) hasOrigins() bool {
 		}
 	}
 	return false
-}
-
-// forEach streams every matching scan from every source — static files first,
-// then each store's segments in manifest (= emit) order — aborting between
-// blocks when ctx expires. Context errors come back unwrapped so the endpoint
-// wrapper can map them onto status codes.
-func (src *sources) forEach(ctx context.Context, f archive.Filter, emit func(rd *archive.Reader, sc *core.Scan, o enrich.Origin)) error {
-	stream := func(rd *archive.Reader, where string) error {
-		err := rd.ScansContext(ctx, f, func(sc *core.Scan, o enrich.Origin) { emit(rd, sc, o) })
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				return err
-			}
-			return fmt.Errorf("%s: %w", where, err)
-		}
-		return nil
-	}
-	for i, rd := range src.s.readers {
-		if err := stream(rd, src.s.paths[i]); err != nil {
-			return err
-		}
-	}
-	for vi, v := range src.views {
-		for i := 0; i < v.Len(); i++ {
-			if err := stream(v.Reader(i), filepath.Join(src.s.dirs[vi], v.Name(i))); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

@@ -5,11 +5,14 @@
 package analysis
 
 import (
+	"context"
+
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/query"
 	"github.com/synscan/synscan/internal/stats"
 	"github.com/synscan/synscan/internal/telescope"
 	"github.com/synscan/synscan/internal/tools"
@@ -254,38 +257,51 @@ func (y *YearData) QualifiedScans() []*core.Scan {
 	return out
 }
 
+// engineTable runs an aggregate query over the year's in-memory campaigns
+// through the query engine — the same streaming executors behind the archive
+// service's /v1/query — so the simulator's tables and the served tables
+// share one execution path and cannot drift. The queries are static and
+// valid and a SliceSource cannot fail under a background context, so an
+// error here is an engine invariant violation, not a caller mistake.
+func (y *YearData) engineTable(b *query.Builder) []query.Row {
+	q, err := b.Build()
+	if err == nil {
+		var res *query.Result
+		res, err = query.Run(context.Background(), q,
+			query.SliceSource{Scans: y.Scans, Origins: y.ScanOrigins})
+		if err == nil {
+			return res.Rows
+		}
+	}
+	panic("analysis: engine table query failed: " + err.Error())
+}
+
 // ScansPerPort tallies qualified campaigns per targeted port (a multi-port
 // campaign counts once per port) — the "top ports by scans" ranking.
 func (y *YearData) ScansPerPort() *stats.Counter[uint16] {
 	c := stats.NewCounter[uint16]()
-	for _, sc := range y.Scans {
-		if !sc.Qualified {
-			continue
-		}
-		for _, p := range sc.Ports {
-			c.Inc(p)
-		}
+	rows := y.engineTable(query.NewBuilder().
+		Qualified(true).GroupBy(query.FieldPort).Count())
+	for _, row := range rows {
+		c.Add(uint16(row.Key[0].Num), row.Aggs[0].Count)
 	}
 	return c
 }
 
 // ToolScanShares returns each tool's share of qualified campaigns.
 func (y *YearData) ToolScanShares() map[tools.Tool]float64 {
-	counts := map[tools.Tool]int{}
-	total := 0
-	for _, sc := range y.Scans {
-		if !sc.Qualified {
-			continue
-		}
-		counts[sc.Tool]++
-		total++
+	rows := y.engineTable(query.NewBuilder().
+		Qualified(true).GroupBy(query.FieldTool).Count())
+	var total uint64
+	for _, row := range rows {
+		total += row.Aggs[0].Count
 	}
 	out := map[tools.Tool]float64{}
 	if total == 0 {
 		return out
 	}
-	for tl, n := range counts {
-		out[tl] = float64(n) / float64(total)
+	for _, row := range rows {
+		out[tools.Tool(row.Key[0].Num)] = float64(row.Aggs[0].Count) / float64(total)
 	}
 	return out
 }

@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// refScansPerPort is the hand-rolled tally ScansPerPort computed before it
+// was rewired through the query engine. Kept here as the parity reference.
+func refScansPerPort(y *YearData) *stats.Counter[uint16] {
+	c := stats.NewCounter[uint16]()
+	for _, sc := range y.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		for _, p := range sc.Ports {
+			c.Inc(p)
+		}
+	}
+	return c
+}
+
+// refToolScanShares is the pre-engine ToolScanShares.
+func refToolScanShares(y *YearData) map[tools.Tool]float64 {
+	counts := map[tools.Tool]int{}
+	total := 0
+	for _, sc := range y.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		counts[sc.Tool]++
+		total++
+	}
+	out := map[tools.Tool]float64{}
+	if total == 0 {
+		return out
+	}
+	for tl, n := range counts {
+		out[tl] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// TestEngineTableParity proves the engine-backed analysis tables are
+// byte-identical to the hand-rolled tallies they replaced, on every
+// simulated year. Counts are exact integers and shares divide the same
+// integers, so even the float results must match bit for bit.
+func TestEngineTableParity(t *testing.T) {
+	for _, yd := range decade(t) {
+		gotPorts, wantPorts := yd.ScansPerPort(), refScansPerPort(yd)
+		if !reflect.DeepEqual(gotPorts, wantPorts) {
+			t.Fatalf("year %d: ScansPerPort differs from hand-rolled tally", yd.Year)
+		}
+		gotTools, wantTools := yd.ToolScanShares(), refToolScanShares(yd)
+		if !reflect.DeepEqual(gotTools, wantTools) {
+			t.Fatalf("year %d: ToolScanShares differs from hand-rolled tally", yd.Year)
+		}
+
+		// The rendered table rows must serialize identically too.
+		gotJSON, err := json.Marshal(topShares(gotPorts, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantJSON, err := json.Marshal(topShares(wantPorts, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("year %d: top-ports table bytes differ:\n%s\n%s",
+				yd.Year, gotJSON, wantJSON)
+		}
+	}
+}

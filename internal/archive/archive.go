@@ -117,6 +117,14 @@ func portBit(p uint16) uint64 {
 	return 1 << (uint32(p) * 2654435761 >> 26)
 }
 
+// MayContainPort reports whether the block's port fingerprint admits p.
+// False proves no record in the block targets p; true is conservative
+// (Bloom collisions). External predicate implementations use this to build
+// port pushdown without access to the fingerprint hash.
+func (z *ZoneMap) MayContainPort(p uint16) bool {
+	return z.PortsFP&portBit(p) != 0
+}
+
 // yearOf returns the UTC calendar year of a nanosecond timestamp.
 func yearOf(ns int64) int {
 	return time.Unix(0, ns).UTC().Year()

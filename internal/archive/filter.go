@@ -2,9 +2,26 @@ package archive
 
 import (
 	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/tools"
 )
+
+// Predicate is the reader's pushdown contract: anything that can (a) prove
+// from a zone map alone that no scan in a block matches, and (b) decide a
+// decoded scan. Reader.Query evaluates MatchBlock once per block — false
+// skips the block without decompressing it — and Match once per decoded
+// record. MatchBlock must be conservative: it may return true for a block
+// with no matching scans (the decode filters them), but must never return
+// false for a block containing one. Match receives the record's origin when
+// the archive carries origins (see Reader.HasOrigins), nil otherwise.
+//
+// Filter is the fixed-form conjunction implementation; internal/query
+// compiles arbitrary filter ASTs into Predicates.
+type Predicate interface {
+	MatchBlock(z *ZoneMap) bool
+	Match(sc *core.Scan, o *enrich.Origin) bool
+}
 
 // Filter is a conjunction of predicates over archived scans. The zero value
 // matches everything. Each populated field both narrows the per-scan match
@@ -27,6 +44,9 @@ type Filter struct {
 	// QualifiedOnly drops sub-threshold flows.
 	QualifiedOnly bool
 }
+
+// Match implements Predicate; a Filter never inspects origins.
+func (f *Filter) Match(sc *core.Scan, _ *enrich.Origin) bool { return f.MatchScan(sc) }
 
 // MatchScan reports whether one decoded scan satisfies every predicate.
 func (f *Filter) MatchScan(sc *core.Scan) bool {

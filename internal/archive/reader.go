@@ -230,10 +230,22 @@ func (r *Reader) Scans(f Filter, emit func(sc *core.Scan, o enrich.Origin)) erro
 // returns ctx.Err() as soon as the context is done, between blocks. Emitted
 // scans up to that point are valid.
 func (r *Reader) ScansContext(ctx context.Context, f Filter, emit func(sc *core.Scan, o enrich.Origin)) error {
+	return r.Query(ctx, &f, emit)
+}
+
+// Query streams every scan matching p to emit, in file order, under full
+// predicate pushdown: blocks whose zone map p.MatchBlock excludes are
+// skipped without decompression, surviving blocks are decoded on a worker
+// pool, and p.Match drops non-matching records before they reach emit (with
+// the record's origin when the archive carries origins, nil otherwise; the
+// emit callback still receives the zero Origin value in that case). This is
+// the generalized form of Scans/ScansContext — a Filter is one Predicate —
+// and the execution surface internal/query compiles its ASTs onto.
+func (r *Reader) Query(ctx context.Context, p Predicate, emit func(sc *core.Scan, o enrich.Origin)) error {
 	// Predicate pushdown over the zone maps.
 	var live []int
 	for i := range r.index {
-		if f.MatchBlock(&r.index[i]) {
+		if p.MatchBlock(&r.index[i]) {
 			live = append(live, i)
 		} else {
 			r.mSkipped.Inc()
@@ -271,7 +283,7 @@ func (r *Reader) ScansContext(ctx context.Context, f Filter, emit func(sc *core.
 					results[j] <- blockScans{err: err}
 					continue
 				}
-				results[j] <- r.decodeBlock(&r.index[live[j]], &f)
+				results[j] <- r.decodeBlock(&r.index[live[j]], p)
 			}
 		}()
 	}
@@ -310,8 +322,8 @@ func (r *Reader) fail(err error) blockScans {
 }
 
 // decodeBlock reads, checksums, decompresses and decodes one block, keeping
-// only scans matching f.
-func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
+// only scans matching p.
+func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
 	n := int64(z.CompressedLen)
 	if r.ver >= version {
 		n += blockCRCLen
@@ -369,7 +381,11 @@ func (r *Reader) decodeBlock(z *ZoneMap, f *Filter) blockScans {
 			return r.fail(fmt.Errorf("archive: block at %d, record %d: %w", z.Offset, i, err))
 		}
 		r.mDecoded.Inc()
-		if !f.MatchScan(sc) {
+		var op *enrich.Origin
+		if r.origins {
+			op = &o
+		}
+		if !p.Match(sc, op) {
 			continue
 		}
 		r.mMatched.Inc()

@@ -1,0 +1,133 @@
+package query
+
+import (
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// Builder assembles a Query fluently. Filter methods conjoin (AND); use
+// Where for arbitrary expressions (Or/Not). Build canonicalizes and
+// validates, so a Builder-produced query is ready for Run and for cache
+// keying.
+//
+//	q, err := query.NewBuilder().
+//	        Years(2020, 2021).
+//	        Ports(22, 2323).
+//	        Qualified(true).
+//	        GroupBy(query.FieldTool).
+//	        Count().
+//	        Sum(query.FieldPackets).
+//	        TopK(query.FieldPort, 10).
+//	        Build()
+type Builder struct {
+	where   []Expr
+	groupBy []Field
+	aggs    []Agg
+	order   OrderBy
+	limit   int
+}
+
+// NewBuilder starts an empty query (matches everything, selects scans).
+func NewBuilder() *Builder { return &Builder{} }
+
+// Years restricts to scans starting in the given UTC calendar years.
+func (b *Builder) Years(years ...int) *Builder { return b.Where(YearIn(years...)) }
+
+// Tools restricts to the given tool attributions.
+func (b *Builder) Tools(ts ...tools.Tool) *Builder { return b.Where(ToolIn(ts...)) }
+
+// Ports restricts to scans targeting at least one of the given ports.
+func (b *Builder) Ports(ports ...uint16) *Builder { return b.Where(PortAny(ports...)) }
+
+// SrcPrefix restricts to sources inside the prefix.
+func (b *Builder) SrcPrefix(pfx inetmodel.Prefix) *Builder { return b.Where(SrcIn(pfx)) }
+
+// TimeRange restricts to scans starting in [minNS, maxNS].
+func (b *Builder) TimeRange(minNS, maxNS int64) *Builder {
+	return b.Where(TimeBetween(minNS, maxNS))
+}
+
+// RateRange bounds the extrapolated rate (pps); a non-positive side is open.
+func (b *Builder) RateRange(min, max float64) *Builder {
+	return b.Where(RateBetween(min, max))
+}
+
+// Qualified restricts to scans whose campaign flag equals want.
+func (b *Builder) Qualified(want bool) *Builder { return b.Where(Qualified(want)) }
+
+// Where conjoins an arbitrary filter expression.
+func (b *Builder) Where(e Expr) *Builder {
+	b.where = append(b.where, e)
+	return b
+}
+
+// GroupBy adds grouping dimensions.
+func (b *Builder) GroupBy(fields ...Field) *Builder {
+	b.groupBy = append(b.groupBy, fields...)
+	return b
+}
+
+// Count adds a scan-count aggregate.
+func (b *Builder) Count() *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpCount})
+	return b
+}
+
+// Sum adds an exact sum over a numeric field.
+func (b *Builder) Sum(f Field) *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpSum, Field: f})
+	return b
+}
+
+// CountDistinct adds an exact distinct count over a field.
+func (b *Builder) CountDistinct(f Field) *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpCountDistinct, Field: f})
+	return b
+}
+
+// ApproxDistinct adds a HyperLogLog distinct estimate over a field.
+func (b *Builder) ApproxDistinct(f Field) *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpApproxDistinct, Field: f})
+	return b
+}
+
+// TopK adds a heavy-hitter ranking of the k most frequent values of f.
+func (b *Builder) TopK(f Field, k int) *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpTopK, Field: f, K: k})
+	return b
+}
+
+// Quantiles adds quantile estimates of a numeric field.
+func (b *Builder) Quantiles(f Field, qs ...float64) *Builder {
+	b.aggs = append(b.aggs, Agg{Op: OpQuantile, Field: f, Qs: qs})
+	return b
+}
+
+// OrderByKey sorts result rows by group key instead of the first aggregate.
+func (b *Builder) OrderByKey() *Builder {
+	b.order = OrderKey
+	return b
+}
+
+// Limit caps returned rows (select mode: scans; aggregate mode: groups).
+func (b *Builder) Limit(n int) *Builder {
+	b.limit = n
+	return b
+}
+
+// Build canonicalizes and validates the assembled query.
+func (b *Builder) Build() (*Query, error) {
+	q := &Query{GroupBy: b.groupBy, Aggs: b.aggs, Order: b.order, Limit: b.limit}
+	switch len(b.where) {
+	case 0:
+	case 1:
+		q.Where = b.where[0]
+	default:
+		q.Where = And(b.where...)
+	}
+	q = q.Canonicalize()
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}

@@ -1,0 +1,25 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ClientError marks a request the caller got wrong — malformed JSON, an
+// unknown field, a cap violation. Servers map it to a 400-class status;
+// everything else from this package is an execution failure.
+type ClientError struct{ msg string }
+
+func (e *ClientError) Error() string { return e.msg }
+
+// errf builds a ClientError.
+func errf(format string, args ...any) error {
+	return &ClientError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsClientError reports whether err (or anything it wraps) is a request
+// error rather than an execution failure.
+func IsClientError(err error) bool {
+	var ce *ClientError
+	return errors.As(err, &ce)
+}

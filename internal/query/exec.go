@@ -1,0 +1,554 @@
+package query
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/sketch"
+	"github.com/synscan/synscan/internal/stats"
+)
+
+// defaultSelectLimit caps select-mode responses when the request names none,
+// matching the legacy /v1/scans default.
+const defaultSelectLimit = 1000
+
+// topKCapacity sizes the Space-Saving tracker for a requested k: generously
+// over-provisioned so per-segment partials stay unsaturated (and therefore
+// merge exactly) on realistic cardinalities, while still bounded.
+func topKCapacity(k int) int {
+	c := 8 * k
+	if c < 4096 {
+		c = 4096
+	}
+	if c > maxTopK {
+		c = maxTopK
+	}
+	return c
+}
+
+// Executor streams scans into per-group aggregate state: one Executor per
+// partial (a static archive, one segment-store view), merged in stream order
+// and finished once. Aggregation happens during the scan — no scan list is
+// ever materialized; per-group state is counters, a distinct set or sketch,
+// a bounded heavy-hitter tracker, or a float64 quantile sample.
+//
+// Not safe for concurrent use; run one Executor per goroutine and Merge.
+type Executor struct {
+	q   *Query
+	err error
+
+	// Select mode.
+	selLimit int
+	scans    []ScanRec
+
+	// Aggregate mode.
+	matched uint64
+	groups  map[string]*group
+	order   []string // group keys in first-seen stream order
+}
+
+// group is one group-by bucket's accumulated state.
+type group struct {
+	coords []coord
+	aggs   []aggState
+}
+
+// coord is one group-key coordinate: num for integer-keyed fields, str for
+// country/org.
+type coord struct {
+	num uint64
+	str string
+}
+
+type aggState struct {
+	count   uint64
+	sumI    uint64
+	sumF    float64
+	set     map[uint64]struct{}
+	hll     *sketch.HyperLogLog
+	topk    *sketch.TopK
+	samples []float64
+}
+
+// ScanRec is one select-mode result: the scan and, when the source carries
+// enrichment, its origin.
+type ScanRec struct {
+	Scan   *core.Scan
+	Origin *enrich.Origin
+}
+
+// NewExecutor builds a partial executor for a validated query.
+func NewExecutor(q *Query) *Executor {
+	e := &Executor{q: q}
+	if q.SelectMode() {
+		e.selLimit = q.Limit
+		if e.selLimit == 0 {
+			e.selLimit = defaultSelectLimit
+		}
+	} else {
+		e.groups = make(map[string]*group)
+	}
+	return e
+}
+
+// Observe folds one matching scan into the partial state. The caller has
+// already applied the query's filter (the reader's predicate pushdown);
+// Observe only aggregates. o is nil when the source carries no origins.
+func (e *Executor) Observe(sc *core.Scan, o *enrich.Origin) {
+	if e.err != nil {
+		return
+	}
+	e.matched++
+	if e.q.SelectMode() {
+		if len(e.scans) < e.selLimit {
+			var op *enrich.Origin
+			if o != nil {
+				cp := *o
+				op = &cp
+			}
+			e.scans = append(e.scans, ScanRec{Scan: sc, Origin: op})
+		}
+		return
+	}
+	// Group coordinates; FieldPort explodes one row per targeted port, and
+	// packet sums are then split evenly across the port rows (integer
+	// division, matching the exact per-port packet tables).
+	portSplit := 1
+	var rows [][]coord
+	if len(e.q.GroupBy) == 0 {
+		rows = globalRow
+	} else {
+		rows = e.coordRows(sc, o)
+		if rows == nil {
+			return // an origin group-by over an origin-less scan
+		}
+		for _, f := range e.q.GroupBy {
+			if f == FieldPort {
+				portSplit = len(sc.Ports)
+			}
+		}
+	}
+	for _, coords := range rows {
+		g, ok := e.groups[coordKey(coords)]
+		if !ok {
+			if len(e.groups) >= maxGroups {
+				e.err = errf("query exceeds %d groups; add a filter or coarser grouping", maxGroups)
+				return
+			}
+			g = &group{coords: coords, aggs: make([]aggState, len(e.q.Aggs))}
+			key := coordKey(coords)
+			e.groups[key] = g
+			e.order = append(e.order, key)
+		}
+		for i := range e.q.Aggs {
+			observeAgg(&e.q.Aggs[i], &g.aggs[i], sc, o, portSplit)
+		}
+	}
+}
+
+// globalRow is the single empty-key row of an ungrouped aggregate query.
+var globalRow = [][]coord{{}}
+
+// coordRows builds the group-key rows for one scan: the cross product of
+// each group field's coordinates (only FieldPort yields more than one).
+// nil means the scan has no coordinate for some field and contributes no row.
+func (e *Executor) coordRows(sc *core.Scan, o *enrich.Origin) [][]coord {
+	base := make([]coord, len(e.q.GroupBy))
+	portAt := -1
+	for i, f := range e.q.GroupBy {
+		switch f {
+		case FieldPort:
+			portAt = i
+			if len(sc.Ports) == 0 {
+				return nil
+			}
+		case FieldYear:
+			base[i] = coord{num: uint64(uint16(yearOf(sc.Start)))}
+		case FieldTool:
+			base[i] = coord{num: uint64(sc.Tool)}
+		case FieldQualified:
+			if sc.Qualified {
+				base[i] = coord{num: 1}
+			}
+		case FieldCountry:
+			if o == nil {
+				return nil
+			}
+			base[i] = coord{str: o.Country}
+		case FieldASN:
+			if o == nil {
+				return nil
+			}
+			base[i] = coord{num: uint64(o.ASN)}
+		case FieldType:
+			if o == nil {
+				return nil
+			}
+			base[i] = coord{num: uint64(o.Type)}
+		case FieldOrg:
+			if o == nil {
+				return nil
+			}
+			base[i] = coord{str: o.OrgName}
+		}
+	}
+	if portAt < 0 {
+		return [][]coord{base}
+	}
+	rows := make([][]coord, 0, len(sc.Ports))
+	for _, p := range sc.Ports {
+		row := make([]coord, len(base))
+		copy(row, base)
+		row[portAt] = coord{num: uint64(p)}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// coordKey encodes coordinates as a map key.
+func coordKey(coords []coord) string {
+	b := make([]byte, 0, 16)
+	for _, c := range coords {
+		b = strconv.AppendUint(b, c.num, 16)
+		b = append(b, '\x00')
+		b = append(b, c.str...)
+		b = append(b, '\x00')
+	}
+	return string(b)
+}
+
+// observeAgg folds one scan row into one aggregate's state.
+func observeAgg(a *Agg, st *aggState, sc *core.Scan, o *enrich.Origin, portSplit int) {
+	switch a.Op {
+	case OpCount:
+		st.count++
+	case OpSum:
+		if a.Field.integerValued() {
+			st.sumI += intValue(a.Field, sc, portSplit)
+		} else {
+			st.sumF += numValue(a.Field, sc, portSplit)
+		}
+	case OpCountDistinct:
+		if st.set == nil {
+			st.set = make(map[uint64]struct{})
+		}
+		for _, k := range keyValues(a.Field, sc, o, nil) {
+			st.set[k] = struct{}{}
+		}
+	case OpApproxDistinct:
+		if st.hll == nil {
+			st.hll = sketch.NewHyperLogLog()
+		}
+		for _, k := range keyValues(a.Field, sc, o, nil) {
+			st.hll.Add(k)
+		}
+	case OpTopK:
+		if st.topk == nil {
+			st.topk = sketch.NewTopK(topKCapacity(a.K))
+		}
+		for _, k := range keyValues(a.Field, sc, o, nil) {
+			st.topk.Add(k)
+		}
+	case OpQuantile:
+		st.samples = append(st.samples, numValue(a.Field, sc, portSplit))
+	}
+}
+
+// Merge folds another partial (built from the same Query) into e, in stream
+// order: counts and sums add, distinct sets union, HLL registers max, top-k
+// trackers merge under the Space-Saving bound, quantile samples concatenate.
+// The other executor must not be used afterwards.
+func (e *Executor) Merge(o *Executor) {
+	if e.err != nil {
+		return
+	}
+	if o.err != nil {
+		e.err = o.err
+		return
+	}
+	e.matched += o.matched
+	if e.q.SelectMode() {
+		room := e.selLimit - len(e.scans)
+		if room > len(o.scans) {
+			room = len(o.scans)
+		}
+		if room > 0 {
+			e.scans = append(e.scans, o.scans[:room]...)
+		}
+		return
+	}
+	for _, key := range o.order {
+		og := o.groups[key]
+		g, ok := e.groups[key]
+		if !ok {
+			if len(e.groups) >= maxGroups {
+				e.err = errf("query exceeds %d groups; add a filter or coarser grouping", maxGroups)
+				return
+			}
+			e.groups[key] = og
+			e.order = append(e.order, key)
+			continue
+		}
+		for i := range e.q.Aggs {
+			mergeAgg(&e.q.Aggs[i], &g.aggs[i], &og.aggs[i])
+		}
+	}
+}
+
+func mergeAgg(a *Agg, dst, src *aggState) {
+	switch a.Op {
+	case OpCount:
+		dst.count += src.count
+	case OpSum:
+		dst.sumI += src.sumI
+		dst.sumF += src.sumF
+	case OpCountDistinct:
+		if dst.set == nil {
+			dst.set = src.set
+		} else {
+			for k := range src.set {
+				dst.set[k] = struct{}{}
+			}
+		}
+	case OpApproxDistinct:
+		if dst.hll == nil {
+			dst.hll = src.hll
+		} else if src.hll != nil {
+			dst.hll.Merge(src.hll)
+		}
+	case OpTopK:
+		if dst.topk == nil {
+			dst.topk = src.topk
+		} else if src.topk != nil {
+			dst.topk.Merge(src.topk)
+		}
+	case OpQuantile:
+		dst.samples = append(dst.samples, src.samples...)
+	}
+}
+
+// KeyVal is one rendered group-key coordinate.
+type KeyVal struct {
+	// Field is the group-by dimension.
+	Field Field `json:"field"`
+	// Num is the raw integer value (0 for string-keyed fields).
+	Num uint64 `json:"num"`
+	// Str is the display form.
+	Str string `json:"str"`
+}
+
+// TopItem is one ranked heavy hitter.
+type TopItem struct {
+	// Key is the display form of the item.
+	Key string `json:"key"`
+	// Num is the raw integer value.
+	Num uint64 `json:"num"`
+	// Count is the estimated frequency (an upper bound).
+	Count uint64 `json:"count"`
+	// Err bounds the overestimate: true count >= Count - Err.
+	Err uint64 `json:"err,omitempty"`
+}
+
+// AggValue is one finished aggregate of one row.
+type AggValue struct {
+	// Op and Field echo the request.
+	Op    AggOp `json:"-"`
+	Field Field `json:"-"`
+	// Count holds count / count_distinct / approx_distinct results.
+	Count uint64 `json:"count,omitempty"`
+	// Int holds exact integer sums; Float holds float sums.
+	Int   uint64  `json:"int,omitempty"`
+	Float float64 `json:"float,omitempty"`
+	IsInt bool    `json:"-"`
+	// Top holds the top_k ranking.
+	Top []TopItem `json:"top,omitempty"`
+	// Qs and Vals hold the requested quantiles and their values, aligned.
+	Qs   []float64 `json:"qs,omitempty"`
+	Vals []float64 `json:"vals,omitempty"`
+}
+
+// scalar returns the value rows sort by under OrderDefault.
+func (v *AggValue) scalar() float64 {
+	switch v.Op {
+	case OpSum:
+		if v.IsInt {
+			return float64(v.Int)
+		}
+		return v.Float
+	case OpQuantile:
+		if len(v.Vals) > 0 {
+			return v.Vals[0]
+		}
+		return 0
+	case OpTopK:
+		var t uint64
+		for _, it := range v.Top {
+			t += it.Count
+		}
+		return float64(t)
+	default:
+		return float64(v.Count)
+	}
+}
+
+// Row is one result row of an aggregate query.
+type Row struct {
+	// Key holds one entry per group_by field (empty for the global group).
+	Key []KeyVal `json:"key"`
+	// Aggs holds one entry per requested aggregate, in request order.
+	Aggs []AggValue `json:"aggs"`
+}
+
+// Result is a finished query.
+type Result struct {
+	// Matched counts scans that passed the filter (across all partials,
+	// before any limit).
+	Matched uint64
+	// Scans holds select-mode rows, up to the limit.
+	Scans []ScanRec
+	// Truncated reports select-mode row loss to the limit.
+	Truncated bool
+	// Rows holds aggregate-mode rows, sorted, up to the limit.
+	Rows []Row
+	// TotalRows counts groups before the limit.
+	TotalRows int
+}
+
+// Finish renders the accumulated state. The executor must not be used
+// afterwards.
+func (e *Executor) Finish() (*Result, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	res := &Result{Matched: e.matched}
+	if e.q.SelectMode() {
+		res.Scans = e.scans
+		res.Truncated = uint64(len(e.scans)) < e.matched
+		return res, nil
+	}
+	res.TotalRows = len(e.order)
+	res.Rows = make([]Row, 0, len(e.order))
+	for _, key := range e.order {
+		g := e.groups[key]
+		row := Row{Key: make([]KeyVal, len(e.q.GroupBy)), Aggs: make([]AggValue, len(e.q.Aggs))}
+		for i, f := range e.q.GroupBy {
+			row.Key[i] = renderCoord(f, g.coords[i])
+		}
+		for i := range e.q.Aggs {
+			row.Aggs[i] = finishAgg(&e.q.Aggs[i], &g.aggs[i])
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	e.sortRows(res.Rows)
+	if e.q.Limit > 0 && len(res.Rows) > e.q.Limit {
+		res.Rows = res.Rows[:e.q.Limit]
+	}
+	return res, nil
+}
+
+func renderCoord(f Field, c coord) KeyVal {
+	kv := KeyVal{Field: f, Num: c.num, Str: c.str}
+	switch f {
+	case FieldCountry, FieldOrg:
+		// Str already holds the value.
+	case FieldQualified:
+		if c.num != 0 {
+			kv.Str = "true"
+		} else {
+			kv.Str = "false"
+		}
+	default:
+		kv.Str = renderKey(f, c.num)
+	}
+	return kv
+}
+
+func finishAgg(a *Agg, st *aggState) AggValue {
+	v := AggValue{Op: a.Op, Field: a.Field}
+	switch a.Op {
+	case OpCount:
+		v.Count = st.count
+	case OpSum:
+		if a.Field.integerValued() {
+			v.Int = st.sumI
+			v.IsInt = true
+		} else {
+			v.Float = st.sumF
+		}
+	case OpCountDistinct:
+		v.Count = uint64(len(st.set))
+	case OpApproxDistinct:
+		if st.hll != nil {
+			v.Count = st.hll.Estimate()
+		}
+	case OpTopK:
+		if st.topk != nil {
+			for _, it := range st.topk.Top(a.K) {
+				v.Top = append(v.Top, TopItem{
+					Key: renderKey(a.Field, it.Key), Num: it.Key,
+					Count: it.Count, Err: it.Err,
+				})
+			}
+		}
+	case OpQuantile:
+		v.Qs = a.Qs
+		v.Vals = make([]float64, len(a.Qs))
+		// One sort serves every requested quantile; the shared stats
+		// interpolation keeps the engine bit-identical with the batch
+		// analyses.
+		sort.Float64s(st.samples)
+		for i, q := range a.Qs {
+			v.Vals[i] = stats.QuantileSorted(st.samples, q)
+		}
+	}
+	return v
+}
+
+func (e *Executor) sortRows(rows []Row) {
+	if e.q.Order == OrderKey || len(e.q.Aggs) == 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return compareKeys(rows[i].Key, rows[j].Key) < 0
+		})
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		a, b := rows[i].Aggs[0].scalar(), rows[j].Aggs[0].scalar()
+		if a != b {
+			return a > b
+		}
+		return compareKeys(rows[i].Key, rows[j].Key) < 0
+	})
+}
+
+// compareKeys orders group keys: numeric fields by value, string fields
+// lexically, field by field.
+func compareKeys(a, b []KeyVal) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		av, bv := a[i], b[i]
+		switch av.Field {
+		case FieldCountry, FieldOrg:
+			if av.Str != bv.Str {
+				if av.Str < bv.Str {
+					return -1
+				}
+				return 1
+			}
+		default:
+			if av.Num != bv.Num {
+				if av.Num < bv.Num {
+					return -1
+				}
+				return 1
+			}
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,255 @@
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// Field names a queryable campaign attribute. Which operations a field
+// supports (filtering, grouping, numeric aggregation, distinct/top-k keying)
+// is capability-checked at validation time, so an unsupported combination is
+// a parse-time client error, never a silent zero.
+type Field uint8
+
+const (
+	fInvalid Field = iota
+	// Discrete fields: filterable by set membership, groupable.
+	FieldYear      // UTC calendar year of the scan's start time
+	FieldTool      // fingerprinted tool attribution
+	FieldPort      // targeted destination port; multi-port scans explode
+	FieldQualified // over-threshold campaign flag
+	// Filter-only fields.
+	FieldSrc  // source address, filtered by CIDR prefix
+	FieldTime // start time (ns), filtered by range
+	// Numeric fields: filterable by range, usable as aggregation operands.
+	FieldRate     // extrapolated rate (pps)
+	FieldPackets  // observed probe count
+	FieldDsts     // distinct telescope addresses hit
+	FieldNPorts   // number of distinct ports targeted
+	FieldDuration // observed duration (seconds)
+	FieldCoverage // estimated IPv4 coverage fraction
+	// Origin fields (need an archive written with origins; scans without an
+	// origin never match origin filters and are skipped by origin group-bys).
+	FieldCountry // ISO country code
+	FieldASN     // announcing autonomous system
+	FieldType    // scanner-type classification
+	FieldOrg     // institutional organization name
+)
+
+var fieldNames = map[Field]string{
+	FieldYear: "year", FieldTool: "tool", FieldPort: "port",
+	FieldQualified: "qualified", FieldSrc: "src", FieldTime: "time",
+	FieldRate: "rate_pps", FieldPackets: "packets", FieldDsts: "dsts",
+	FieldNPorts: "nports", FieldDuration: "duration_s", FieldCoverage: "coverage",
+	FieldCountry: "country", FieldASN: "asn", FieldType: "type", FieldOrg: "org",
+}
+
+var fieldsByName = func() map[string]Field {
+	m := make(map[string]Field, len(fieldNames))
+	for f, n := range fieldNames {
+		m[n] = f
+	}
+	return m
+}()
+
+// String returns the field's wire name.
+func (f Field) String() string {
+	if n, ok := fieldNames[f]; ok {
+		return n
+	}
+	return fmt.Sprintf("field(%d)", uint8(f))
+}
+
+// FieldByName resolves a wire name ("year", "rate_pps", ...).
+func FieldByName(s string) (Field, bool) {
+	f, ok := fieldsByName[s]
+	return f, ok
+}
+
+// MarshalJSON renders the wire name, so result rows read
+// {"field": "tool"} rather than an internal enum value.
+func (f Field) MarshalJSON() ([]byte, error) {
+	return json.Marshal(f.String())
+}
+
+// groupable reports whether rows may be grouped by f.
+func (f Field) groupable() bool {
+	switch f {
+	case FieldYear, FieldTool, FieldPort, FieldQualified,
+		FieldCountry, FieldASN, FieldType, FieldOrg:
+		return true
+	}
+	return false
+}
+
+// numeric reports whether f can be a sum/quantile operand or range-filtered.
+func (f Field) numeric() bool {
+	switch f {
+	case FieldRate, FieldPackets, FieldDsts, FieldNPorts, FieldDuration,
+		FieldCoverage, FieldQualified:
+		return true
+	}
+	return false
+}
+
+// integerValued reports whether sums over f are exact integer accumulations
+// (rendered as integers, matching the exact-counter analyses).
+func (f Field) integerValued() bool {
+	switch f {
+	case FieldPackets, FieldDsts, FieldNPorts, FieldQualified:
+		return true
+	}
+	return false
+}
+
+// distinctable reports whether count_distinct/approx_distinct accept f.
+func (f Field) distinctable() bool {
+	switch f {
+	case FieldSrc, FieldPort, FieldYear, FieldTool, FieldASN,
+		FieldCountry, FieldType, FieldOrg:
+		return true
+	}
+	return false
+}
+
+// topKable reports whether top_k accepts f. Restricted to integer-keyed
+// fields so partial trackers merge by key across segments.
+func (f Field) topKable() bool {
+	switch f {
+	case FieldSrc, FieldPort, FieldYear, FieldTool, FieldASN, FieldType:
+		return true
+	}
+	return false
+}
+
+// needsOrigin reports whether evaluating f requires the enrichment origin.
+func (f Field) needsOrigin() bool {
+	switch f {
+	case FieldCountry, FieldASN, FieldType, FieldOrg:
+		return true
+	}
+	return false
+}
+
+// yearOf returns the UTC calendar year of a nanosecond timestamp.
+func yearOf(ns int64) int { return time.Unix(0, ns).UTC().Year() }
+
+// numValue extracts f's numeric value from one scan. portSplit is the
+// scan's port-row divisor under port grouping: packets are split evenly
+// (integer division) across the scan's port rows, matching the exact
+// per-port packet tables; it is 1 outside port-grouped execution.
+func numValue(f Field, sc *core.Scan, portSplit int) float64 {
+	switch f {
+	case FieldRate:
+		return sc.RatePPS
+	case FieldPackets:
+		if portSplit > 1 {
+			return float64(sc.Packets / uint64(portSplit))
+		}
+		return float64(sc.Packets)
+	case FieldDsts:
+		return float64(sc.DistinctDsts)
+	case FieldNPorts:
+		return float64(len(sc.Ports))
+	case FieldDuration:
+		return sc.Duration()
+	case FieldCoverage:
+		return sc.Coverage
+	case FieldQualified:
+		if sc.Qualified {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// intValue is numValue for integer-valued fields, without the float round
+// trip (exact for counters beyond 2^53).
+func intValue(f Field, sc *core.Scan, portSplit int) uint64 {
+	switch f {
+	case FieldPackets:
+		if portSplit > 1 {
+			return sc.Packets / uint64(portSplit)
+		}
+		return sc.Packets
+	case FieldDsts:
+		return uint64(sc.DistinctDsts)
+	case FieldNPorts:
+		return uint64(len(sc.Ports))
+	case FieldQualified:
+		if sc.Qualified {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// keyValues appends f's distinct/top-k key(s) for one scan to dst. Port
+// contributes one key per targeted port; string-valued fields hash through
+// FNV-1a (stable across processes) for sketch keying.
+func keyValues(f Field, sc *core.Scan, o *enrich.Origin, dst []uint64) []uint64 {
+	switch f {
+	case FieldSrc:
+		return append(dst, uint64(sc.Src))
+	case FieldPort:
+		for _, p := range sc.Ports {
+			dst = append(dst, uint64(p))
+		}
+		return dst
+	case FieldYear:
+		return append(dst, uint64(yearOf(sc.Start)))
+	case FieldTool:
+		return append(dst, uint64(sc.Tool))
+	case FieldASN:
+		if o == nil {
+			return dst
+		}
+		return append(dst, uint64(o.ASN))
+	case FieldType:
+		if o == nil {
+			return dst
+		}
+		return append(dst, uint64(o.Type))
+	case FieldCountry:
+		if o == nil {
+			return dst
+		}
+		return append(dst, hashString(o.Country))
+	case FieldOrg:
+		if o == nil {
+			return dst
+		}
+		return append(dst, hashString(o.OrgName))
+	}
+	return dst
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// renderKey formats an integer-keyed field value for display (top-k items,
+// group keys).
+func renderKey(f Field, v uint64) string {
+	switch f {
+	case FieldSrc:
+		return fmt.Sprintf("%d.%d.%d.%d", byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	case FieldTool:
+		return tools.Tool(v).String()
+	case FieldType:
+		return inetmodel.ScannerType(v).String()
+	default:
+		return fmt.Sprintf("%d", v)
+	}
+}

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the request parser: arbitrary bytes must either produce a
+// valid query or a ClientError (a 400 to the HTTP layer) — never a panic, a
+// non-client error, or an unbounded allocation. Valid outputs must survive
+// Canonicalize/Key/Validate, the path every served request takes.
+func FuzzParse(f *testing.F) {
+	// A fully-featured valid request.
+	f.Add([]byte(`{
+		"where": {"and": [
+			{"field": "year", "in": [2020, 2021]},
+			{"field": "port", "in": [22, 2323]},
+			{"not": {"field": "tool", "eq": "Mirai-like"}},
+			{"or": [
+				{"field": "rate_pps", "min": 10, "max": 5000},
+				{"field": "qualified", "eq": true}
+			]},
+			{"field": "src", "prefix": "10.0.0.0/8"},
+			{"field": "time", "min_ns": 1, "max_ns": 9e18}
+		]},
+		"group_by": ["tool", "year"],
+		"aggs": [
+			{"op": "count"},
+			{"op": "sum", "field": "packets"},
+			{"op": "count_distinct", "field": "src"},
+			{"op": "approx_distinct", "field": "src"},
+			{"op": "top_k", "field": "port", "k": 10},
+			{"op": "quantile", "field": "rate_pps", "qs": [0.5, 0.9, 0.99]}
+		],
+		"order_by": "key",
+		"limit": 100
+	}`))
+	// Select mode.
+	f.Add([]byte(`{"where": {"field": "year", "eq": 2020}, "limit": 50}`))
+	f.Add([]byte(`{}`))
+	// Malformed JSON.
+	f.Add([]byte(``))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"where": {"and": [}}`))
+	f.Add([]byte(`{"unknown_key": 1}`))
+	f.Add([]byte(`{"limit": 1}{"limit": 2}`))
+	// Structural abuse: nesting beyond maxDepth, oversized in-lists.
+	f.Add([]byte(`{"where": ` + strings.Repeat(`{"not": `, 64) +
+		`{"field": "year", "eq": 2020}` + strings.Repeat(`}`, 64) + `}`))
+	f.Add([]byte(`{"where": {"field": "port", "in": [` +
+		strings.Repeat("1,", 8192) + `1]}, "aggs": [{"op": "count"}]}`))
+	// Absurd parameters: must come back as client errors, not allocations.
+	f.Add([]byte(`{"aggs": [{"op": "top_k", "field": "port", "k": 1000000000}]}`))
+	f.Add([]byte(`{"aggs": [{"op": "top_k", "field": "port", "k": -1}]}`))
+	f.Add([]byte(`{"aggs": [{"op": "quantile", "field": "rate_pps", "qs": [1.5, -2, 1e300]}]}`))
+	f.Add([]byte(`{"aggs": [{"op": "quantile", "field": "rate_pps", "qs": []}]}`))
+	f.Add([]byte(`{"group_by": ["rate_pps"], "aggs": [{"op": "count"}]}`))
+	f.Add([]byte(`{"group_by": ["port"]}`))
+	f.Add([]byte(`{"where": {"field": "src", "prefix": "999.0.0.0/40"}}`))
+	f.Add([]byte(`{"where": {"field": "year", "in": [-1, 1e20]}}`))
+	f.Add([]byte(`{"where": {"field": "tool", "eq": "no-such-tool"}}`))
+	f.Add([]byte(`{"limit": -5}`))
+	f.Add([]byte(`{"limit": 100000000}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := Parse(data)
+		if err != nil {
+			if !IsClientError(err) {
+				t.Fatalf("non-client parse error: %v", err)
+			}
+			return
+		}
+		// Accepted queries must be servable end to end.
+		c := q.Canonicalize()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("canonicalized query fails validation: %v", err)
+		}
+		if c.Key() == "" {
+			t.Fatal("empty cache key")
+		}
+		_ = c.Predicate()
+	})
+}

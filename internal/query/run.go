@@ -1,0 +1,102 @@
+package query
+
+import (
+	"context"
+
+	"github.com/synscan/synscan/internal/archive"
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+)
+
+// Source is anything the engine can execute a query against under predicate
+// pushdown: it streams every scan matching p to emit, in its own stable
+// order, with the scan's origin when it has one (nil otherwise).
+type Source interface {
+	Query(ctx context.Context, p archive.Predicate, emit func(sc *core.Scan, o *enrich.Origin)) error
+}
+
+// ReaderSource adapts an archive reader: the predicate's zone-map pushdown
+// skips blocks without decompressing them, and scans stream in file order.
+type ReaderSource struct{ R *archive.Reader }
+
+// Query implements Source.
+func (s ReaderSource) Query(ctx context.Context, p archive.Predicate, emit func(sc *core.Scan, o *enrich.Origin)) error {
+	hasOrigins := s.R.HasOrigins()
+	return s.R.Query(ctx, p, func(sc *core.Scan, o enrich.Origin) {
+		var op *enrich.Origin
+		if hasOrigins {
+			oc := o
+			op = &oc
+		}
+		emit(sc, op)
+	})
+}
+
+// ViewSource adapts a catalog view: each pinned segment streams in manifest
+// order, so the concatenation preserves the store's emit order.
+type ViewSource struct{ V *archive.CatalogView }
+
+// Query implements Source.
+func (s ViewSource) Query(ctx context.Context, p archive.Predicate, emit func(sc *core.Scan, o *enrich.Origin)) error {
+	for i := 0; i < s.V.Len(); i++ {
+		if err := (ReaderSource{R: s.V.Reader(i)}).Query(ctx, p, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SliceSource adapts in-memory scans (the simulator's per-year collections):
+// no blocks to prune, the predicate filters scan by scan. Origins, when
+// present, must parallel Scans.
+type SliceSource struct {
+	Scans   []*core.Scan
+	Origins []enrich.Origin
+}
+
+// Query implements Source.
+func (s SliceSource) Query(ctx context.Context, p archive.Predicate, emit func(sc *core.Scan, o *enrich.Origin)) error {
+	for i, sc := range s.Scans {
+		if i&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		var op *enrich.Origin
+		if s.Origins != nil {
+			op = &s.Origins[i]
+		}
+		if !p.Match(sc, op) {
+			continue
+		}
+		emit(sc, op)
+	}
+	return nil
+}
+
+// Run executes q against the sources in order: one partial Executor per
+// source, folded left-to-right, so results are deterministic in source and
+// stream order. The query is validated first; aggregation streams — no
+// matching-scan list is materialized.
+func Run(ctx context.Context, q *Query, srcs ...Source) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	p := q.Predicate()
+	var total *Executor
+	for _, src := range srcs {
+		part := NewExecutor(q)
+		if err := src.Query(ctx, p, part.Observe); err != nil {
+			return nil, err
+		}
+		if total == nil {
+			total = part
+		} else {
+			total.Merge(part)
+		}
+	}
+	if total == nil {
+		total = NewExecutor(q)
+	}
+	return total.Finish()
+}

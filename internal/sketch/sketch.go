@@ -131,6 +131,67 @@ func (t *TopK) Add(key uint64) {
 	t.counts[key] = &tkEntry{key: key, count: min.count + 1, err: min.count}
 }
 
+// Merge folds another tracker into t, combining partial summaries computed
+// over disjoint substreams (e.g. one per archive segment). Counts for keys
+// both sides track add exactly; a key only one side tracks is charged the
+// other side's eviction floor (its minimum count when at capacity, zero
+// below it), which keeps Count an upper bound and Err a valid overestimate
+// bound. When neither side has ever evicted, the merge is exact — identical
+// to having fed one tracker sequentially. Capacities must match.
+func (t *TopK) Merge(o *TopK) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	t.total += o.total
+	tFloor := t.evictFloor()
+	oFloor := o.evictFloor()
+	merged := make(map[uint64]*tkEntry, len(t.counts)+len(o.counts))
+	for k, e := range t.counts {
+		m := &tkEntry{key: k, count: e.count, err: e.err}
+		if oe, ok := o.counts[k]; ok {
+			m.count += oe.count
+			m.err += oe.err
+		} else {
+			m.count += oFloor
+			m.err += oFloor
+		}
+		merged[k] = m
+	}
+	for k, oe := range o.counts {
+		if _, ok := merged[k]; ok {
+			continue
+		}
+		merged[k] = &tkEntry{key: k, count: oe.count + tFloor, err: oe.err + tFloor}
+	}
+	if len(merged) > t.k {
+		// Keep the k largest (ties broken by key ascending, matching Top).
+		items := make([]Item, 0, len(merged))
+		for _, e := range merged {
+			items = append(items, Item{e.key, e.count, e.err})
+		}
+		sortItems(items)
+		for _, it := range items[t.k:] {
+			delete(merged, it.Key)
+		}
+	}
+	t.counts = merged
+}
+
+// evictFloor is the count any untracked key could have accumulated: the
+// minimum tracked count once the tracker has reached capacity, zero before.
+func (t *TopK) evictFloor() uint64 {
+	if len(t.counts) < t.k {
+		return 0
+	}
+	var min uint64 = math.MaxUint64
+	for _, e := range t.counts {
+		if e.count < min {
+			min = e.count
+		}
+	}
+	return min
+}
+
 // Item is one tracked heavy hitter.
 type Item struct {
 	Key uint64

@@ -148,6 +148,96 @@ func TestTopKTopBounds(t *testing.T) {
 	}
 }
 
+func TestTopKMergeExactWhenUnsaturated(t *testing.T) {
+	// Neither side ever evicts, so merging disjoint substreams must equal
+	// feeding one tracker sequentially — the invariant the query engine's
+	// per-segment partial aggregation relies on.
+	r := rng.New(3)
+	const n = 20000
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = r.Uint64() % 500 // 500 distinct keys << capacity 4096
+	}
+	seq := NewTopK(4096)
+	parts := make([]*TopK, 4)
+	for i := range parts {
+		parts[i] = NewTopK(4096)
+	}
+	for i, k := range keys {
+		seq.Add(k)
+		parts[i%len(parts)].Add(k)
+	}
+	merged := parts[0]
+	for _, p := range parts[1:] {
+		merged.Merge(p)
+	}
+	if merged.Total() != seq.Total() {
+		t.Fatalf("total: merged %d, sequential %d", merged.Total(), seq.Total())
+	}
+	mt, st := merged.Top(500), seq.Top(500)
+	if len(mt) != len(st) {
+		t.Fatalf("sizes: merged %d, sequential %d", len(mt), len(st))
+	}
+	for i := range mt {
+		if mt[i] != st[i] {
+			t.Fatalf("item %d: merged %+v, sequential %+v", i, mt[i], st[i])
+		}
+	}
+}
+
+func TestTopKMergeBoundsWhenSaturated(t *testing.T) {
+	// With eviction on both sides, merged counts must remain upper bounds
+	// and Count-Err lower bounds of true frequencies, and true heavy
+	// hitters must survive the merge.
+	r := rng.New(4)
+	trueCounts := map[uint64]uint64{}
+	parts := []*TopK{NewTopK(64), NewTopK(64)}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		var key uint64
+		if r.Bool(0.7) {
+			key = uint64(r.Intn(4)) // heavy, ~17.5% each
+		} else {
+			key = 1000 + r.Uint64()%50000 // noise
+		}
+		parts[i%2].Add(key)
+		trueCounts[key]++
+	}
+	m := parts[0]
+	m.Merge(parts[1])
+	if m.Total() != n {
+		t.Fatalf("total = %d, want %d", m.Total(), n)
+	}
+	if got := len(m.Top(1000)); got > 64 {
+		t.Fatalf("merge exceeded capacity: %d items", got)
+	}
+	seen := map[uint64]bool{}
+	for _, it := range m.Top(64) {
+		seen[it.Key] = true
+		if it.Count < trueCounts[it.Key] {
+			t.Fatalf("key %d: estimate %d below true %d", it.Key, it.Count, trueCounts[it.Key])
+		}
+		if it.Count-it.Err > trueCounts[it.Key] {
+			t.Fatalf("key %d: lower bound %d above true %d", it.Key, it.Count-it.Err, trueCounts[it.Key])
+		}
+	}
+	for k := uint64(0); k < 4; k++ {
+		if !seen[k] {
+			t.Fatalf("heavy hitter %d lost in merge", k)
+		}
+	}
+}
+
+func TestTopKMergeEmptyAndNil(t *testing.T) {
+	tk := NewTopK(4)
+	tk.Add(1)
+	tk.Merge(nil)
+	tk.Merge(NewTopK(4))
+	if tk.Total() != 1 || len(tk.Top(4)) != 1 {
+		t.Fatalf("merge with empty changed state: total=%d", tk.Total())
+	}
+}
+
 func BenchmarkHLLAdd(b *testing.B) {
 	h := NewHyperLogLog()
 	for i := 0; i < b.N; i++ {

@@ -63,6 +63,16 @@ func Quantile(xs []float64, q float64) float64 {
 	return quantileSorted(c, q)
 }
 
+// QuantileSorted is Quantile over an already-sorted sample, skipping the
+// copy-and-sort — for callers (the query engine's per-group quantile
+// aggregates) that sort once and evaluate many quantiles.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return quantileSorted(sorted, q)
+}
+
 func quantileSorted(sorted []float64, q float64) float64 {
 	n := len(sorted)
 	if n == 1 {
