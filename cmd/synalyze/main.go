@@ -42,6 +42,7 @@ func main() {
 	minDsts := flag.Int("min-dsts", 0, "campaign threshold on distinct destinations (0 = paper default scaled)")
 	topN := flag.Int("top", 10, "ranking depth for the port tables")
 	workers := flag.Int("workers", 1, "campaign-detector shards; >1 runs detection on that many goroutines")
+	reactiveMode := flag.Bool("reactive", false, "admit phase-two TCP segments (handshake ACKs, payload pushes) from a reactive capture instead of dropping all non-SYNs")
 	archiveOut := flag.String("archive", "", "persist every detected campaign to this archive file as it closes (queryable with syneval -archive / synserve)")
 	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
@@ -159,13 +160,27 @@ func main() {
 	mTruncated := reg.Counter("pcap.records.truncated")
 
 	packetsPerPort := stats.NewCounter[uint16]()
-	var total, parsed, syn uint64
+	var total, parsed, syn, phase2 uint64
 	var p packet.Probe
 	ingest := func() {
-		syn++
+		if p.IsSYN() {
+			syn++
+		} else {
+			phase2++
+		}
 		mAccepted.Inc()
 		packetsPerPort.Inc(p.DstPort)
 		det.Ingest(&p)
+	}
+	// The replay ingress filter: a passive capture is SYN-only; a reactive
+	// capture (-reactive) also carries the phase-two segments the responder
+	// admitted, which the detector links into two-phase campaigns. SYN-ACK
+	// backscatter stays dropped either way.
+	admit := func() bool {
+		if p.IsSYN() {
+			return true
+		}
+		return *reactiveMode && p.IsTCP() && !p.IsSYNACK()
 	}
 	replaySpan := obs.StartSpan(reg.Histogram("replay.read_ns"))
 	switch {
@@ -178,7 +193,7 @@ func main() {
 			}
 			total++
 			parsed++
-			if p.IsSYN() {
+			if admit() {
 				ingest()
 			} else {
 				mNotSYN.Inc()
@@ -199,7 +214,7 @@ func main() {
 				continue
 			}
 			parsed++
-			if !p.IsSYN() {
+			if !admit() {
 				mNotSYN.Inc()
 				continue
 			}
@@ -224,7 +239,7 @@ func main() {
 				continue
 			}
 			parsed++
-			if !p.IsSYN() {
+			if !admit() {
 				mNotSYN.Inc()
 				continue
 			}
@@ -258,6 +273,15 @@ func main() {
 	}
 
 	fmt.Printf("records %d, parsed %d, SYN %d\n", total, parsed, syn)
+	if *reactiveMode {
+		var twoPhase int
+		for _, s := range scans {
+			if s.TwoPhase {
+				twoPhase++
+			}
+		}
+		fmt.Printf("phase-2 segments %d, two-phase campaigns %d\n", phase2, twoPhase)
+	}
 	fmt.Printf("flows closed %d, qualified campaigns %d\n\n", len(scans), qualified)
 
 	report.Histogram(os.Stdout, "campaigns by tool", toolHist)

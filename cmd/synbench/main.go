@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/synbench -out BENCH_7.json        # full run (commit this)
+//	go run ./cmd/synbench -out BENCH_8.json        # full run (commit this)
 //	go run ./cmd/synbench -quick -out -            # CI smoke: small sizes
 //
 // The synserve measurement execs a real server binary so the number includes
@@ -38,8 +38,11 @@ import (
 	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/query"
+	"github.com/synscan/synscan/internal/reactive"
 	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/telescope"
 	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
 )
 
 // record is the BENCH_<n>.json schema. Sizes are recorded alongside the
@@ -54,6 +57,10 @@ type record struct {
 
 	IngestProbes    int     `json:"ingest_probes"`
 	ProbeIngestPPS  float64 `json:"probe_ingest_pps"`
+	ReactiveProbes  uint64  `json:"reactive_probes"`
+	OneWayPPS       float64 `json:"oneway_pipeline_pps"`
+	ReactivePPS     float64 `json:"reactive_pipeline_pps"`
+	ReactiveP2Share float64 `json:"reactive_phase2_share"`
 	ArchiveScans    int     `json:"archive_scans"`
 	ArchiveBytes    int64   `json:"archive_bytes"`
 	ArchiveScanMBps float64 `json:"archive_scan_mb_per_s"`
@@ -87,7 +94,7 @@ func main() {
 	log.SetPrefix("synbench: ")
 
 	out := flag.String("out", "-", `output path for the JSON record ("-" = stdout)`)
-	benchN := flag.Int("n", 7, "benchmark sequence number recorded in the output")
+	benchN := flag.Int("n", 8, "benchmark sequence number recorded in the output")
 	quick := flag.Bool("quick", false, "CI smoke mode: ~10x smaller workloads, not comparable to full runs")
 	servePath := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
 	flag.Parse()
@@ -114,6 +121,14 @@ func main() {
 	rec.IngestProbes = nProbes
 	rec.ProbeIngestPPS = benchIngest(nProbes)
 	log.Printf("probe ingest: %.0f pkts/s", rec.ProbeIngestPPS)
+
+	reactiveScale := 0.002
+	if *quick {
+		reactiveScale = 0.0003
+	}
+	rec.ReactiveProbes, rec.OneWayPPS, rec.ReactivePPS, rec.ReactiveP2Share = benchReactive(reactiveScale)
+	log.Printf("pipeline: one-way %.0f pkts/s, reactive %.0f pkts/s (%.2f%% phase-2) over %d probes",
+		rec.OneWayPPS, rec.ReactivePPS, 100*rec.ReactiveP2Share, rec.ReactiveProbes)
 
 	archivePath := filepath.Join(tmp, "bench.syna")
 	scans := makeScans(nScans)
@@ -187,6 +202,67 @@ func benchIngest(n int) float64 {
 		}
 	}
 	return float64(n) / best
+}
+
+// benchReactive replays one seeded scenario year through the full pipeline
+// twice — passive one-way capture vs the reactive responder with its
+// phase-two follow-up traffic — and reports the sustained packets-per-second
+// of each, plus the share of reactive traffic that was second-phase. The
+// comparison quantifies what answering SYNs costs the ingest path: the
+// responder's state table and the extra handshake/payload segments
+// (roughly doubling the per-campaign packet budget for two-phase scanners).
+func benchReactive(scale float64) (probes uint64, onewayPPS, reactivePPS, p2Share float64) {
+	mk := func() *workload.Scenario {
+		s, err := workload.NewScenario(workload.Config{
+			Year: 2021, Seed: 5, Scale: scale, TelescopeSize: 4096,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
+	}
+
+	bestOneway := math.MaxFloat64
+	for iter := 0; iter < 2; iter++ {
+		s := mk()
+		det := core.NewDetector(s.DetectorConfig, func(*core.Scan) {})
+		var n uint64
+		t0 := time.Now()
+		s.Run(func(p *packet.Probe) {
+			n++
+			if s.Telescope.Observe(p) != telescope.Accepted {
+				return
+			}
+			det.Ingest(p)
+		})
+		det.FlushAll()
+		if el := time.Since(t0).Seconds() / float64(n); el < bestOneway {
+			bestOneway = el
+		}
+	}
+
+	bestReactive := math.MaxFloat64
+	for iter := 0; iter < 2; iter++ {
+		s := mk()
+		rt := reactive.New(s.Telescope, reactive.DefaultPolicy(5))
+		det := core.NewDetector(s.DetectorConfig, func(*core.Scan) {})
+		var n uint64
+		t0 := time.Now()
+		sum := s.RunReactive(rt, func(p *packet.Probe, d reactive.Disposition) {
+			n++
+			if d.Reason != telescope.Accepted {
+				return
+			}
+			det.Ingest(p)
+		})
+		det.FlushAll()
+		if el := time.Since(t0).Seconds() / float64(n); el < bestReactive {
+			bestReactive = el
+		}
+		probes = n
+		p2Share = float64(sum.Phase2Probes) / float64(n)
+	}
+	return probes, 1 / bestOneway, 1 / bestReactive, p2Share
 }
 
 // makeScans builds n deterministic closed flows spread over several years

@@ -12,6 +12,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/query"
@@ -174,6 +175,13 @@ func toScanJSON(sc *core.Scan, o *enrich.Origin) scanJSON {
 		Qualified:    sc.Qualified,
 		RatePPS:      sc.RatePPS,
 		Coverage:     sc.Coverage,
+		TwoPhase:     sc.TwoPhase,
+		LinkedDsts:   sc.LinkedDsts,
+		HandshakePkt: sc.HandshakePackets,
+		PayloadBytes: sc.PayloadBytes,
+	}
+	if sc.ISN != fingerprint.ISNUnknown {
+		sj.ISN = sc.ISN.String()
 	}
 	if o != nil {
 		sj.Origin = &originJSON{

@@ -295,6 +295,11 @@ type scanJSON struct {
 	Qualified    bool        `json:"qualified"`
 	RatePPS      float64     `json:"rate_pps"`
 	Coverage     float64     `json:"coverage"`
+	TwoPhase     bool        `json:"two_phase,omitempty"`
+	ISN          string      `json:"isn,omitempty"`
+	LinkedDsts   int         `json:"linked_dsts,omitempty"`
+	HandshakePkt uint64      `json:"handshake_packets,omitempty"`
+	PayloadBytes uint64      `json:"payload_bytes,omitempty"`
 	Origin       *originJSON `json:"origin,omitempty"`
 }
 

@@ -17,12 +17,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/synscan/synscan/internal/flowlog"
 	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/pcap"
 	"github.com/synscan/synscan/internal/pcapng"
+	"github.com/synscan/synscan/internal/reactive"
 	"github.com/synscan/synscan/internal/telescope"
 	"github.com/synscan/synscan/internal/workload"
 )
@@ -38,6 +41,9 @@ func main() {
 	out := flag.String("out", "", "output path (omit for stats only)")
 	format := flag.String("format", "pcap", "output format: pcap, pcapng, or spool (compact flowlog)")
 	maxPackets := flag.Uint64("max-packets", 0, "stop after this many accepted packets (0 = all)")
+	reactiveMode := flag.Bool("reactive", false, "answer SYNs with synthesized SYN-ACKs (Spoki-style): two-phase scanners return with handshakes and payloads")
+	respondRate := flag.Float64("respond-rate", 1000, "reactive: SYN-ACKs per second cap (0 = unlimited)")
+	respondPorts := flag.String("respond-ports", "", "reactive: comma-separated port allowlist (empty = all ports)")
 	metricsOut := flag.String("metrics", "", `write a final pipeline-metrics snapshot as JSON to this file ("-" = stdout)`)
 	metricsEvery := flag.Duration("metrics-interval", 0, "periodically dump metrics to stderr at this interval (0 = off)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -89,11 +95,7 @@ func main() {
 
 	var accepted uint64
 	frame := make([]byte, 0, packet.FrameLen)
-	genSpan := obs.StartSpan(reg.Histogram("generate.run_ns"))
-	sum := s.Run(func(p *packet.Probe) {
-		if s.Telescope.Observe(p) != telescope.Accepted {
-			return
-		}
+	write := func(p *packet.Probe) {
 		if *maxPackets > 0 && accepted >= *maxPackets {
 			return
 		}
@@ -114,7 +116,38 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-	})
+	}
+
+	var sum workload.Summary
+	var respStats reactive.Stats
+	genSpan := obs.StartSpan(reg.Histogram("generate.run_ns"))
+	if *reactiveMode {
+		pol := reactive.Policy{RatePerSec: *respondRate, Seed: *seed}
+		if *respondPorts != "" {
+			for _, fld := range strings.Split(*respondPorts, ",") {
+				v, err := strconv.ParseUint(strings.TrimSpace(fld), 10, 16)
+				if err != nil {
+					log.Fatalf("invalid -respond-ports entry %q", fld)
+				}
+				pol.Ports = append(pol.Ports, uint16(v))
+			}
+		}
+		rt := reactive.New(s.Telescope, pol)
+		rt.SetMetrics(reg)
+		sum = s.RunReactive(rt, func(p *packet.Probe, d reactive.Disposition) {
+			if d.Reason == telescope.Accepted {
+				write(p)
+			}
+		})
+		respStats = rt.Stats()
+	} else {
+		sum = s.Run(func(p *packet.Probe) {
+			if s.Telescope.Observe(p) != telescope.Accepted {
+				return
+			}
+			write(p)
+		})
+	}
 	genSpan.End()
 	if pcapW != nil {
 		if err := pcapW.Flush(); err != nil {
@@ -140,6 +173,10 @@ func main() {
 	fmt.Printf("accepted   %12d\n", accepted)
 	fmt.Printf("dropped    %12d not-monitored, %d policy, %d backscatter, %d non-tcp, %d outage\n",
 		st.NotMonitored, st.Policy, st.NotSYN, st.NotTCP, st.Outage)
+	if *reactiveMode {
+		fmt.Printf("reactive   %12d syn-acks, %d phase-2 segments (%d payloads), %d two-phase campaigns\n",
+			respStats.Responded, respStats.Phase2, respStats.Payloads, sum.TwoPhaseCampaigns)
+	}
 	if *out != "" {
 		fmt.Printf("wrote %s\n", *out)
 	}

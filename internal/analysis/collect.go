@@ -171,54 +171,7 @@ func CollectWith(s *workload.Scenario, cc CollectConfig) *YearData {
 		if s.Telescope.Observe(p) != telescope.Accepted {
 			return
 		}
-		yd.AcceptedPackets++
-		d := int((p.Time - s.Start) / day)
-		if d >= 0 && d < len(yd.PacketsPerDay) {
-			yd.PacketsPerDay[d]++
-		}
-		yd.PacketsPerPort.Inc(p.DstPort)
-
-		spKey := uint64(p.Src)<<16 | uint64(p.DstPort)
-		if _, dup := srcPort[spKey]; !dup {
-			srcPort[spKey] = struct{}{}
-			yd.SourcesPerPort.Inc(p.DstPort)
-			yd.PortsPerSource[p.Src]++
-		}
-
-		// Per-packet tool attribution for the traffic mix: the per-packet
-		// fingerprints identify ZMap/Masscan/Mirai directly; everything
-		// else lands in Unknown here (campaign-level attribution refines
-		// NMap/Unicorn, but per-packet traffic shares are what Fig. 4
-		// plots).
-		tl := tools.ToolUnknown
-		switch {
-		case p.IPID == tools.ZMapIPID:
-			tl = tools.ToolZMap
-		case p.Seq == p.Dst:
-			tl = tools.ToolMirai
-		case p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq):
-			tl = tools.ToolMasscan
-		}
-		yd.PacketsPerToolPort.Inc(ToolPort{tl, p.DstPort})
-
-		week := uint8(int((p.Time - s.Start) / (7 * day)))
-		block := inetmodel.Block16(p.Src)
-		bw := BlockWeek{block, week}
-		yd.WeeklyPackets.Inc(bw)
-		wsKey := uint64(block)<<40 | uint64(week)<<32 | uint64(p.Src&0xffff)<<8 | uint64(p.Src>>24)
-		if _, dup := weekSrc[wsKey]; !dup {
-			weekSrc[wsKey] = struct{}{}
-			yd.WeeklySources.Inc(bw)
-		}
-
-		entry := s.Registry.Lookup(p.Src)
-		if entry.Country != "" {
-			yd.CountryPackets.Inc(PortCountry{p.DstPort, entry.Country})
-		}
-		if entry.Type == inetmodel.TypeInstitutional {
-			yd.InstPacketsPerPort.Inc(p.DstPort)
-		}
-
+		yd.accept(s, p, srcPort, weekSrc)
 		det.Ingest(p)
 	})
 	runSpan.End()
@@ -244,6 +197,60 @@ func CollectWith(s *workload.Scenario, cc CollectConfig) *YearData {
 		yd.PipelineStats = reg.Snapshot()
 	}
 	return yd
+}
+
+// accept folds one telescope-accepted probe into every per-packet aggregate
+// (detector ingest is the caller's job, since the reactive path gates it
+// differently). srcPort and weekSrc are the caller-owned dedup sets.
+func (yd *YearData) accept(s *workload.Scenario, p *packet.Probe, srcPort, weekSrc map[uint64]struct{}) {
+	day := int64(24 * 3600 * 1e9)
+	yd.AcceptedPackets++
+	d := int((p.Time - s.Start) / day)
+	if d >= 0 && d < len(yd.PacketsPerDay) {
+		yd.PacketsPerDay[d]++
+	}
+	yd.PacketsPerPort.Inc(p.DstPort)
+
+	spKey := uint64(p.Src)<<16 | uint64(p.DstPort)
+	if _, dup := srcPort[spKey]; !dup {
+		srcPort[spKey] = struct{}{}
+		yd.SourcesPerPort.Inc(p.DstPort)
+		yd.PortsPerSource[p.Src]++
+	}
+
+	// Per-packet tool attribution for the traffic mix: the per-packet
+	// fingerprints identify ZMap/Masscan/Mirai directly; everything
+	// else lands in Unknown here (campaign-level attribution refines
+	// NMap/Unicorn, but per-packet traffic shares are what Fig. 4
+	// plots).
+	tl := tools.ToolUnknown
+	switch {
+	case p.IPID == tools.ZMapIPID:
+		tl = tools.ToolZMap
+	case p.Seq == p.Dst:
+		tl = tools.ToolMirai
+	case p.IPID == uint16(p.Dst^uint32(p.DstPort)^p.Seq):
+		tl = tools.ToolMasscan
+	}
+	yd.PacketsPerToolPort.Inc(ToolPort{tl, p.DstPort})
+
+	week := uint8(int((p.Time - s.Start) / (7 * day)))
+	block := inetmodel.Block16(p.Src)
+	bw := BlockWeek{block, week}
+	yd.WeeklyPackets.Inc(bw)
+	wsKey := uint64(block)<<40 | uint64(week)<<32 | uint64(p.Src&0xffff)<<8 | uint64(p.Src>>24)
+	if _, dup := weekSrc[wsKey]; !dup {
+		weekSrc[wsKey] = struct{}{}
+		yd.WeeklySources.Inc(bw)
+	}
+
+	entry := s.Registry.Lookup(p.Src)
+	if entry.Country != "" {
+		yd.CountryPackets.Inc(PortCountry{p.DstPort, entry.Country})
+	}
+	if entry.Type == inetmodel.TypeInstitutional {
+		yd.InstPacketsPerPort.Inc(p.DstPort)
+	}
 }
 
 // QualifiedScans filters the campaign list.

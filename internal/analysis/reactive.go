@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/obs"
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/query"
+	"github.com/synscan/synscan/internal/reactive"
+	"github.com/synscan/synscan/internal/stats"
+	"github.com/synscan/synscan/internal/telescope"
+	"github.com/synscan/synscan/internal/tools"
+	"github.com/synscan/synscan/internal/workload"
+)
+
+// ReactiveData is a reactive collection pass: the year's aggregates plus the
+// responder's accounting and the generator's two-phase summary.
+type ReactiveData struct {
+	*YearData
+	// Responder is the reactive telescope's counter snapshot.
+	Responder reactive.Stats
+	// Workload is the generator's summary (two-phase designations, responses
+	// seen by the scanners, accepted phase-two segments).
+	Workload workload.Summary
+}
+
+// CollectReactive is Collect through a reactive telescope: the scenario
+// replays with SYN-ACK synthesis per pol, two-phase scanners come back with
+// handshakes and payloads, and the detector links both phases into single
+// campaigns carrying the reactive attributes (TwoPhase, ISN class, payload).
+// Aggregates gate on the responder's effective ingress decision, so drop
+// accounting stays truthful and phase-two segments count exactly once.
+func CollectReactive(s *workload.Scenario, pol reactive.Policy, cc CollectConfig) *ReactiveData {
+	yd := &YearData{
+		Year:               s.Profile.Year,
+		Days:               s.Profile.Days,
+		TelescopeSize:      s.Telescope.Size(),
+		Start:              s.Start,
+		PacketsPerDay:      make([]uint64, s.Profile.Days+1),
+		PacketsPerPort:     stats.NewCounter[uint16](),
+		SourcesPerPort:     stats.NewCounter[uint16](),
+		PortsPerSource:     make(map[uint32]int),
+		PacketsPerToolPort: stats.NewCounter[ToolPort](),
+		WeeklySources:      stats.NewCounter[BlockWeek](),
+		WeeklyPackets:      stats.NewCounter[BlockWeek](),
+		WeeklyScans:        stats.NewCounter[BlockWeek](),
+		CountryPackets:     stats.NewCounter[PortCountry](),
+		InstPacketsPerPort: stats.NewCounter[uint16](),
+		Weeks:              s.Profile.Days / 7,
+		reg:                s.Registry,
+	}
+	reg := cc.Metrics
+	en := enrich.New(s.Registry)
+	en.SetMetrics(reg)
+	s.Telescope.SetMetrics(reg)
+	rt := reactive.New(s.Telescope, pol)
+	rt.SetMetrics(reg)
+
+	collect := func(sc *core.Scan) {
+		yd.Scans = append(yd.Scans, sc)
+		yd.ScanOrigins = append(yd.ScanOrigins, en.Origin(sc.Src))
+	}
+	det := core.NewDetector(s.DetectorConfig, collect,
+		core.WithWorkers(cc.Workers), core.WithMetrics(reg))
+
+	srcPort := make(map[uint64]struct{})
+	weekSrc := make(map[uint64]struct{})
+	day := int64(24 * 3600 * 1e9)
+
+	runSpan := obs.StartSpan(reg.Histogram("collect.run_ns"))
+	sum := s.RunReactive(rt, func(p *packet.Probe, d reactive.Disposition) {
+		if d.Reason != telescope.Accepted {
+			return
+		}
+		yd.accept(s, p, srcPort, weekSrc)
+		det.Ingest(p)
+	})
+	runSpan.End()
+
+	flushSpan := obs.StartSpan(reg.Histogram("collect.flush_ns"))
+	det.FlushAll()
+	flushSpan.End()
+
+	yd.DistinctSources = len(yd.PortsPerSource)
+	yd.TelescopeStats = s.Telescope.Stats()
+	for _, sc := range yd.Scans {
+		if !sc.Qualified {
+			continue
+		}
+		week := uint8(int((sc.Start - s.Start) / (7 * day)))
+		yd.WeeklyScans.Inc(BlockWeek{inetmodel.Block16(sc.Src), week})
+	}
+	if reg != nil {
+		yd.PipelineStats = reg.Snapshot()
+	}
+	return &ReactiveData{YearData: yd, Responder: rt.Stats(), Workload: sum}
+}
+
+// TwoPhaseRow is one tool's row of the two-phase share table.
+type TwoPhaseRow struct {
+	Tool             tools.Tool
+	Scans            uint64  // qualified campaigns attributed to the tool
+	TwoPhase         uint64  // of those, linked two-phase campaigns
+	Share            float64 // TwoPhase / Scans
+	LinkedDsts       uint64  // linked destinations across the tool's campaigns
+	HandshakePackets uint64  // phase-two segments across the tool's campaigns
+	PayloadBytes     uint64  // application payload bytes received
+}
+
+// TwoPhaseTable reports, per tool, how many qualified campaigns the reactive
+// telescope linked into two phases and how much second-phase traffic they
+// carried — the Spoki headline measurement ("what share of scanners comes
+// back when you answer"). Computed through the query engine over the new
+// reactive fields, so the table and POST /v1/query cannot drift.
+func (y *YearData) TwoPhaseTable() []TwoPhaseRow {
+	rows := y.engineTable(query.NewBuilder().
+		Qualified(true).GroupBy(query.FieldTool).Count().
+		Sum(query.FieldTwoPhase).Sum(query.FieldLinkedDsts).
+		Sum(query.FieldHandshakePackets).Sum(query.FieldPayloadBytes).
+		OrderByKey())
+	out := make([]TwoPhaseRow, 0, len(rows))
+	for _, r := range rows {
+		row := TwoPhaseRow{
+			Tool:             tools.Tool(r.Key[0].Num),
+			Scans:            r.Aggs[0].Count,
+			TwoPhase:         r.Aggs[1].Int,
+			LinkedDsts:       r.Aggs[2].Int,
+			HandshakePackets: r.Aggs[3].Int,
+			PayloadBytes:     r.Aggs[4].Int,
+		}
+		if row.Scans > 0 {
+			row.Share = float64(row.TwoPhase) / float64(row.Scans)
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -50,6 +50,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/tools"
 )
@@ -62,13 +63,19 @@ var (
 
 const (
 	version1    = 1 // legacy: blocks carry no CRC prefix
-	version     = 2 // current: CRC-32 of the compressed payload prefixes each block
+	version2    = 2 // adds a CRC-32 of the compressed payload before each block
+	version     = 3 // current: records carry two-phase attributes (flagPhases)
 	headerLen   = 12
 	trailerLen  = 20
 	zoneMapLen  = 64
 	blockCRCLen = 4
 
 	flagOrigins = 1 << 0
+	// flagPhases records that each record carries the reactive-telescope
+	// phase suffix (TwoPhase flag, ISN class, linked-destination and
+	// handshake-packet counters, payload bytes and prefix). Files without
+	// the flag decode with zero-valued phase attributes.
+	flagPhases = 1 << 1
 
 	// DefaultBlockBytes bounds a block's uncompressed payload. 256 KiB keeps
 	// blocks large enough for DEFLATE to find structure and small enough
@@ -109,6 +116,11 @@ type ZoneMap struct {
 	// PortsFP is a 64-bit Bloom fingerprint of every port targeted in the
 	// block (see portBit): a port whose bit is clear is provably absent.
 	PortsFP uint64
+	// TwoPhase counts records with the two-phase flag set, saturating at
+	// 65535 (a block never holds that many records in practice). It lives in
+	// bytes the pre-phase format left zero, so old files read back as
+	// "no two-phase records" — which is exactly what they contain.
+	TwoPhase uint16
 }
 
 // portBit maps a port to its fingerprint bit: the top six bits of a
@@ -196,6 +208,9 @@ func (z *ZoneMap) observe(sc *core.Scan, y uint16) {
 		z.MaxYear = y
 	}
 	z.ToolBits |= 1 << uint(sc.Tool)
+	if sc.TwoPhase && z.TwoPhase < math.MaxUint16 {
+		z.TwoPhase++
+	}
 	for _, p := range sc.Ports {
 		z.PortsFP |= portBit(p)
 	}
@@ -217,6 +232,7 @@ func (z *ZoneMap) marshal(b []byte) []byte {
 	binary.BigEndian.PutUint16(e[50:52], z.MinYear)
 	binary.BigEndian.PutUint16(e[52:54], z.MaxYear)
 	binary.BigEndian.PutUint64(e[54:62], z.PortsFP)
+	binary.BigEndian.PutUint16(e[62:64], z.TwoPhase)
 	return append(b, e[:]...)
 }
 
@@ -236,6 +252,7 @@ func unmarshalZoneMap(e []byte) ZoneMap {
 		MinYear:       binary.BigEndian.Uint16(e[50:52]),
 		MaxYear:       binary.BigEndian.Uint16(e[52:54]),
 		PortsFP:       binary.BigEndian.Uint64(e[54:62]),
+		TwoPhase:      binary.BigEndian.Uint16(e[62:64]),
 	}
 }
 
@@ -265,6 +282,23 @@ func appendRecord(b []byte, sc *core.Scan, o *enrich.Origin, prevStart int64) []
 	b = append(b, tq)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(sc.RatePPS))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(sc.Coverage))
+	// Phase suffix (flagPhases): flag byte, then the counters that are
+	// usually zero for passive captures — a varint-friendly layout.
+	ph := byte(sc.ISN) << 1 & 0x06
+	if sc.TwoPhase {
+		ph |= 0x01
+	}
+	if len(sc.Payload) > 0 {
+		ph |= 0x08
+	}
+	b = append(b, ph)
+	b = binary.AppendUvarint(b, uint64(sc.LinkedDsts))
+	b = binary.AppendUvarint(b, sc.HandshakePackets)
+	b = binary.AppendUvarint(b, sc.PayloadBytes)
+	if len(sc.Payload) > 0 {
+		b = append(b, byte(len(sc.Payload)))
+		b = append(b, sc.Payload...)
+	}
 	if o != nil {
 		b = appendString(b, o.Country)
 		b = binary.AppendUvarint(b, uint64(o.ASN))
@@ -278,7 +312,7 @@ func appendRecord(b []byte, sc *core.Scan, o *enrich.Origin, prevStart int64) []
 // decodeRecord is the inverse of appendRecord. It decodes one record from
 // b into sc (and o when withOrigin), returning the remaining bytes and the
 // record's start time for the next delta.
-func decodeRecord(b []byte, sc *core.Scan, o *enrich.Origin, withOrigin bool, prevStart int64) ([]byte, int64, error) {
+func decodeRecord(b []byte, sc *core.Scan, o *enrich.Origin, withOrigin, withPhases bool, prevStart int64) ([]byte, int64, error) {
 	delta, b, err := readUvarint(b)
 	if err != nil {
 		return nil, 0, err
@@ -338,6 +372,49 @@ func decodeRecord(b []byte, sc *core.Scan, o *enrich.Origin, withOrigin bool, pr
 	sc.RatePPS = math.Float64frombits(binary.BigEndian.Uint64(b[1:9]))
 	sc.Coverage = math.Float64frombits(binary.BigEndian.Uint64(b[9:17]))
 	b = b[17:]
+	sc.TwoPhase, sc.ISN, sc.LinkedDsts = false, fingerprint.ISNUnknown, 0
+	sc.HandshakePackets, sc.PayloadBytes, sc.Payload = 0, 0, nil
+	sc.ScoutPackets = sc.Packets
+	if withPhases {
+		if len(b) < 1 {
+			return nil, 0, ErrCorrupt
+		}
+		ph := b[0]
+		b = b[1:]
+		sc.TwoPhase = ph&0x01 != 0
+		sc.ISN = fingerprint.ISNClass(ph >> 1 & 0x03)
+		linked, rest, err := readUvarint(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		b = rest
+		if linked > math.MaxInt32 {
+			return nil, 0, ErrCorrupt
+		}
+		sc.LinkedDsts = int(linked)
+		if sc.HandshakePackets, b, err = readUvarint(b); err != nil {
+			return nil, 0, err
+		}
+		if sc.HandshakePackets > sc.Packets {
+			return nil, 0, ErrCorrupt
+		}
+		sc.ScoutPackets = sc.Packets - sc.HandshakePackets
+		if sc.PayloadBytes, b, err = readUvarint(b); err != nil {
+			return nil, 0, err
+		}
+		if ph&0x08 != 0 {
+			if len(b) < 1 {
+				return nil, 0, ErrCorrupt
+			}
+			n := int(b[0])
+			b = b[1:]
+			if n == 0 || n > len(b) {
+				return nil, 0, ErrCorrupt
+			}
+			sc.Payload = append([]byte(nil), b[:n]...)
+			b = b[n:]
+		}
+	}
 	if withOrigin {
 		var s string
 		if s, b, err = readString(b); err != nil {
@@ -416,6 +493,7 @@ func header(telescopeSize int, origins bool) ([]byte, error) {
 	h := make([]byte, headerLen)
 	copy(h[:4], Magic[:])
 	h[4] = version
+	h[5] = flagPhases
 	if origins {
 		h[5] |= flagOrigins
 	}

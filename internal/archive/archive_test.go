@@ -11,6 +11,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/rng"
@@ -45,7 +46,17 @@ func testScans(n int, seed uint64) ([]*core.Scan, []enrich.Origin) {
 			Qualified:    i%3 != 0,
 			RatePPS:      math.Abs(r.NormFloat64()) * 5000,
 			Coverage:     float64(r.Uint32()%1000) / 1000,
+			ISN:          fingerprint.ISNClass(i % 4),
 		}
+		if i%4 == 0 {
+			sc.TwoPhase = true
+			sc.ISN = fingerprint.ISNMixed
+			sc.LinkedDsts = 1 + int(r.Uint32()%64)
+			sc.HandshakePackets = uint64(r.Uint32()) % sc.Packets
+			sc.PayloadBytes = uint64(r.Uint32() % 4096)
+			sc.Payload = []byte{0x16, 0x03, 0x01, byte(i)}
+		}
+		sc.ScoutPackets = sc.Packets - sc.HandshakePackets
 		scans = append(scans, sc)
 		origins = append(origins, enrich.Origin{
 			Country: fmt.Sprintf("C%d", i%13),

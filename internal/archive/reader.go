@@ -28,6 +28,7 @@ type Reader struct {
 	ver         uint8
 	telSize     int
 	origins     bool
+	phases      bool
 	skipCorrupt bool
 	index       []ZoneMap
 	total       uint64
@@ -90,7 +91,7 @@ func NewReader(ra io.ReaderAt, size int64, opts ...ReaderOption) (*Reader, error
 	if [4]byte(hdr[:4]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[4] != version && hdr[4] != version1 {
+	if hdr[4] < version1 || hdr[4] > version {
 		return nil, ErrBadVersion
 	}
 
@@ -128,6 +129,7 @@ func NewReader(ra io.ReaderAt, size int64, opts ...ReaderOption) (*Reader, error
 		ver:     hdr[4],
 		telSize: int(binary.BigEndian.Uint32(hdr[6:10])),
 		origins: hdr[5]&flagOrigins != 0,
+		phases:  hdr[5]&flagPhases != 0,
 		index:   make([]ZoneMap, n),
 		workers: runtime.GOMAXPROCS(0),
 	}
@@ -137,7 +139,7 @@ func NewReader(ra io.ReaderAt, size int64, opts ...ReaderOption) (*Reader, error
 	for i := range r.index {
 		z := unmarshalZoneMap(idx[4+i*zoneMapLen:])
 		end := uint64(z.Offset) + uint64(z.CompressedLen)
-		if r.ver >= version {
+		if r.ver >= version2 {
 			end += blockCRCLen
 		}
 		if end > idxOff {
@@ -325,7 +327,7 @@ func (r *Reader) fail(err error) blockScans {
 // only scans matching p.
 func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
 	n := int64(z.CompressedLen)
-	if r.ver >= version {
+	if r.ver >= version2 {
 		n += blockCRCLen
 	}
 	blk := make([]byte, n)
@@ -333,7 +335,7 @@ func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
 		return r.fail(fmt.Errorf("archive: block at %d: %w", z.Offset, err))
 	}
 	comp := blk
-	if r.ver >= version {
+	if r.ver >= version2 {
 		want := binary.BigEndian.Uint32(blk[:blockCRCLen])
 		comp = blk[blockCRCLen:]
 		if crc32.ChecksumIEEE(comp) != want {
@@ -376,7 +378,7 @@ func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
 		sc := new(core.Scan)
 		var o enrich.Origin
 		var err error
-		b, prev, err = decodeRecord(b, sc, &o, r.origins, prev)
+		b, prev, err = decodeRecord(b, sc, &o, r.origins, r.phases, prev)
 		if err != nil {
 			return r.fail(fmt.Errorf("archive: block at %d, record %d: %w", z.Offset, i, err))
 		}

@@ -53,6 +53,11 @@ type Config struct {
 	// Expiry is the idle time after which a flow closes, in nanoseconds
 	// (default 1 hour).
 	Expiry int64
+	// MinLinkedDsts is the number of destinations that must see both a scout
+	// probe and a returning handshake segment from the same source before the
+	// flow is flagged TwoPhase (default 1). Only reactive-telescope pipelines
+	// deliver handshake segments, so passive runs never set the flag.
+	MinLinkedDsts int
 }
 
 // ReferenceTelescopeSize is the monitored-address count the paper's §3.4
@@ -106,6 +111,23 @@ type Scan struct {
 	RatePPS float64
 	// Coverage is the estimated fraction of the IPv4 space targeted.
 	Coverage float64
+
+	// TwoPhase reports that at least MinLinkedDsts destinations saw both a
+	// scout probe and a returning handshake segment — the Spoki two-phase
+	// scanner signature, observable only behind a reactive telescope.
+	TwoPhase bool
+	// LinkedDsts is the number of destinations with a scout→handshake link.
+	LinkedDsts int
+	// ScoutPackets and HandshakePackets split Packets into phase-one SYNs
+	// and phase-two (ACK/PSH-ACK) segments.
+	ScoutPackets, HandshakePackets uint64
+	// PayloadBytes sums the phase-two payload lengths.
+	PayloadBytes uint64
+	// Payload is the first payload's leading bytes (at most 8), nil when the
+	// campaign never pushed data.
+	Payload []byte
+	// ISN is the campaign's sequence-number regime.
+	ISN fingerprint.ISNClass
 }
 
 // Duration returns the scan's observed duration in seconds (at least zero).
@@ -119,16 +141,92 @@ func (s *Scan) SpeedMbps() float64 {
 	return s.RatePPS * probeWireBits / 1e6
 }
 
+// Per-destination phase bits: which phases a destination has seen from the
+// flow's source. A destination holding both bits is a scout→handshake link.
+const (
+	dstScout     = 1 << 0
+	dstHandshake = 1 << 1
+	dstLinked    = dstScout | dstHandshake
+)
+
 // flow is live per-source state, threaded on the LRU list.
 type flow struct {
 	src        uint32
 	start, end int64
 	packets    uint64
-	dsts       map[uint32]struct{}
+	dsts       map[uint32]uint8 // phase bits per destination
+	linked     int              // destinations holding both phase bits
 	ports      map[uint16]struct{}
 	votes      fingerprint.Votes
 
 	prev, next *flow
+}
+
+// absorb folds one probe into the flow: phase routing, per-destination link
+// bits, port set and fingerprint votes. Shared by every detector variant so
+// their per-packet semantics cannot drift apart.
+func (f *flow) absorb(p *packet.Probe) {
+	f.packets++
+	var bit uint8 = dstScout
+	if p.IsTCP() && p.Flags&packet.FlagSYN == 0 {
+		// A phase-two segment: only a reactive telescope admits these.
+		bit = dstHandshake
+		f.votes.AddPhase2(p)
+	} else {
+		f.votes.Add(p)
+	}
+	old := f.dsts[p.Dst]
+	if now := old | bit; now != old {
+		f.dsts[p.Dst] = now
+		if now == dstLinked {
+			f.linked++
+		}
+	}
+	f.ports[p.DstPort] = struct{}{}
+}
+
+// finalize turns a closed flow into a Scan under cfg's thresholds. Shared by
+// the sequential and naive detectors so their results stay identical.
+func finalize(cfg *Config, f *flow) *Scan {
+	s := &Scan{
+		Src:              f.src,
+		Start:            f.start,
+		End:              f.end,
+		Packets:          f.packets,
+		DistinctDsts:     len(f.dsts),
+		Tool:             f.votes.Classify(),
+		LinkedDsts:       f.linked,
+		HandshakePackets: uint64(f.votes.Handshakes),
+		PayloadBytes:     f.votes.PayloadBytes,
+		ISN:              f.votes.ISN(),
+	}
+	s.ScoutPackets = s.Packets - s.HandshakePackets
+	minLinked := cfg.MinLinkedDsts
+	if minLinked <= 0 {
+		minLinked = 1
+	}
+	s.TwoPhase = f.linked >= minLinked
+	if n := int(f.votes.PayloadPrefixLen); n > 0 {
+		s.Payload = append([]byte(nil), f.votes.PayloadPrefix[:n]...)
+	}
+	s.Ports = make([]uint16, 0, len(f.ports))
+	for p := range f.ports {
+		s.Ports = append(s.Ports, p)
+	}
+	sort.Slice(s.Ports, func(i, j int) bool { return s.Ports[i] < s.Ports[j] })
+
+	// Rate estimation: observed packets over observed duration, floored at
+	// one second so single-burst flows do not produce infinite rates, then
+	// extrapolated from the telescope to the full IPv4 space.
+	durSec := s.Duration()
+	if durSec < 1 {
+		durSec = 1
+	}
+	observedPPS := float64(s.Packets) / durSec
+	s.RatePPS = inetmodel.ExtrapolateRate(observedPPS, cfg.TelescopeSize)
+	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, cfg.TelescopeSize)
+	s.Qualified = s.DistinctDsts >= cfg.MinDistinctDsts && s.RatePPS >= cfg.MinRatePPS
+	return s
 }
 
 // Ingester is the streaming surface shared by the detector variants:
@@ -202,7 +300,7 @@ func (d *Detector) Ingest(p *packet.Probe) {
 		f = &flow{
 			src:   p.Src,
 			start: p.Time,
-			dsts:  make(map[uint32]struct{}),
+			dsts:  make(map[uint32]uint8),
 			ports: make(map[uint16]struct{}),
 		}
 		d.flows[p.Src] = f
@@ -226,10 +324,7 @@ func (d *Detector) Ingest(p *packet.Probe) {
 	if d.met != nil {
 		d.met.packets.Inc()
 	}
-	f.packets++
-	f.dsts[p.Dst] = struct{}{}
-	f.ports[p.DstPort] = struct{}{}
-	f.votes.Add(p)
+	f.absorb(p)
 	d.lruAppend(f)
 }
 
@@ -275,32 +370,7 @@ func (d *Detector) close(f *flow) {
 		d.met.closed.Inc()
 		d.met.active.Add(-1)
 	}
-	s := &Scan{
-		Src:          f.src,
-		Start:        f.start,
-		End:          f.end,
-		Packets:      f.packets,
-		DistinctDsts: len(f.dsts),
-		Tool:         f.votes.Classify(),
-	}
-	s.Ports = make([]uint16, 0, len(f.ports))
-	for p := range f.ports {
-		s.Ports = append(s.Ports, p)
-	}
-	sort.Slice(s.Ports, func(i, j int) bool { return s.Ports[i] < s.Ports[j] })
-
-	// Rate estimation: observed packets over observed duration, floored at
-	// one second so single-burst flows do not produce infinite rates, then
-	// extrapolated from the telescope to the full IPv4 space.
-	durSec := s.Duration()
-	if durSec < 1 {
-		durSec = 1
-	}
-	observedPPS := float64(s.Packets) / durSec
-	s.RatePPS = inetmodel.ExtrapolateRate(observedPPS, d.cfg.TelescopeSize)
-	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, d.cfg.TelescopeSize)
-
-	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
+	s := finalize(&d.cfg, f)
 	if s.Qualified {
 		d.qualified++
 		if d.met != nil {

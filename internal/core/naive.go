@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 
-	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/packet"
 )
 
@@ -67,7 +66,7 @@ func (d *NaiveDetector) Ingest(p *packet.Probe) {
 		f = &flow{
 			src:   p.Src,
 			start: p.Time,
-			dsts:  make(map[uint32]struct{}),
+			dsts:  make(map[uint32]uint8),
 			ports: make(map[uint16]struct{}),
 		}
 		d.flows[p.Src] = f
@@ -77,10 +76,7 @@ func (d *NaiveDetector) Ingest(p *packet.Probe) {
 	if p.Time > f.end {
 		f.end = p.Time
 	}
-	f.packets++
-	f.dsts[p.Dst] = struct{}{}
-	f.ports[p.DstPort] = struct{}{}
-	f.votes.Add(p)
+	f.absorb(p)
 }
 
 // FlushAll closes all remaining flows in source order.
@@ -97,29 +93,10 @@ func (d *NaiveDetector) FlushAll() {
 	}
 }
 
-// close duplicates Detector.close's qualification math.
+// close shares Detector.close's qualification math via finalize.
 func (d *NaiveDetector) close(f *flow) {
 	d.closed++
-	s := &Scan{
-		Src:          f.src,
-		Start:        f.start,
-		End:          f.end,
-		Packets:      f.packets,
-		DistinctDsts: len(f.dsts),
-		Tool:         f.votes.Classify(),
-	}
-	s.Ports = make([]uint16, 0, len(f.ports))
-	for p := range f.ports {
-		s.Ports = append(s.Ports, p)
-	}
-	sort.Slice(s.Ports, func(i, j int) bool { return s.Ports[i] < s.Ports[j] })
-	durSec := s.Duration()
-	if durSec < 1 {
-		durSec = 1
-	}
-	s.RatePPS = inetmodel.ExtrapolateRate(float64(s.Packets)/durSec, d.cfg.TelescopeSize)
-	s.Coverage = inetmodel.ExtrapolateCoverage(s.DistinctDsts, d.cfg.TelescopeSize)
-	s.Qualified = s.DistinctDsts >= d.cfg.MinDistinctDsts && s.RatePPS >= d.cfg.MinRatePPS
+	s := finalize(&d.cfg, f)
 	if s.Qualified {
 		d.qualified++
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 	"time"
 
@@ -181,7 +182,7 @@ func TestStreamMutatorDeterministicAndAccounted(t *testing.T) {
 		t.Fatalf("same seed diverged: %d vs %d probes, %+v vs %+v", len(a), len(b), sa, sb)
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("probe %d differs between identical runs", i)
 		}
 	}

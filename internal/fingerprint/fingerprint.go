@@ -51,6 +51,50 @@ func PairUnicorn(a, b *packet.Probe) bool {
 	return a.Seq^b.Seq == want
 }
 
+// ISNClass summarizes how a campaign chooses initial sequence numbers.
+// Stateless scouts (masscan-style) derive the ISN from the target, so
+// consecutive probes jump wildly; kernel TCP stacks hand out monotonically
+// advancing ISNs, so a stateful scanner's consecutive SYNs sit close
+// together. A two-phase campaign mixes both regimes.
+type ISNClass uint8
+
+const (
+	// ISNUnknown means too few SYNs to judge (fewer than two).
+	ISNUnknown ISNClass = iota
+	// ISNIrregular is the stateless regime: ISNs jump randomly.
+	ISNIrregular
+	// ISNRegular is the stateful regime: ISNs advance in small steps.
+	ISNRegular
+	// ISNMixed holds a meaningful share of both — the two-phase signature.
+	ISNMixed
+)
+
+var isnNames = [...]string{"unknown", "irregular", "regular", "mixed"}
+
+// String returns the lower-case class name used by the query layer.
+func (c ISNClass) String() string {
+	if int(c) < len(isnNames) {
+		return isnNames[c]
+	}
+	return "invalid"
+}
+
+// ISNClassByName inverts String for query parsing.
+func ISNClassByName(s string) (ISNClass, bool) {
+	for i, n := range isnNames {
+		if n == s {
+			return ISNClass(i), true
+		}
+	}
+	return 0, false
+}
+
+// isnRegularWindow bounds the forward step between consecutive SYN ISNs that
+// still counts as "regular". Kernel stacks advance the ISN clock plus a small
+// per-connection offset; 2^24 covers seconds of wall time while a random
+// cookie lands inside it only ~1/256 of the time.
+const isnRegularWindow = 1 << 24
+
 // Votes accumulates fingerprint evidence over the packets of one campaign.
 // The pairwise tests compare each packet against the previous one from the
 // same source — O(1) memory per flow (the pair-cache design; see the
@@ -64,6 +108,21 @@ type Votes struct {
 	ZMap, Masscan, Mirai uint32
 	// NMap, Unicorn count pairwise matches.
 	NMap, Unicorn uint32
+	// RegularISN and IrregularISN count consecutive-SYN sequence deltas that
+	// fall inside / outside the stateful stack's window (see ISNClass).
+	RegularISN, IrregularISN uint32
+	// Handshakes counts phase-two segments (ACK/PSH-ACK of an invited
+	// handshake) folded in via AddPhase2.
+	Handshakes uint32
+	// Payloads counts phase-two segments that carried data.
+	Payloads uint32
+	// PayloadBytes sums phase-two payload lengths.
+	PayloadBytes uint64
+
+	// PayloadPrefix keeps the first PayloadPrefixLen bytes of the first
+	// payload seen — enough to tell HTTP from TLS from SSH banners.
+	PayloadPrefix    [8]byte
+	PayloadPrefixLen uint8
 
 	prev    packet.Probe
 	hasPrev bool
@@ -83,6 +142,11 @@ func (v *Votes) Add(p *packet.Probe) {
 	}
 	if v.hasPrev {
 		v.Pairs++
+		if d := p.Seq - v.prev.Seq; d != 0 && d < isnRegularWindow {
+			v.RegularISN++
+		} else {
+			v.IrregularISN++
+		}
 		// Identical sequence numbers satisfy both pairwise relations
 		// trivially (x == 0); only count them when the sequence actually
 		// varies, otherwise a constant-seq custom scanner would be
@@ -100,6 +164,23 @@ func (v *Votes) Add(p *packet.Probe) {
 	v.hasPrev = true
 }
 
+// AddPhase2 folds one phase-two segment (handshake ACK or payload push of a
+// reactive telescope's invited connection) into the tally. Phase-two packets
+// never enter the SYN pair cache: their sequence numbers continue an
+// established connection and would poison the ISN-regularity signal.
+func (v *Votes) AddPhase2(p *packet.Probe) {
+	v.Packets++
+	v.Handshakes++
+	if n := len(p.Payload); n > 0 {
+		v.Payloads++
+		v.PayloadBytes += uint64(n)
+		if v.PayloadPrefixLen == 0 {
+			c := copy(v.PayloadPrefix[:], p.Payload)
+			v.PayloadPrefixLen = uint8(c)
+		}
+	}
+}
+
 // Merge folds another tally into v (used when two flow fragments of the
 // same source are joined). The pair cache of other is discarded.
 func (v *Votes) Merge(other *Votes) {
@@ -110,6 +191,33 @@ func (v *Votes) Merge(other *Votes) {
 	v.Mirai += other.Mirai
 	v.NMap += other.NMap
 	v.Unicorn += other.Unicorn
+	v.RegularISN += other.RegularISN
+	v.IrregularISN += other.IrregularISN
+	v.Handshakes += other.Handshakes
+	v.Payloads += other.Payloads
+	v.PayloadBytes += other.PayloadBytes
+	if v.PayloadPrefixLen == 0 && other.PayloadPrefixLen > 0 {
+		v.PayloadPrefix = other.PayloadPrefix
+		v.PayloadPrefixLen = other.PayloadPrefixLen
+	}
+}
+
+// ISN classifies the campaign's sequence-number regime from the accumulated
+// delta counts. At least 10% regular deltas alongside irregular ones reads as
+// mixed — the share a phase-two handshake train contributes next to a scout
+// sweep; a 3:1 regular majority reads as a purely stateful scanner.
+func (v *Votes) ISN() ISNClass {
+	total := v.RegularISN + v.IrregularISN
+	switch {
+	case total == 0:
+		return ISNUnknown
+	case v.RegularISN*4 >= total*3:
+		return ISNRegular
+	case v.RegularISN*10 >= total:
+		return ISNMixed
+	default:
+		return ISNIrregular
+	}
 }
 
 // classifyThreshold is the fraction of packets (or pairs) that must match a
@@ -125,7 +233,14 @@ func (v *Votes) Classify() tools.Tool {
 	if v.Packets == 0 {
 		return tools.ToolUnknown
 	}
-	pk := float64(v.Packets)
+	// Per-packet fingerprints are defined on probe (SYN) headers; phase-two
+	// handshake segments carry connection-bound sequence numbers and must not
+	// dilute the tool shares.
+	syns := v.Packets - v.Handshakes
+	if syns == 0 {
+		return tools.ToolCustom
+	}
+	pk := float64(syns)
 	switch {
 	case float64(v.ZMap) >= classifyThreshold*pk:
 		return tools.ToolZMap

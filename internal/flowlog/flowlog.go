@@ -12,6 +12,11 @@
 //	record:  uvarint(zigzag(time delta ns)) | src u32 | dst u32 |
 //	         srcPort u16 | dstPort u16 | seq u32 | ack u32 | ipid u16 |
 //	         ttl u8 | flags u8 | window u16 | proto u8   (all BE)
+//
+// Records are header-only: application payload bytes (the phase-two
+// pushes a reactive telescope elicits) are not stored — the fixed record
+// body has no room for them. Reactive captures that must preserve
+// payloads for replay belong in pcap/pcapng, whose frames carry them.
 package flowlog
 
 import (

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -49,7 +50,7 @@ func TestRoundTrip(t *testing.T) {
 		if err := rd.Next(&p); err != nil {
 			t.Fatalf("record %d: %v", i, err)
 		}
-		if p != in[i] {
+		if !reflect.DeepEqual(p, in[i]) {
 			t.Fatalf("record %d:\n got %+v\nwant %+v", i, p, in[i])
 		}
 	}
@@ -81,7 +82,7 @@ func TestRoundTripQuick(t *testing.T) {
 		}
 		var p packet.Probe
 		for i := range in {
-			if err := rd.Next(&p); err != nil || p != in[i] {
+			if err := rd.Next(&p); err != nil || !reflect.DeepEqual(p, in[i]) {
 				return false
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"github.com/synscan/synscan/internal/obs"
@@ -93,7 +94,7 @@ func TestResyncOverflowVarint(t *testing.T) {
 			want = probes[i+1]
 			want.Time -= 1e6
 		}
-		if q != want {
+		if !reflect.DeepEqual(q, want) {
 			t.Fatalf("probe %d:\n got %+v\nwant %+v", i, q, want)
 		}
 	}

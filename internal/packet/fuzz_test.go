@@ -35,6 +35,42 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	})
 }
 
+// FuzzHandshakeFrame hardens the payload path of the frame codec: arbitrary
+// payload bytes must round-trip through a PSH-ACK frame exactly, and
+// arbitrary input bytes must never panic the payload extractor (including
+// frames whose IP total length disagrees with the capture length).
+func FuzzHandshakeFrame(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\n"), []byte{})
+	f.Add([]byte{}, []byte{})
+	pshack := (&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4,
+		Flags: FlagPSH | FlagACK, Seq: 5, Ack: 6,
+		Payload: []byte("SSH-2.0-")}).MarshalFrame()
+	f.Add([]byte{0x16, 0x03, 0x01}, pshack)
+	// A frame claiming more payload than was captured.
+	short := append([]byte{}, pshack...)
+	short = short[:len(short)-4]
+	f.Add([]byte("x"), short)
+
+	f.Fuzz(func(t *testing.T, payload, raw []byte) {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		in := Probe{Src: 0x0a000001, Dst: 0xc0a80001, SrcPort: 40000,
+			DstPort: 80, Seq: 100, Ack: 200, TTL: 64,
+			Flags: FlagPSH | FlagACK, Window: 65535, Payload: payload}
+		frame := in.MarshalFrame()
+		var out Probe
+		if err := out.UnmarshalFrame(frame); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if string(out.Payload) != string(payload) {
+			t.Fatalf("payload mismatch: sent %d bytes, got %d", len(payload), len(out.Payload))
+		}
+		var p Probe
+		_ = p.UnmarshalFrame(raw) // must not panic
+	})
+}
+
 // FuzzDecodeBinary does the same for the compact fixed-width codec.
 func FuzzDecodeBinary(f *testing.F) {
 	valid := (&Probe{Time: 1, Src: 2, Dst: 3}).AppendBinary(nil)

@@ -208,6 +208,13 @@ func (t *TCP) DecodeFromBytes(data []byte) error {
 // AppendTo serializes the header onto b with the checksum computed over the
 // IPv4 pseudo-header (src, dst) and an empty payload.
 func (t *TCP) AppendTo(b []byte, src, dst uint32) []byte {
+	return t.AppendPayload(b, src, dst, nil)
+}
+
+// AppendPayload serializes the header followed by payload onto b, with the
+// checksum computed over the IPv4 pseudo-header (src, dst), the header and
+// the payload — the segment form of the reactive path's PSH-ACK probes.
+func (t *TCP) AppendPayload(b []byte, src, dst uint32, payload []byte) []byte {
 	optLen := (len(t.Options) + 3) &^ 3
 	off := (TCPHeaderLen + optLen) / 4
 	start := len(b)
@@ -223,6 +230,7 @@ func (t *TCP) AppendTo(b []byte, src, dst uint32) []byte {
 	for i := len(t.Options); i < optLen; i++ {
 		b = append(b, 0)
 	}
+	b = append(b, payload...)
 	cs := tcpChecksum(b[start:], src, dst)
 	binary.BigEndian.PutUint16(b[start+16:start+18], cs)
 	return b

@@ -2,6 +2,7 @@ package packet
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -262,7 +263,7 @@ func TestProbeFrameRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	got.Time = p.Time // Time is not on the wire
-	if got != p {
+	if !reflect.DeepEqual(got, p) {
 		t.Fatalf("round trip:\n got %+v\nwant %+v", got, p)
 	}
 }
@@ -400,7 +401,7 @@ func TestProbeBinaryRoundTripQuick(t *testing.T) {
 		if err := got.DecodeBinary(b); err != nil {
 			return false
 		}
-		return got == p
+		return reflect.DeepEqual(got, p)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)

@@ -34,6 +34,11 @@ type Probe struct {
 	// probes (reflection sweeps, ping scans) set it explicitly and are
 	// dropped by the telescope's TCP/SYN filter.
 	Proto uint8
+	// Payload holds TCP payload bytes, if any. One-way SYN scanning never
+	// carries a payload; it appears on the reactive path's phase-two
+	// PSH-ACK segments (the application data a two-phase scanner sends
+	// once a synthesized SYN-ACK completes its handshake).
+	Payload []byte
 }
 
 // IsTCP reports whether the probe is a TCP segment.
@@ -44,6 +49,23 @@ func (p *Probe) IsTCP() bool { return p.Proto == 0 || p.Proto == ProtoTCP }
 func (p *Probe) IsSYN() bool {
 	return p.IsTCP() && p.Flags&FlagSYN != 0 && p.Flags&FlagACK == 0
 }
+
+// IsSYNACK reports whether the probe is a SYN-ACK — the responder's
+// synthesized second handshake step on the reactive path.
+func (p *Probe) IsSYNACK() bool {
+	return p.IsTCP() && p.Flags&FlagSYN != 0 && p.Flags&FlagACK != 0
+}
+
+// IsACK reports whether the probe is a plain ACK segment (ACK set, no SYN,
+// RST or FIN): the handshake-completing and data-carrying segments of a
+// two-phase scanner's second phase.
+func (p *Probe) IsACK() bool {
+	return p.IsTCP() && p.Flags&FlagACK != 0 &&
+		p.Flags&(FlagSYN|FlagRST|FlagFIN) == 0
+}
+
+// HasPayload reports whether the probe carries TCP payload bytes.
+func (p *Probe) HasPayload() bool { return len(p.Payload) > 0 }
 
 // String renders the probe in a compact tcpdump-like form.
 func (p *Probe) String() string {
@@ -59,8 +81,8 @@ var (
 )
 
 // AppendFrame serializes the probe as a minimal Ethernet+IPv4+transport
-// frame onto b and returns the extended slice (54 bytes for TCP, 42 for
-// UDP and ICMP). Checksums are valid.
+// frame onto b and returns the extended slice (54 bytes for a payload-less
+// TCP segment, 42 for UDP and ICMP). Checksums are valid.
 func (p *Probe) AppendFrame(b []byte) []byte {
 	eth := Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EtherType: EtherTypeIPv4}
 	b = eth.AppendTo(b)
@@ -71,7 +93,7 @@ func (p *Probe) AppendFrame(b []byte) []byte {
 	var transportLen int
 	switch proto {
 	case ProtoTCP:
-		transportLen = TCPHeaderLen
+		transportLen = TCPHeaderLen + len(p.Payload)
 	case ProtoUDP:
 		transportLen = UDPHeaderLen
 	case ProtoICMP:
@@ -105,13 +127,13 @@ func (p *Probe) AppendFrame(b []byte) []byte {
 			Flags:   p.Flags,
 			Window:  p.Window,
 		}
-		return tcp.AppendTo(b, p.Src, p.Dst)
+		return tcp.AppendPayload(b, p.Src, p.Dst, p.Payload)
 	}
 }
 
 // MarshalFrame is AppendFrame into a fresh slice.
 func (p *Probe) MarshalFrame() []byte {
-	return p.AppendFrame(make([]byte, 0, FrameLen))
+	return p.AppendFrame(make([]byte, 0, FrameLen+len(p.Payload)))
 }
 
 // UnmarshalFrame parses an Ethernet+IPv4 frame into p. TCP, UDP and ICMP
@@ -148,6 +170,16 @@ func (p *Probe) UnmarshalFrame(frame []byte) error {
 		p.Seq, p.Ack = tcp.Seq, tcp.Ack
 		p.Flags = tcp.Flags
 		p.Window = tcp.Window
+		// Payload: the bytes between the TCP header and the IP total
+		// length, bounded by the capture. Copied, because capture layers
+		// reuse the frame buffer between records.
+		end := int(ip.TotalLen) - ip.HeaderLen()
+		if end > len(rest) {
+			end = len(rest)
+		}
+		if off := tcp.HeaderLen(); end > off {
+			p.Payload = append([]byte(nil), rest[off:end]...)
+		}
 		return nil
 	case ProtoUDP:
 		var udp UDP

@@ -22,6 +22,7 @@ import (
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/tools"
 )
@@ -253,6 +254,15 @@ func ASNIn(asns ...uint32) Expr {
 	return e
 }
 
+// ISNIn matches scans whose ISN regularity class is one of the given values.
+func ISNIn(cs ...fingerprint.ISNClass) Expr {
+	e := &inExpr{field: FieldISN}
+	for _, c := range cs {
+		e.ints = append(e.ints, uint64(c))
+	}
+	return e
+}
+
 // TypeIn matches scans whose origin scanner type is one of the given values.
 func TypeIn(ts ...inetmodel.ScannerType) Expr {
 	e := &inExpr{field: FieldType}
@@ -285,6 +295,8 @@ func (e *inExpr) match(sc *core.Scan, o *enrich.Origin) bool {
 			}
 		}
 		return false
+	case FieldISN:
+		return containsInt(e.ints, uint64(sc.ISN))
 	case FieldASN:
 		return o != nil && containsInt(e.ints, uint64(o.ASN))
 	case FieldType:
@@ -436,6 +448,12 @@ func (e *inExpr) validate() error {
 				return errf("scanner type value %d out of range", t)
 			}
 		}
+	case FieldISN:
+		for _, c := range e.ints {
+			if c > uint64(fingerprint.ISNMixed) {
+				return errf("isn class value %d out of range", c)
+			}
+		}
 	case FieldCountry, FieldOrg:
 		if len(e.ints) > 0 {
 			return errf("%s takes string values", e.field)
@@ -474,6 +492,40 @@ func (e *qualExpr) appendKey(b []byte) []byte {
 }
 
 func (e *qualExpr) validate() error { return nil }
+
+// ---- two-phase flag ----
+
+type twoPhaseExpr struct{ want bool }
+
+// TwoPhaseIs matches scans whose two-phase (scout + handshake) flag equals
+// want. Blocks prune through the zone map's saturating two-phase counter;
+// archives written before the phase extension carry a zero counter, so a
+// want=true filter skips them wholesale.
+func TwoPhaseIs(want bool) Expr { return &twoPhaseExpr{want: want} }
+
+func (e *twoPhaseExpr) match(sc *core.Scan, _ *enrich.Origin) bool {
+	return sc.TwoPhase == e.want
+}
+
+func (e *twoPhaseExpr) matchBlock(z *archive.ZoneMap) bool {
+	if e.want {
+		return z.TwoPhase > 0
+	}
+	// The counter saturates, so equality with Scans only proves "all
+	// two-phase" while it is below the cap; at the cap we must decode.
+	return uint32(z.TwoPhase) < z.Scans || z.TwoPhase == 65535
+}
+
+func (e *twoPhaseExpr) canon() Expr { return e }
+
+func (e *twoPhaseExpr) appendKey(b []byte) []byte {
+	if e.want {
+		return append(b, "twophase(1)"...)
+	}
+	return append(b, "twophase(0)"...)
+}
+
+func (e *twoPhaseExpr) validate() error { return nil }
 
 // ---- source prefix ----
 

@@ -172,6 +172,12 @@ func (e *Executor) coordRows(sc *core.Scan, o *enrich.Origin) [][]coord {
 			if sc.Qualified {
 				base[i] = coord{num: 1}
 			}
+		case FieldTwoPhase:
+			if sc.TwoPhase {
+				base[i] = coord{num: 1}
+			}
+		case FieldISN:
+			base[i] = coord{num: uint64(sc.ISN)}
 		case FieldCountry:
 			if o == nil {
 				return nil
@@ -453,7 +459,7 @@ func renderCoord(f Field, c coord) KeyVal {
 	switch f {
 	case FieldCountry, FieldOrg:
 		// Str already holds the value.
-	case FieldQualified:
+	case FieldQualified, FieldTwoPhase:
 		if c.num != 0 {
 			kv.Str = "true"
 		} else {

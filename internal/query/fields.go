@@ -8,6 +8,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/tools"
 )
@@ -41,6 +42,14 @@ const (
 	FieldASN     // announcing autonomous system
 	FieldType    // scanner-type classification
 	FieldOrg     // institutional organization name
+	// Reactive (two-phase) fields, populated by archives written with the
+	// phase extension; older archives decode them as zero values, so filters
+	// on them simply match nothing there.
+	FieldTwoPhase         // two-phase (scout + handshake) campaign flag
+	FieldISN              // ISN regularity class (unknown/irregular/regular/mixed)
+	FieldLinkedDsts       // destinations probed in both phases
+	FieldHandshakePackets // phase-two segment count
+	FieldPayloadBytes     // application payload bytes received
 )
 
 var fieldNames = map[Field]string{
@@ -49,6 +58,8 @@ var fieldNames = map[Field]string{
 	FieldRate: "rate_pps", FieldPackets: "packets", FieldDsts: "dsts",
 	FieldNPorts: "nports", FieldDuration: "duration_s", FieldCoverage: "coverage",
 	FieldCountry: "country", FieldASN: "asn", FieldType: "type", FieldOrg: "org",
+	FieldTwoPhase: "two_phase", FieldISN: "isn", FieldLinkedDsts: "linked_dsts",
+	FieldHandshakePackets: "handshake_packets", FieldPayloadBytes: "payload_bytes",
 }
 
 var fieldsByName = func() map[string]Field {
@@ -83,7 +94,8 @@ func (f Field) MarshalJSON() ([]byte, error) {
 func (f Field) groupable() bool {
 	switch f {
 	case FieldYear, FieldTool, FieldPort, FieldQualified,
-		FieldCountry, FieldASN, FieldType, FieldOrg:
+		FieldCountry, FieldASN, FieldType, FieldOrg,
+		FieldTwoPhase, FieldISN:
 		return true
 	}
 	return false
@@ -93,7 +105,8 @@ func (f Field) groupable() bool {
 func (f Field) numeric() bool {
 	switch f {
 	case FieldRate, FieldPackets, FieldDsts, FieldNPorts, FieldDuration,
-		FieldCoverage, FieldQualified:
+		FieldCoverage, FieldQualified, FieldTwoPhase, FieldLinkedDsts,
+		FieldHandshakePackets, FieldPayloadBytes:
 		return true
 	}
 	return false
@@ -103,7 +116,9 @@ func (f Field) numeric() bool {
 // (rendered as integers, matching the exact-counter analyses).
 func (f Field) integerValued() bool {
 	switch f {
-	case FieldPackets, FieldDsts, FieldNPorts, FieldQualified:
+	case FieldPackets, FieldDsts, FieldNPorts, FieldQualified,
+		FieldTwoPhase, FieldLinkedDsts, FieldHandshakePackets,
+		FieldPayloadBytes:
 		return true
 	}
 	return false
@@ -113,7 +128,7 @@ func (f Field) integerValued() bool {
 func (f Field) distinctable() bool {
 	switch f {
 	case FieldSrc, FieldPort, FieldYear, FieldTool, FieldASN,
-		FieldCountry, FieldType, FieldOrg:
+		FieldCountry, FieldType, FieldOrg, FieldISN:
 		return true
 	}
 	return false
@@ -123,7 +138,8 @@ func (f Field) distinctable() bool {
 // fields so partial trackers merge by key across segments.
 func (f Field) topKable() bool {
 	switch f {
-	case FieldSrc, FieldPort, FieldYear, FieldTool, FieldASN, FieldType:
+	case FieldSrc, FieldPort, FieldYear, FieldTool, FieldASN, FieldType,
+		FieldISN:
 		return true
 	}
 	return false
@@ -167,6 +183,17 @@ func numValue(f Field, sc *core.Scan, portSplit int) float64 {
 			return 1
 		}
 		return 0
+	case FieldTwoPhase:
+		if sc.TwoPhase {
+			return 1
+		}
+		return 0
+	case FieldLinkedDsts:
+		return float64(sc.LinkedDsts)
+	case FieldHandshakePackets:
+		return float64(sc.HandshakePackets)
+	case FieldPayloadBytes:
+		return float64(sc.PayloadBytes)
 	}
 	return 0
 }
@@ -189,6 +216,17 @@ func intValue(f Field, sc *core.Scan, portSplit int) uint64 {
 			return 1
 		}
 		return 0
+	case FieldTwoPhase:
+		if sc.TwoPhase {
+			return 1
+		}
+		return 0
+	case FieldLinkedDsts:
+		return uint64(sc.LinkedDsts)
+	case FieldHandshakePackets:
+		return sc.HandshakePackets
+	case FieldPayloadBytes:
+		return sc.PayloadBytes
 	}
 	return 0
 }
@@ -209,6 +247,8 @@ func keyValues(f Field, sc *core.Scan, o *enrich.Origin, dst []uint64) []uint64 
 		return append(dst, uint64(yearOf(sc.Start)))
 	case FieldTool:
 		return append(dst, uint64(sc.Tool))
+	case FieldISN:
+		return append(dst, uint64(sc.ISN))
 	case FieldASN:
 		if o == nil {
 			return dst
@@ -249,6 +289,8 @@ func renderKey(f Field, v uint64) string {
 		return tools.Tool(v).String()
 	case FieldType:
 		return inetmodel.ScannerType(v).String()
+	case FieldISN:
+		return fingerprint.ISNClass(v).String()
 	default:
 		return fmt.Sprintf("%d", v)
 	}

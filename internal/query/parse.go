@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"strings"
 
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/tools"
 )
@@ -254,6 +255,15 @@ func parseLeaf(f Field, in []json.RawMessage, eq json.RawMessage,
 			return nil, errf("qualified: eq wants a boolean")
 		}
 		return &qualExpr{want: want}, nil
+	case FieldTwoPhase:
+		if hasRange || hasTime || prefix != "" || len(in) > 0 || len(eq) == 0 {
+			return nil, errf("two_phase takes exactly an \"eq\" boolean")
+		}
+		var want bool
+		if err := json.Unmarshal(eq, &want); err != nil {
+			return nil, errf("two_phase: eq wants a boolean")
+		}
+		return &twoPhaseExpr{want: want}, nil
 	}
 	if f.numeric() {
 		if hasSet || hasTime || prefix != "" || !hasRange {
@@ -313,6 +323,16 @@ func appendInValue(e *inExpr, f Field, raw json.RawMessage) error {
 			return errf("unknown scanner type %q", s)
 		}
 		e.ints = append(e.ints, uint64(t))
+	case FieldISN:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return errf("isn: want a class name, got %s", raw)
+		}
+		c, ok := fingerprint.ISNClassByName(strings.ToLower(s))
+		if !ok {
+			return errf("unknown isn class %q", s)
+		}
+		e.ints = append(e.ints, uint64(c))
 	case FieldCountry, FieldOrg:
 		var s string
 		if err := json.Unmarshal(raw, &s); err != nil {

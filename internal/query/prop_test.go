@@ -10,6 +10,7 @@ import (
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/rng"
 	"github.com/synscan/synscan/internal/tools"
@@ -25,7 +26,7 @@ func randQuery(r *rng.Rand, withOrigins bool) *Query {
 	nClauses := int(r.Uint32() % 4)
 	for i := 0; i < nClauses; i++ {
 		var e Expr
-		switch r.Uint32() % 7 {
+		switch r.Uint32() % 9 {
 		case 0:
 			e = YearIn(2015+int(r.Uint32()%10), 2015+int(r.Uint32()%10))
 		case 1:
@@ -39,6 +40,10 @@ func randQuery(r *rng.Rand, withOrigins bool) *Query {
 		case 5:
 			base := uint32(r.Uint32()) &^ 0xFFFFFF // keep a /8
 			e = SrcIn(inetmodel.Prefix{Base: base, Bits: 8})
+		case 6:
+			e = TwoPhaseIs(r.Uint32()%2 == 0)
+		case 7:
+			e = ISNIn(fingerprint.ISNClass(r.Uint32()%4), fingerprint.ISNClass(r.Uint32()%4))
 		default:
 			lo := time.Date(2015+int(r.Uint32()%10), time.January, 1, 0, 0, 0, 0, time.UTC).UnixNano()
 			e = TimeBetween(lo, lo+int64(200*24)*int64(time.Hour))
@@ -49,7 +54,8 @@ func randQuery(r *rng.Rand, withOrigins bool) *Query {
 		b.Where(e)
 	}
 	// Random grouping.
-	groupPool := []Field{FieldYear, FieldTool, FieldPort, FieldQualified}
+	groupPool := []Field{FieldYear, FieldTool, FieldPort, FieldQualified,
+		FieldTwoPhase, FieldISN}
 	if withOrigins {
 		groupPool = append(groupPool, FieldType, FieldCountry)
 	}
@@ -70,8 +76,12 @@ func randQuery(r *rng.Rand, withOrigins bool) *Query {
 	b.Count().
 		Sum(FieldPackets).
 		Sum(FieldRate).
+		Sum(FieldTwoPhase).
+		Sum(FieldHandshakePackets).
+		Sum(FieldPayloadBytes).
 		CountDistinct(FieldSrc).
 		ApproxDistinct(FieldSrc).
+		TopK(FieldISN, 4).
 		TopK(FieldPort, 8).
 		Quantiles(FieldRate, 0.5, 0.9, 0.99)
 	q, err := b.Build()

@@ -14,6 +14,7 @@ import (
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/rng"
 	"github.com/synscan/synscan/internal/stats"
@@ -22,6 +23,8 @@ import (
 
 // genScans builds n deterministic scans spread over years 2015-2024, all
 // tools, varied port sets and the full source space, with parallel origins.
+// Every fifth scan carries the reactive two-phase attributes, so archives and
+// queries over the generated set exercise the phase extension end to end.
 func genScans(n int, seed uint64) ([]*core.Scan, []enrich.Origin) {
 	r := rng.New(seed)
 	scans := make([]*core.Scan, 0, n)
@@ -37,7 +40,7 @@ func genScans(n int, seed uint64) ([]*core.Scan, []enrich.Origin) {
 			p += uint16(1 + r.Uint32()%300)
 			ports = append(ports, p)
 		}
-		scans = append(scans, &core.Scan{
+		sc := &core.Scan{
 			Src:          r.Uint32(),
 			Start:        start,
 			End:          start + r.Int63n(int64(2*time.Hour)),
@@ -48,7 +51,18 @@ func genScans(n int, seed uint64) ([]*core.Scan, []enrich.Origin) {
 			Qualified:    i%3 != 0,
 			RatePPS:      math.Abs(r.NormFloat64()) * 3000,
 			Coverage:     float64(r.Uint32()%1000) / 1000,
-		})
+			ISN:          fingerprint.ISNClass(i % 3),
+		}
+		if i%5 == 0 {
+			sc.TwoPhase = true
+			sc.ISN = fingerprint.ISNMixed
+			sc.LinkedDsts = 1 + int(r.Uint32()%64)
+			sc.HandshakePackets = uint64(r.Uint32()) % sc.Packets
+			sc.PayloadBytes = uint64(r.Uint32() % 4096)
+			sc.Payload = []byte{0x16, 0x03, 0x01, byte(i)}
+		}
+		sc.ScoutPackets = sc.Packets - sc.HandshakePackets
+		scans = append(scans, sc)
 		origins = append(origins, enrich.Origin{
 			Country: fmt.Sprintf("C%d", i%11),
 			ASN:     r.Uint32() % 50000,

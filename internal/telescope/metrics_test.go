@@ -15,18 +15,20 @@ func TestObserveMetricsMirrorStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	tel.BlockPort(23)
-	tel.AddOutage(5000, 6000)
+	// ScaledConfig gates the port policy on PolicyEpoch; run the diet after it.
+	base := PolicyEpoch
+	tel.AddOutage(base+5000, base+6000)
 	reg := obs.NewRegistry()
 	tel.SetMetrics(reg)
 
 	monitored := tel.At(0)
 	probes := []packet.Probe{
-		{Time: 1, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                  // accepted
-		{Time: 2, Dst: monitored, DstPort: 23, Flags: packet.FlagSYN},                  // policy
-		{Time: 3, Dst: 1, DstPort: 80, Flags: packet.FlagSYN},                          // not monitored
-		{Time: 4, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, // not SYN
-		{Time: 5500, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},               // outage
-		{Time: -7, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                 // bad time
+		{Time: base + 1, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                  // accepted
+		{Time: base + 2, Dst: monitored, DstPort: 23, Flags: packet.FlagSYN},                  // policy
+		{Time: base + 3, Dst: 1, DstPort: 80, Flags: packet.FlagSYN},                          // not monitored
+		{Time: base + 4, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN | packet.FlagACK}, // not SYN
+		{Time: base + 5500, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},               // outage
+		{Time: -7, Dst: monitored, DstPort: 80, Flags: packet.FlagSYN},                        // bad time
 	}
 	for i := range probes {
 		tel.Observe(&probes[i])

@@ -43,10 +43,19 @@ type Config struct {
 	// BlockedPorts are dropped at the network ingress (the operational
 	// policy of §3.2: 23/TCP and 445/TCP since the advent of Mirai).
 	BlockedPorts []uint16
+	// PolicyFrom is the time (ns) the BlockedPorts policy took effect;
+	// packets before it pass the port filter. Zero blocks unconditionally.
+	PolicyFrom int64
 }
 
+// PolicyEpoch is when the §3.2 ingress policy was deployed: the operators
+// started dropping 23/TCP and 445/TCP on 2017-01-01, after Mirai and
+// WannaCry made those ports dominate the ingress volume.
+const PolicyEpoch int64 = 1483228800000000000
+
 // PaperConfig returns the deployment described in §3.2: three partially
-// populated /16 blocks monitoring 71,536 addresses in total.
+// populated /16 blocks monitoring 71,536 addresses in total, with ports 23
+// and 445 dropped at the ingress from PolicyEpoch on.
 func PaperConfig(seed uint64) Config {
 	return Config{
 		Blocks: []PartialBlock{
@@ -54,7 +63,9 @@ func PaperConfig(seed uint64) Config {
 			{Prefix: inetmodel.MustPrefix("198.51.0.0/16"), MonitoredFraction: 0.31},
 			{Prefix: inetmodel.MustPrefix("131.180.0.0/16"), MonitoredFraction: 0.36155},
 		},
-		Seed: seed,
+		Seed:         seed,
+		BlockedPorts: []uint16{23, 445},
+		PolicyFrom:   PolicyEpoch,
 	}
 }
 
@@ -138,11 +149,12 @@ type outage struct{ from, to int64 }
 // Telescope is a configured deployment. It is safe for concurrent reads
 // (Contains/At/Size) but Observe mutates counters and must be serialized.
 type Telescope struct {
-	addrs   []uint32 // sorted monitored addresses
-	blocked [1024]uint64
-	outages []outage
-	stats   Stats
-	met     *telMetrics // nil when metrics are disabled
+	addrs      []uint32 // sorted monitored addresses
+	blocked    [1024]uint64
+	policyFrom int64
+	outages    []outage
+	stats      Stats
+	met        *telMetrics // nil when metrics are disabled
 }
 
 // telMetrics mirrors Stats into an observability registry so the ingress
@@ -205,6 +217,7 @@ func New(cfg Config) (*Telescope, error) {
 	for _, p := range cfg.BlockedPorts {
 		t.blockPort(p)
 	}
+	t.policyFrom = cfg.PolicyFrom
 	return t, nil
 }
 
@@ -240,62 +253,88 @@ func (t *Telescope) Contains(ip uint32) bool {
 
 // Observe applies membership, SYN filtering, ingress policy and outage
 // windows to one arriving packet, updates the counters, and returns whether
-// the packet enters the dataset.
+// the packet enters the dataset. It is Check followed by Record.
 func (t *Telescope) Observe(p *packet.Probe) DropReason {
+	r := t.Check(p)
+	t.Record(r)
+	return r
+}
+
+// Check classifies one arriving packet without touching any counter: pure
+// membership, SYN filtering, ingress policy and outage-window evaluation.
+// The reactive responder uses it to form its own verdict (a non-SYN on a
+// live handshake is accepted there) before accounting via Record.
+func (t *Telescope) Check(p *packet.Probe) DropReason {
 	// A negative timestamp cannot come from the capture infrastructure: it is
 	// the signature of a record damaged upstream (and decoded anyway by a
 	// resyncing reader — a corrupted flowlog delta can walk the decoded clock
 	// below zero). Dropping it here keeps garbage out of the time-bucketed
 	// analyses instead of crediting traffic to before the epoch.
 	if p.Time < 0 {
-		t.stats.BadTime++
-		if t.met != nil {
-			t.met.badTime.Inc()
-		}
 		return DropBadTime
 	}
 	for _, o := range t.outages {
 		if p.Time >= o.from && p.Time < o.to {
-			t.stats.Outage++
-			if t.met != nil {
-				t.met.outage.Inc()
-			}
 			return DropOutage
 		}
 	}
-	if t.PortBlocked(p.DstPort) {
-		t.stats.Policy++
-		if t.met != nil {
-			t.met.policy.Inc()
-		}
+	if t.PortBlocked(p.DstPort) && p.Time >= t.policyFrom {
 		return DropPolicy
 	}
 	if !t.Contains(p.Dst) {
+		return DropNotMonitored
+	}
+	if !p.IsTCP() {
+		return DropNotTCP
+	}
+	if !p.IsSYN() {
+		return DropNotSYN
+	}
+	return Accepted
+}
+
+// Record accounts one packet's fate in the stats and metrics. Split from
+// Check so a wrapping responder can re-classify a packet (e.g. accept a
+// phase-two ACK the passive filter would drop) and still keep the ingress
+// counters truthful.
+func (t *Telescope) Record(r DropReason) {
+	switch r {
+	case Accepted:
+		t.stats.Accepted++
+		if t.met != nil {
+			t.met.accepted.Inc()
+		}
+	case DropNotMonitored:
 		t.stats.NotMonitored++
 		if t.met != nil {
 			t.met.notMonitored.Inc()
 		}
-		return DropNotMonitored
-	}
-	if !p.IsTCP() {
-		t.stats.NotTCP++
-		if t.met != nil {
-			t.met.notTCP.Inc()
-		}
-		return DropNotTCP
-	}
-	if !p.IsSYN() {
+	case DropNotSYN:
 		t.stats.NotSYN++
 		if t.met != nil {
 			t.met.notSYN.Inc()
 		}
-		return DropNotSYN
+	case DropPolicy:
+		t.stats.Policy++
+		if t.met != nil {
+			t.met.policy.Inc()
+		}
+	case DropOutage:
+		t.stats.Outage++
+		if t.met != nil {
+			t.met.outage.Inc()
+		}
+	case DropNotTCP:
+		t.stats.NotTCP++
+		if t.met != nil {
+			t.met.notTCP.Inc()
+		}
+	case DropBadTime:
+		t.stats.BadTime++
+		if t.met != nil {
+			t.met.badTime.Inc()
+		}
 	}
-	t.stats.Accepted++
-	if t.met != nil {
-		t.met.accepted.Inc()
-	}
-	return Accepted
 }
 
 // Stats returns a copy of the counters.

@@ -203,6 +203,63 @@ func TestPortBlockedViaConfig(t *testing.T) {
 	}
 }
 
+// TestPaperConfigIngressPolicy: PaperConfig must carry the §3.2 ingress
+// policy — ports 23 and 445 dropped from PolicyEpoch (2017-01-01) on, and
+// *only* from then on. Before the fix the constructor left BlockedPorts
+// empty, so paper-config telescopes never enforced the policy at all.
+func TestPaperConfigIngressPolicy(t *testing.T) {
+	cfg := PaperConfig(3)
+	if len(cfg.BlockedPorts) == 0 || cfg.PolicyFrom != PolicyEpoch {
+		t.Fatalf("PaperConfig lacks the ingress policy: %+v", cfg)
+	}
+	tel, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitored := tel.At(0)
+	probe := func(ts int64, port uint16) packet.Probe {
+		return packet.Probe{Time: ts, Dst: monitored, DstPort: port, Flags: packet.FlagSYN}
+	}
+	cases := []struct {
+		name string
+		p    packet.Probe
+		want DropReason
+	}{
+		{"telnet-2015", probe(PolicyEpoch-2*365*24*3600*1e9, 23), Accepted},
+		{"smb-pre-epoch", probe(PolicyEpoch-1, 445), Accepted},
+		{"telnet-at-epoch", probe(PolicyEpoch, 23), DropPolicy},
+		{"smb-2018", probe(PolicyEpoch+365*24*3600*1e9, 445), DropPolicy},
+		{"http-2018", probe(PolicyEpoch+365*24*3600*1e9, 80), Accepted},
+	}
+	for _, c := range cases {
+		p := c.p
+		if got := tel.Observe(&p); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	if s := tel.Stats(); s.Policy != 2 || s.Accepted != 3 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestCheckIsPure: Check must never move a counter; Observe = Check+Record.
+func TestCheckIsPure(t *testing.T) {
+	tel := small(t)
+	p := packet.Probe{Dst: tel.At(0), DstPort: 80, Flags: packet.FlagSYN}
+	for i := 0; i < 3; i++ {
+		if got := tel.Check(&p); got != Accepted {
+			t.Fatalf("Check = %v", got)
+		}
+	}
+	if s := tel.Stats(); s.Total() != 0 {
+		t.Fatalf("Check moved counters: %+v", s)
+	}
+	tel.Record(Accepted)
+	if s := tel.Stats(); s.Accepted != 1 {
+		t.Fatalf("Record missed: %+v", s)
+	}
+}
+
 func TestDropReasonString(t *testing.T) {
 	want := map[DropReason]string{
 		Accepted: "accepted", DropNotMonitored: "not-monitored",

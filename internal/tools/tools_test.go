@@ -1,6 +1,7 @@
 package tools
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -156,7 +157,7 @@ func TestProberDeterminism(t *testing.T) {
 		for i := 0; i < 50; i++ {
 			pa := a.Probe(uint32(i), uint16(i))
 			pb := b.Probe(uint32(i), uint16(i))
-			if pa != pb {
+			if !reflect.DeepEqual(pa, pb) {
 				t.Fatalf("%v: not deterministic at probe %d", tool, i)
 			}
 		}

@@ -21,6 +21,9 @@ const (
 	kindBackscatter
 	kindICMPSweep
 	kindUDPProbe
+	// kindFollowup carries prebuilt phase-two packets (handshake SYNs, ACKs,
+	// payload pushes) scheduled by RunReactive in response to SYN-ACKs.
+	kindFollowup
 )
 
 // spec is one probe-emitting entity: a scan campaign (or one shard of a
@@ -50,6 +53,14 @@ type spec struct {
 	// backscatter fields
 	victim uint32
 
+	// reactive-run state (see reactive.go): two-phase designation, the
+	// simulated kernel stack, the follow-up timing stream, and — for
+	// kindFollowup specs — the prebuilt packets to emit.
+	twoPhase bool
+	tp       *tools.TwoPhase
+	fr       *rng.Rand
+	pending  []packet.Probe
+
 	// iteration state
 	idx int
 }
@@ -68,6 +79,9 @@ func hash64(x uint64) uint64 {
 // bounded by a quarter interval, so times are strictly ordered within a
 // spec.
 func (sp *spec) timeAt(i int) int64 {
+	if sp.kind == kindFollowup {
+		return sp.pending[i].Time
+	}
 	t := sp.start + int64(i)*sp.interval
 	if sp.interval > 4 {
 		j := int64(hash64(sp.jitSeed+uint64(i))%uint64(sp.interval/2+1)) - sp.interval/4
@@ -84,6 +98,8 @@ func (sp *spec) timeAt(i int) int64 {
 func (sp *spec) probeAt(tel telescopeIndex, i int) packet.Probe {
 	var p packet.Probe
 	switch sp.kind {
+	case kindFollowup:
+		return sp.pending[i]
 	case kindICMPSweep:
 		// Ping sweep: echo requests across the monitored space.
 		p = packet.Probe{

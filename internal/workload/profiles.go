@@ -104,6 +104,12 @@ type Profile struct {
 	SizeMul map[tools.Tool]float64
 	// MeanPacketsPerScan is derived: paper-scale packets per campaign.
 	MeanPacketsPerScan float64
+	// TwoPhaseShare is the fraction of stateless (masscan-style) campaigns
+	// that run a second, stateful phase — returning to responsive targets
+	// with a kernel-stack handshake and an application payload (the Spoki
+	// two-phase model). Only reactive-telescope runs observe it; derived in
+	// ProfileFor when zero, growing as the scanning economy monetizes.
+	TwoPhaseShare float64
 }
 
 // months converts the window length into months for scan-count math.
@@ -348,6 +354,15 @@ func ProfileFor(year int) (*Profile, error) {
 		totalPackets := p.PacketsPerDayM * 1e6 * float64(p.Days)
 		totalScans := p.ScansPerMonthK * 1e3 * p.months()
 		p.MeanPacketsPerScan = totalPackets / totalScans
+	}
+	// Two-phase behavior grows as stateless sweeps become front-ends for
+	// application-level harvesting (Spoki measured roughly a third of
+	// handshake-capable scanners in 2021); model a climb from 15% to 51%.
+	if p.TwoPhaseShare == 0 {
+		p.TwoPhaseShare = 0.15 + 0.04*float64(year-2015)
+		if p.TwoPhaseShare > 0.55 {
+			p.TwoPhaseShare = 0.55
+		}
 	}
 	return p, nil
 }

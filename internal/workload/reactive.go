@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"container/heap"
+
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/reactive"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// twoPhaseSalt separates the two-phase designation hash from the jitter
+// stream that shares jitSeed.
+const twoPhaseSalt = 0x74776f7068617365 // "twophase"
+
+// isTwoPhase designates which scan campaigns run a second, stateful phase:
+// stateless masscan-style sweeps, a per-year share of them (TwoPhaseShare),
+// chosen by a stateless hash of the spec's jitter seed so that designation
+// consumes no generator randomness — Run's passive packet stream is
+// bit-identical whether or not a reactive run ever happens.
+func (s *Scenario) isTwoPhase(sp *spec) bool {
+	if sp.kind != kindScan || sp.inst || sp.prober.Tool() != tools.ToolMasscan {
+		return false
+	}
+	share := s.Profile.TwoPhaseShare
+	return float64(hash64(sp.jitSeed^twoPhaseSalt)%(1<<20))/(1<<20) < share
+}
+
+// RunReactive replays the scenario through a reactive telescope: every
+// arriving packet is classified by rt, and for campaigns designated
+// two-phase, a synthesized SYN-ACK triggers the scanner's second phase — a
+// kernel-stack handshake SYN seconds later, then the completing ACK and a
+// payload push at round-trip cadence, exactly the masscan→stateful-stack
+// chain Spoki characterizes.
+//
+// emit is called once per arriving packet with the responder's disposition
+// (emit sees drops too, so callers can keep full pcap traces; gate ingest on
+// d.Reason == telescope.Accepted). Synthesized SYN-ACKs are delivered inside
+// the Disposition; they leave the telescope rather than arrive at it.
+//
+// The run is deterministic: follow-up timing and handshake state derive from
+// per-spec seeds, and the single-threaded heap loop orders packets by
+// virtual time.
+func (s *Scenario) RunReactive(rt *reactive.Telescope, emit func(*packet.Probe, reactive.Disposition)) Summary {
+	var sum Summary
+	h := make(specHeap, 0, len(s.specs))
+	for _, sp := range s.specs {
+		if sp.count <= 0 {
+			continue
+		}
+		sp.idx = 0
+		sp.twoPhase = s.isTwoPhase(sp)
+		sp.tp, sp.fr, sp.pending = nil, nil, nil
+		h = append(h, sp)
+		switch sp.kind {
+		case kindScan:
+			sum.Campaigns++
+			if sp.twoPhase {
+				sum.TwoPhaseCampaigns++
+			}
+		case kindBackground:
+			sum.BackgroundSources++
+		}
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		sp := h[0]
+		p := sp.probeAt(s.Telescope, sp.idx)
+		d := rt.Observe(&p)
+		emit(&p, d)
+		sum.Probes++
+		if sp.inst {
+			sum.InstitutionalProbes++
+		}
+		if d.Phase == 2 {
+			sum.Phase2Probes++
+		}
+
+		var follow *spec
+		if d.Responded {
+			sum.Responses++
+			switch {
+			case sp.twoPhase:
+				// A scout probe was answered: the scanning host's kernel
+				// stack opens a real connection after a think-time delay.
+				if sp.tp == nil {
+					fseed := rng.New(sp.jitSeed).Derive("reactive/followup")
+					sp.tp = tools.NewTwoPhase(sp.prober, p.Src, fseed.Derive("stack"))
+					sp.fr = fseed.Derive("timing")
+				}
+				hs := sp.tp.HandshakeSYN(p.Dst, p.DstPort)
+				// Spoki: the second phase arrives seconds after the scout.
+				hs.Time = p.Time + int64(1e9) + sp.fr.Int63n(2e9)
+				follow = &spec{kind: kindFollowup, count: 1, tp: sp.tp,
+					fr: sp.fr, pending: []packet.Probe{hs}}
+			case sp.kind == kindFollowup:
+				// Our handshake SYN was answered: complete the handshake and
+				// push the application payload one round trip later.
+				rtt := int64(30e6) + sp.fr.Int63n(int64(170e6))
+				ack := sp.tp.HandshakeACK(&p, d.Resp.Seq)
+				ack.Time = p.Time + rtt
+				push := sp.tp.PayloadPush(&p, d.Resp.Seq)
+				push.Time = p.Time + 2*rtt
+				follow = &spec{kind: kindFollowup, count: 2, tp: sp.tp,
+					fr: sp.fr, pending: []packet.Probe{ack, push}}
+			}
+		}
+
+		sp.idx++
+		if sp.idx >= sp.count {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+		if follow != nil {
+			heap.Push(&h, follow)
+		}
+	}
+	return sum
+}

@@ -107,12 +107,11 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	if telSeed == 0 {
 		telSeed = cfg.Seed
 	}
+	// ScaledConfig carries the §3.2 operational policy: ports 23 and 445
+	// blocked at ingress from telescope.PolicyEpoch on. The gate is the
+	// deployment date, not the profile year — windows before the epoch see
+	// the ports, later ones do not.
 	telCfg := telescope.ScaledConfig(telSeed, cfg.TelescopeSize)
-	// Operational policy: ports 23 and 445 blocked at ingress since the
-	// advent of Mirai (§3.2) — i.e. missing from 2017 onward.
-	if cfg.Year >= 2017 {
-		telCfg.BlockedPorts = []uint16{23, 445}
-	}
 	tel, err := telescope.New(telCfg)
 	if err != nil {
 		return nil, err
@@ -172,4 +171,13 @@ type Summary struct {
 	// InstitutionalProbes is the share generated by the known-scanner
 	// roster.
 	InstitutionalProbes uint64
+
+	// TwoPhaseCampaigns is the number of scan specs designated two-phase
+	// (only set by RunReactive; Run leaves it zero).
+	TwoPhaseCampaigns int
+	// Responses counts the SYN-ACKs the reactive telescope synthesized.
+	Responses uint64
+	// Phase2Probes counts accepted phase-two segments (handshake ACKs and
+	// payload pushes admitted past the SYN filter).
+	Phase2Probes uint64
 }

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"reflect"
 	"testing"
 
 	"github.com/synscan/synscan/internal/core"
@@ -99,7 +100,7 @@ func TestScenarioDeterministic(t *testing.T) {
 		t.Fatalf("probe counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("probe %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}
@@ -184,15 +185,26 @@ func TestDetectorIntegration(t *testing.T) {
 }
 
 func TestBlockedPortsPolicy(t *testing.T) {
-	// 2017+: ports 23/445 blocked at ingress.
+	// The ports are always in the policy set, but the drop is gated on the
+	// deployment date: a 2017 window falls after telescope.PolicyEpoch,
+	// a 2015 window before it.
 	s := testScenario(t, 2017, 0.0004)
 	if !s.Telescope.PortBlocked(23) || !s.Telescope.PortBlocked(445) {
-		t.Fatal("2017 telescope must block 23/445")
+		t.Fatal("telescope must carry 23/445 in the policy set")
 	}
-	// 2015: not blocked.
+	probe := func(sc *Scenario, port uint16) packet.Probe {
+		return packet.Probe{Time: sc.Start, Dst: sc.Telescope.At(0),
+			DstPort: port, Flags: packet.FlagSYN}
+	}
+	p := probe(s, 23)
+	if got := s.Telescope.Check(&p); got != telescope.DropPolicy {
+		t.Fatalf("2017 port-23 probe: %v, want policy drop", got)
+	}
+	// 2015: policy not yet deployed, telnet probes pass.
 	s15 := testScenario(t, 2015, 0.0004)
-	if s15.Telescope.PortBlocked(23) {
-		t.Fatal("2015 telescope must not block 23")
+	p = probe(s15, 23)
+	if got := s15.Telescope.Check(&p); got != telescope.Accepted {
+		t.Fatalf("2015 port-23 probe: %v, want accepted", got)
 	}
 }
 
