@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/synbench -out BENCH_8.json        # full run (commit this)
+//	go run ./cmd/synbench -out BENCH_9.json        # full run (commit this)
 //	go run ./cmd/synbench -quick -out -            # CI smoke: small sizes
 //
 // The synserve measurement execs a real server binary so the number includes
@@ -36,6 +36,7 @@ import (
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/loadgen"
 	"github.com/synscan/synscan/internal/packet"
 	"github.com/synscan/synscan/internal/query"
 	"github.com/synscan/synscan/internal/reactive"
@@ -73,6 +74,18 @@ type record struct {
 	ServeP50Ms    float64 `json:"synserve_p50_ms"`
 	ServeP99Ms    float64 `json:"synserve_p99_ms"`
 
+	// Load harness: a concurrent client fleet replaying the standard mix
+	// against a real synserve (internal/loadgen), the production-hardening
+	// headline numbers.
+	LoadClients            int     `json:"load_clients"`
+	LoadRequests           uint64  `json:"load_requests"`
+	LoadRPS                float64 `json:"load_rps"`
+	LoadP50Ms              float64 `json:"load_p50_ms"`
+	LoadP99Ms              float64 `json:"load_p99_ms"`
+	Load429Share           float64 `json:"load_429_share"`
+	LoadErrors             uint64  `json:"load_errors"`
+	LoadSingleflightShared uint64  `json:"load_singleflight_shared"`
+
 	QueryScans int          `json:"query_scans"`
 	Queries    []queryBench `json:"queries"`
 }
@@ -94,7 +107,7 @@ func main() {
 	log.SetPrefix("synbench: ")
 
 	out := flag.String("out", "-", `output path for the JSON record ("-" = stdout)`)
-	benchN := flag.Int("n", 8, "benchmark sequence number recorded in the output")
+	benchN := flag.Int("n", 9, "benchmark sequence number recorded in the output")
 	quick := flag.Bool("quick", false, "CI smoke mode: ~10x smaller workloads, not comparable to full runs")
 	servePath := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
 	flag.Parse()
@@ -143,6 +156,15 @@ func main() {
 	rec.ServeRequests = nReqs
 	rec.ServeP50Ms, rec.ServeP99Ms = benchServe(*servePath, tmp, archivePath, nReqs)
 	log.Printf("synserve: p50 %.3f ms, p99 %.3f ms over %d requests", rec.ServeP50Ms, rec.ServeP99Ms, nReqs)
+
+	loadClients, loadReqs := 1000, uint64(20000)
+	if *quick {
+		loadClients, loadReqs = 200, 4000
+	}
+	rec.LoadClients, rec.LoadRequests = loadClients, loadReqs
+	benchLoad(&rec, *servePath, tmp, archivePath, loadClients, loadReqs)
+	log.Printf("load %d clients: %.0f rps, p50 %.2f ms, p99 %.2f ms, 429 share %.4f, sf-shared %d",
+		loadClients, rec.LoadRPS, rec.LoadP50Ms, rec.LoadP99Ms, rec.Load429Share, rec.LoadSingleflightShared)
 
 	rec.QueryScans = nScans
 	rec.Queries = benchQueries(filepath.Join(tmp, "query.syna"), scans)
@@ -476,37 +498,8 @@ func measure(f func()) (ms, allocMB float64) {
 // table aggregations, stats), warm cache included — the steady-state profile
 // of a dashboard polling the service.
 func benchServe(bin, tmp, archivePath string, reqs int) (p50, p99 float64) {
-	if bin == "" {
-		bin = filepath.Join(tmp, "synserve")
-		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/synserve").CombinedOutput(); err != nil {
-			log.Fatalf("building synserve (run from the repo root or pass -synserve): %v\n%s", err, out)
-		}
-	}
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", archivePath)
-	stderr, err := cmd.StderrPipe()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := cmd.Start(); err != nil {
-		log.Fatal(err)
-	}
-	defer func() {
-		cmd.Process.Signal(os.Interrupt)
-		cmd.Wait()
-	}()
-
-	sc := bufio.NewScanner(stderr)
-	var base string
-	for sc.Scan() {
-		if line := sc.Text(); strings.Contains(line, "serving on ") {
-			base = strings.TrimSpace(line[strings.Index(line, "serving on ")+len("serving on "):])
-			break
-		}
-	}
-	if base == "" {
-		log.Fatal("synserve never reported its address")
-	}
-	go io.Copy(io.Discard, stderr)
+	base, stop := startSynserve(bin, tmp, archivePath)
+	defer stop()
 
 	queries := []string{
 		"/v1/scans?limit=100",
@@ -541,4 +534,88 @@ func benchServe(bin, tmp, archivePath string, reqs int) (p50, p99 float64) {
 	}
 	sort.Float64s(lat)
 	return lat[reqs/2], lat[reqs*99/100]
+}
+
+// startSynserve builds (when bin is empty and not yet built into tmp) and
+// launches a real synserve over the archive, returning its base URL and a
+// stop function that drains it with SIGINT.
+func startSynserve(bin, tmp, archivePath string) (base string, stop func()) {
+	if bin == "" {
+		bin = filepath.Join(tmp, "synserve")
+		if _, err := os.Stat(bin); err != nil {
+			if out, err := exec.Command("go", "build", "-o", bin, "./cmd/synserve").CombinedOutput(); err != nil {
+				log.Fatalf("building synserve (run from the repo root or pass -synserve): %v\n%s", err, out)
+			}
+		}
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", archivePath)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if line := sc.Text(); strings.Contains(line, "serving on ") {
+			base = strings.TrimSpace(line[strings.Index(line, "serving on ")+len("serving on "):])
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		log.Fatal("synserve never reported its address")
+	}
+	go io.Copy(io.Discard, stderr)
+	return base, func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}
+}
+
+// benchLoad runs the internal/loadgen client fleet against a freshly
+// started synserve (its own process, so the hardening counters below are
+// this run's alone) and records throughput, exact latency quantiles, the
+// 429 share under the default admission bound, and the server's
+// singleflight collapse count.
+func benchLoad(rec *record, bin, tmp, archivePath string, clients int, reqs uint64) {
+	base, stop := startSynserve(bin, tmp, archivePath)
+	defer stop()
+
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:  base,
+		Clients:  clients,
+		Requests: reqs,
+		Mix:      loadgen.StandardMix(),
+		Timeout:  30 * time.Second,
+		Seed:     11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec.LoadRPS = res.Throughput
+	rec.LoadP50Ms = res.P50Ms
+	rec.LoadP99Ms = res.P99Ms
+	rec.Load429Share = res.RejectShare()
+	rec.LoadErrors = res.Errors
+	if res.Errors > 0 {
+		log.Printf("load: %d errors (statuses %v)", res.Errors, res.Status)
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	rec.LoadSingleflightShared = stats.Metrics.Counters["server.singleflight.shared"]
 }

@@ -1,0 +1,253 @@
+// Command synload drives a client fleet against synserve and gates the
+// result on service-level objectives. It is the load harness behind the
+// repo's production-hardening work: the CI load-smoke step and BENCH
+// trajectory both run it (or its internal/loadgen engine) to prove the
+// server stays within latency and error budgets under concurrency.
+//
+// Two targeting modes:
+//
+//   - -addr http://host:port points the fleet at an already-running server.
+//   - Without -addr, synload self-serves: it writes a deterministic fixture
+//     archive (-fixture scans, -seed), builds ./cmd/synserve (or uses
+//     -synserve BIN), starts it on a loopback port, runs the fleet against
+//     it, and shuts it down. -serve-args appends raw flags to the server
+//     command line (e.g. -serve-args="-max-inflight 4" to force overload).
+//
+// The mix (-mix standard|hot) replays production-shaped traffic: cached and
+// cache-busting reads, pushdown-pruned and full-scan POST /v1/query
+// aggregations, legacy table endpoints ("standard"), or a single identical
+// expensive query from every client ("hot", the singleflight worst case).
+//
+// SLO flags turn the run into a pass/fail gate; any violation exits 1:
+//
+//	synload -clients 1000 -requests 20000 \
+//	  -slo-p99 2s -slo-error-rate 0.01 -slo-reject-share 0.5
+//
+// -out writes the full loadgen.Result as JSON. After a self-served run the
+// server's /v1/stats metrics are fetched and the hardening counters
+// (admission, singleflight, streaming) are reported alongside the client
+// view.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/synscan/synscan/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synload: ")
+
+	addr := flag.String("addr", "", "target base URL (e.g. http://127.0.0.1:8080); empty = self-serve a fixture")
+	fixture := flag.Int("fixture", 20000, "scans in the self-served fixture archive")
+	store := flag.String("store", "", "serve this existing archive/store instead of generating a fixture")
+	synserve := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
+	serveArgs := flag.String("serve-args", "", "extra flags appended to the synserve command line")
+	clients := flag.Int("clients", 1000, "concurrent clients in the fleet")
+	requests := flag.Uint64("requests", 0, "total request budget (0 = run for -duration)")
+	duration := flag.Duration("duration", 10*time.Second, "wall deadline when -requests is 0")
+	mixName := flag.String("mix", "standard", "request mix: standard or hot")
+	seed := flag.Uint64("seed", 1, "deterministic seed for fixture and per-client request streams")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	out := flag.String("out", "", "write the result as JSON to this file")
+	sloP99 := flag.Duration("slo-p99", 0, "fail if p99 latency exceeds this (0 = unchecked)")
+	sloErr := flag.Float64("slo-error-rate", 0, "fail if (transport errors + 5xx)/requests exceeds this (0 = unchecked)")
+	sloRej := flag.Float64("slo-reject-share", 0, "fail if 429s/requests exceeds this (0 = unchecked)")
+	sloRPS := flag.Float64("slo-throughput", 0, "fail if requests/second falls below this (0 = unchecked)")
+	flag.Parse()
+
+	var mix []loadgen.Request
+	switch *mixName {
+	case "standard":
+		mix = loadgen.StandardMix()
+	case "hot":
+		mix = loadgen.HotMix()
+	default:
+		log.Fatalf("unknown -mix %q (want standard or hot)", *mixName)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *addr
+	var statsURL string
+	if base == "" {
+		srv, err := startServer(ctx, *store, *fixture, *seed, *synserve, *serveArgs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.stop()
+		base = srv.base
+		statsURL = base + "/v1/stats"
+		log.Printf("self-serving %s at %s", srv.target, base)
+	}
+
+	reqs := *requests
+	dur := time.Duration(0)
+	if reqs == 0 {
+		dur = *duration
+	}
+	log.Printf("running %d clients, mix=%s, requests=%d duration=%v seed=%d",
+		*clients, *mixName, reqs, dur, *seed)
+
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  base,
+		Clients:  *clients,
+		Requests: reqs,
+		Duration: dur,
+		Mix:      mix,
+		Timeout:  *timeout,
+		Seed:     *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("requests   %d in %.2fs (%.1f rps)\n", res.Requests, res.Duration, res.Throughput)
+	fmt.Printf("latency    p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n",
+		res.P50Ms, res.P90Ms, res.P99Ms, res.MaxMs)
+	fmt.Printf("status     %v\n", res.Status)
+	fmt.Printf("rejected   %d (%.2f%%)  errors %d (%.2f%%)  retry-after seen: %v\n",
+		res.Rejected, 100*res.RejectShare(), res.Errors, 100*res.ErrorRate(), res.RetryAfterSeen)
+	for name, n := range res.ByName {
+		fmt.Printf("  mix %-16s %d\n", name, n)
+	}
+	if statsURL != "" {
+		reportServerCounters(statsURL)
+	}
+
+	if *out != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+
+	slo := loadgen.SLO{
+		MaxP99:         *sloP99,
+		MaxErrorRate:   *sloErr,
+		MaxRejectShare: *sloRej,
+		MinThroughput:  *sloRPS,
+	}
+	if err := res.Check(slo); err != nil {
+		log.Printf("SLO FAIL:\n%v", err)
+		os.Exit(1)
+	}
+	if slo != (loadgen.SLO{}) {
+		log.Print("SLO PASS")
+	}
+}
+
+// child is a self-served synserve process.
+type child struct {
+	cmd    *exec.Cmd
+	base   string
+	target string
+}
+
+func (c *child) stop() {
+	c.cmd.Process.Signal(os.Interrupt)
+	c.cmd.Wait()
+}
+
+// startServer builds (if needed) and launches synserve over the target
+// store — an existing path or a freshly written fixture archive — and waits
+// for it to report its listen address.
+func startServer(ctx context.Context, store string, fixture int, seed uint64, bin, extraArgs string) (*child, error) {
+	tmp, err := os.MkdirTemp("", "synload")
+	if err != nil {
+		return nil, err
+	}
+	// tmp holds the fixture and possibly the binary; it leaks only until
+	// process exit on early error, and the OS tempdir reaps it.
+
+	target := store
+	if target == "" {
+		target = filepath.Join(tmp, "fixture.syna")
+		if err := loadgen.WriteFixtureArchive(target, fixture, seed); err != nil {
+			return nil, fmt.Errorf("writing fixture: %w", err)
+		}
+		log.Printf("wrote fixture archive: %d scans", fixture)
+	}
+	if bin == "" {
+		bin = filepath.Join(tmp, "synserve")
+		if out, err := exec.Command("go", "build", "-o", bin, "./cmd/synserve").CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("building synserve (run from the repo root or pass -synserve): %v\n%s", err, out)
+		}
+	}
+
+	args := []string{"-addr", "127.0.0.1:0"}
+	if extraArgs != "" {
+		args = append(args, strings.Fields(extraArgs)...)
+	}
+	args = append(args, target)
+	cmd := exec.CommandContext(ctx, bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if line := sc.Text(); strings.Contains(line, "serving on ") {
+			base = strings.TrimSpace(line[strings.Index(line, "serving on ")+len("serving on "):])
+			break
+		}
+	}
+	if base == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("synserve never reported its address")
+	}
+	go io.Copy(io.Discard, stderr)
+	return &child{cmd: cmd, base: base, target: target}, nil
+}
+
+// reportServerCounters fetches /v1/stats and prints the server.* hardening
+// family — the server-side view of what the fleet just did.
+func reportServerCounters(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Printf("fetching stats: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Metrics struct {
+			Counters map[string]uint64 `json:"counters"`
+			Gauges   map[string]int64  `json:"gauges"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		log.Printf("decoding stats: %v", err)
+		return
+	}
+	c := stats.Metrics.Counters
+	fmt.Printf("server     admitted %d  rejected %d  sf-leaders %d  sf-shared %d  streamed %d  cache-hits %d\n",
+		c["server.admission.admitted"], c["server.admission.rejected"],
+		c["server.singleflight.leaders"], c["server.singleflight.shared"],
+		c["server.stream.responses"], c["synserve.cache.hits"])
+}

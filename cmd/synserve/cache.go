@@ -11,26 +11,45 @@ type cacheEntry struct {
 	body []byte
 }
 
-// lruCache is a fixed-capacity LRU over canonicalized query keys. The
-// cached value is the fully rendered JSON body, so a hit costs one map
-// lookup and one write — no filter evaluation, no block decompression.
-// A nil *lruCache (capacity 0) never hits and never stores.
+// lruCache is an LRU over canonicalized query keys, bounded two ways: by
+// entry count and — so a handful of huge scan-list responses cannot blow the
+// process's memory — by total body bytes. Bodies larger than maxEntry are
+// never stored at all: one response worth a whole cache generation would
+// evict everything else for a single key's benefit. The cached value is the
+// fully rendered JSON body, so a hit costs one map lookup and one write —
+// no filter evaluation, no block decompression. A nil *lruCache (capacity 0)
+// never hits and never stores.
 type lruCache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	maxEntry int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
-func newLRU(capacity int) *lruCache {
+// newLRU builds a cache holding at most capacity responses and (when
+// maxBytes > 0) at most maxBytes of body data, whichever bound bites first.
+func newLRU(capacity int, maxBytes int64) *lruCache {
 	if capacity <= 0 {
 		return nil
 	}
-	return &lruCache{
-		cap:   capacity,
-		ll:    list.New(),
-		items: make(map[string]*list.Element, capacity),
+	c := &lruCache{
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
 	}
+	if maxBytes > 0 {
+		// One entry may take at most an eighth of the budget, so the cache
+		// always holds a handful of entries even when bodies run large.
+		c.maxEntry = maxBytes / 8
+		if c.maxEntry < 1 {
+			c.maxEntry = 1
+		}
+	}
+	return c
 }
 
 func (c *lruCache) get(key string) ([]byte, bool) {
@@ -51,18 +70,26 @@ func (c *lruCache) put(key string, body []byte) {
 	if c == nil {
 		return
 	}
+	if c.maxEntry > 0 && int64(len(body)) > c.maxEntry {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
-		return
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
 	}
-	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	for c.ll.Len() > c.cap {
+	for c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.items, el.Value.(*cacheEntry).key)
+		e := el.Value.(*cacheEntry)
+		c.bytes -= int64(len(e.body))
+		delete(c.items, e.key)
 	}
 }
 
@@ -73,4 +100,24 @@ func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// bytesUsed reports the total cached body bytes, for the server.cache.bytes
+// gauge.
+func (c *lruCache) bytesUsed() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// entryCap reports the largest body this cache will store (0 = no per-entry
+// bound). Streaming responses use it to cap their cache tee buffer.
+func (c *lruCache) entryCap() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.maxEntry
 }

@@ -23,7 +23,7 @@ func TestQueryTimeout504(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { rd.Close() })
-	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, 0, time.Nanosecond, obs.NewRegistry())
+	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, serverConfig{timeout: time.Nanosecond}, obs.NewRegistry())
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 
@@ -94,7 +94,7 @@ func TestDegradedQuery(t *testing.T) {
 	}
 	t.Cleanup(func() { rd.Close() })
 	rd.SetMetrics(reg)
-	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, 0, 30*time.Second, reg)
+	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, serverConfig{timeout: 30 * time.Second}, reg)
 	ts := httptest.NewServer(srv.handler())
 	t.Cleanup(ts.Close)
 

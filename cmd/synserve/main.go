@@ -12,8 +12,16 @@
 // Filter parameters (year, tool, port, src, minrate, maxrate, qualified)
 // are shared by every query endpoint; year/tool/port accept repeated or
 // comma-separated values. Zone-map pruning applies per query, and results
-// are cached in an LRU keyed on the canonicalized query string. SIGINT or
-// SIGTERM drains in-flight requests before exiting.
+// are cached in a byte-bounded LRU (-cache-bytes) keyed on the
+// canonicalized query string. SIGINT or SIGTERM drains: new requests get
+// 503 + Retry-After while in-flight ones finish.
+//
+// The server is hardened for concurrent fleets: identical cache-missing
+// queries collapse into one execution (singleflight), at most -max-inflight
+// scans run at once with the excess fast-failed as 429 + Retry-After, and
+// scan lists longer than -stream-above rows stream as chunked JSON instead
+// of buffering. Each behaviour is observable via server.* counters and
+// gauges at /v1/stats; cmd/synload is the matching load harness.
 //
 // Archives are opened skip-corrupt by default (-skip-corrupt=false to fail
 // fast instead): checksum-failed blocks are skipped and counted, and every
@@ -46,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -60,6 +69,10 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	workers := flag.Int("workers", 1, "block-decode workers per query; >1 decompresses surviving blocks in parallel")
 	cacheSize := flag.Int("cache", 128, "result-cache capacity in responses (0 disables caching)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache capacity in body bytes (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 2*runtime.GOMAXPROCS(0), "max concurrently executing archive scans; excess requests get 429 + Retry-After (0 = unbounded)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	streamAbove := flag.Int("stream-above", defaultStreamAbove, "stream scan-list responses longer than this many scans as chunked JSON (-1 = never stream)")
 	queryTimeout := flag.Duration("timeout", 30*time.Second, "per-query deadline; expired queries return 504 (0 = no deadline)")
 	skipCorrupt := flag.Bool("skip-corrupt", true, "skip checksum-failed archive blocks instead of failing the query; responses carry degraded=true")
 	rescan := flag.Duration("rescan", 2*time.Second, "poll interval for discovering newly sealed segments in store directories (0 = only at startup)")
@@ -123,7 +136,14 @@ func main() {
 		readers = append(readers, rd)
 	}
 
-	srv := newServer(paths, readers, dirs, catalogs, *cacheSize, *queryTimeout, reg)
+	srv := newServer(paths, readers, dirs, catalogs, serverConfig{
+		cacheEntries: *cacheSize,
+		cacheBytes:   *cacheBytes,
+		timeout:      *queryTimeout,
+		maxInflight:  *maxInflight,
+		retryAfter:   *retryAfter,
+		streamAbove:  *streamAbove,
+	}, reg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -137,7 +157,7 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving on http://%s", ln.Addr())
-	if err := serve(ctx, ln, srv.handler()); err != nil {
+	if err := serve(ctx, ln, srv); err != nil {
 		log.Fatal(err)
 	}
 	log.Print("shut down cleanly")
@@ -175,11 +195,12 @@ func rescanLoop(ctx context.Context, dirs []string, catalogs []*archive.Catalog,
 // shutdownTimeout bounds the in-flight request drain after a signal.
 const shutdownTimeout = 10 * time.Second
 
-// serve runs an HTTP server on ln until ctx is canceled, then shuts down
-// gracefully: the listener closes immediately, in-flight requests get up to
-// shutdownTimeout to finish.
-func serve(ctx context.Context, ln net.Listener, h http.Handler) error {
-	hs := &http.Server{Handler: h}
+// serve runs srv on ln until ctx is canceled, then drains gracefully: the
+// server stops admitting (new requests get 503 + Connection: close, so
+// keep-alive clients move off), the listener closes, and in-flight requests
+// get up to shutdownTimeout to finish before the process exits 0.
+func serve(ctx context.Context, ln net.Listener, srv *server) error {
+	hs := &http.Server{Handler: srv.handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	select {
@@ -187,6 +208,8 @@ func serve(ctx context.Context, ln net.Listener, h http.Handler) error {
 		return err
 	case <-ctx.Done():
 	}
+	srv.startDrain()
+	hs.SetKeepAlivesEnabled(false)
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {

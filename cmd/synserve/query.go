@@ -2,7 +2,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"io"
 	"net/http"
 	"net/url"
@@ -42,8 +41,9 @@ func (src *sources) querySources() []query.Source {
 // runQuery executes a validated query against the request's sources through
 // the engine: one streaming partial per source under zone-map pushdown,
 // merged in source order. Every endpoint — POST /v1/query and the legacy GET
-// surfaces — funnels through here, so pushdown, deadline abort, degraded
-// reads and the query.* metrics behave identically everywhere.
+// surfaces — funnels through here (inside a singleflight leader), so
+// pushdown, deadline abort, degraded reads and the query.* metrics behave
+// identically everywhere.
 func (src *sources) runQuery(ctx context.Context, q *query.Query) (*query.Result, error) {
 	s := src.s
 	sp := obs.StartSpan(s.mQueryExec)
@@ -65,8 +65,9 @@ func (src *sources) runQuery(ctx context.Context, q *query.Query) (*query.Result
 // handleQuery serves POST /v1/query: the typed-AST analytical endpoint. The
 // JSON body parses into a query (any malformed or over-cap request is a 400),
 // which is canonicalized so semantically identical requests share one
-// generation-keyed cache entry, then executed under the per-query deadline
-// with the same degraded-read semantics as every other endpoint.
+// generation-keyed cache entry — and one singleflight — then executed through
+// the shared hardened path with the same admission, deadline and
+// degraded-read semantics as every other endpoint.
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan(s.mLatency)
 	defer sp.End()
@@ -102,36 +103,10 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := src.genToken() + "/v1/query?" + q.Key()
-	if cached, ok := s.cache.get(key); ok {
-		s.mHits.Inc()
-		writeJSON(w, cached, "hit")
-		return
+	render := func(res *query.Result, degraded bool) (any, error) {
+		return renderResult(q, res, degraded), nil
 	}
-	s.mMisses.Inc()
-
-	ctx := r.Context()
-	if s.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.timeout)
-		defer cancel()
-	}
-	res, err := src.runQuery(ctx, q)
-	if err != nil {
-		s.mErrors.Inc()
-		writeJSONError(w, errCode(err), err.Error())
-		return
-	}
-	out, err := json.Marshal(renderResult(q, res, src.degraded()))
-	if err != nil {
-		s.mErrors.Inc()
-		writeJSONError(w, http.StatusInternalServerError, err.Error())
-		return
-	}
-	out = append(out, '\n')
-	if !src.degraded() {
-		s.cache.put(key, out)
-	}
-	writeJSON(w, out, "miss")
+	s.execute(w, r, src, q, key, render)
 }
 
 // renderResult shapes an engine result for the /v1/query wire form: select
@@ -275,10 +250,6 @@ func filterExpr(vals url.Values) (query.Expr, error) {
 	}
 }
 
-// renderFunc shapes an engine result into one legacy endpoint's historical
-// response body.
-type renderFunc func(res *query.Result) (any, error)
-
 // compileFunc turns one legacy endpoint's URL parameters into an engine query
 // plus the renderer for its historical wire shape. Compilation happens before
 // the cache lookup: the canonicalized query IS the cache key, so any two
@@ -299,7 +270,7 @@ func compileScans(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 		}
 	}
 	q := &query.Query{Where: where, Limit: limit}
-	render := func(res *query.Result) (any, error) {
+	render := func(res *query.Result, degraded bool) (any, error) {
 		scans := make([]scanJSON, 0, len(res.Scans))
 		for _, rec := range res.Scans {
 			scans = append(scans, toScanJSON(rec.Scan, rec.Origin))
@@ -308,7 +279,7 @@ func compileScans(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 			"matched":   res.Matched,
 			"returned":  len(scans),
 			"truncated": res.Truncated,
-			"degraded":  src.degraded(),
+			"degraded":  degraded,
 			"scans":     scans,
 		}, nil
 	}
@@ -338,7 +309,7 @@ func compilePorts(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 		},
 		Limit: top,
 	}
-	render := func(res *query.Result) (any, error) {
+	render := func(res *query.Result, degraded bool) (any, error) {
 		rows := make([]portRow, 0, len(res.Rows))
 		for _, r := range res.Rows {
 			share := 0.0
@@ -352,7 +323,7 @@ func compilePorts(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 				Share:   share,
 			})
 		}
-		return map[string]any{"total_scans": res.Matched, "ports": rows, "degraded": src.degraded()}, nil
+		return map[string]any{"total_scans": res.Matched, "ports": rows, "degraded": degraded}, nil
 	}
 	return q, render, nil
 }
@@ -375,7 +346,7 @@ func compileTools(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 		},
 		Order: query.OrderKey,
 	}
-	render := func(res *query.Result) (any, error) {
+	render := func(res *query.Result, degraded bool) (any, error) {
 		scans := make([]uint64, tools.NumTools())
 		qualified := make([]uint64, tools.NumTools())
 		for _, r := range res.Rows {
@@ -393,7 +364,7 @@ func compileTools(src *sources, vals url.Values) (*query.Query, renderFunc, erro
 				Share: float64(scans[t]) / float64(res.Matched),
 			})
 		}
-		return map[string]any{"total_scans": res.Matched, "tools": rows, "degraded": src.degraded()}, nil
+		return map[string]any{"total_scans": res.Matched, "tools": rows, "degraded": degraded}, nil
 	}
 	return q, render, nil
 }
@@ -421,7 +392,7 @@ func compileOrigins(src *sources, vals url.Values) (*query.Query, renderFunc, er
 		},
 		Order: query.OrderKey,
 	}
-	render := func(res *query.Result) (any, error) {
+	render := func(res *query.Result, degraded bool) (any, error) {
 		rows := []originRow{}
 		for _, r := range res.Rows {
 			rows = append(rows, originRow{
@@ -437,7 +408,7 @@ func compileOrigins(src *sources, vals url.Values) (*query.Query, renderFunc, er
 			}
 			return rows[i].Type < rows[j].Type
 		})
-		return map[string]any{"types": rows, "degraded": src.degraded()}, nil
+		return map[string]any{"types": rows, "degraded": degraded}, nil
 	}
 	return q, render, nil
 }

@@ -132,7 +132,7 @@ func TestReactiveEndToEnd(t *testing.T) {
 
 	// Query surface: the archived campaigns answer a two_phase filter over
 	// POST /v1/query with exactly the linked set, reactive attributes intact.
-	srv := newServer([]string{"mem"}, []*archive.Reader{rd}, nil, nil, 32, 0, nil)
+	srv := newServer([]string{"mem"}, []*archive.Reader{rd}, nil, nil, serverConfig{cacheEntries: 32}, nil)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 

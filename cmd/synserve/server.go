@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/synscan/synscan/internal/archive"
@@ -17,12 +18,39 @@ import (
 	"github.com/synscan/synscan/internal/tools"
 )
 
+// serverConfig collects the serving-side tunables.
+type serverConfig struct {
+	// cacheEntries caps the result cache by response count (0 disables it).
+	cacheEntries int
+	// cacheBytes caps the result cache by total body bytes (0 = unbounded).
+	cacheBytes int64
+	// timeout bounds each query's archive walk; 0 means no deadline. An
+	// expired deadline surfaces as 504 with a JSON error body rather than a
+	// half-written response, because the walk is aborted before rendering.
+	timeout time.Duration
+	// maxInflight bounds concurrently executing archive scans; excess
+	// cache-missing requests fast-fail 429 + Retry-After (0 = unbounded).
+	maxInflight int
+	// retryAfter is the hint sent with 429/503 responses.
+	retryAfter time.Duration
+	// streamAbove: select-mode responses with more scans than this are
+	// written incrementally (chunked) instead of marshaled into one body;
+	// negative disables streaming, 0 picks the default.
+	streamAbove int
+}
+
+// defaultStreamAbove is the scan-list length past which responses stream.
+const defaultStreamAbove = 4096
+
 // server answers queries over campaign archives: static sealed files and/or
 // live segment stores (directories written by syningest, polled for newly
 // sealed segments). Every analytical endpoint — POST /v1/query and the
 // deprecated fixed-parameter GET surfaces — compiles to one internal/query
-// request and runs through the same streaming engine under zone-map pushdown.
-// Responses are cached in an LRU keyed on the canonicalized query prefixed
+// request and runs through the same streaming engine under zone-map pushdown,
+// behind the same hardened execution path: result-cache lookup, singleflight
+// deduplication of identical in-flight queries, and admission control that
+// fast-fails 429 when too many scans are already running. Responses are
+// cached in a byte-bounded LRU keyed on the canonicalized query prefixed
 // with the stores' catalog generations, so any two spellings of the same
 // request share one entry and cached bodies die with the segment set they
 // were computed from; /v1/stats is always computed live (it exposes the
@@ -34,13 +62,27 @@ type server struct {
 	catalogs []*archive.Catalog
 	cache    *lruCache
 	reg      *obs.Registry
-	// timeout bounds each query's archive walk; 0 means no deadline. An
-	// expired deadline surfaces as 504 with a JSON error body rather than a
-	// half-written response, because the walk is aborted before rendering.
-	timeout time.Duration
+	timeout  time.Duration
+
+	flights     flightGroup
+	adm         *admission
+	streamAbove int
+	// draining refuses new requests with 503 + Connection: close once
+	// shutdown starts, so keep-alive clients move off while in-flight
+	// requests finish.
+	draining atomic.Bool
+	// execHook, when set, runs in the flight leader after admission and
+	// before the engine walk — a test seam for holding queries in flight.
+	execHook func()
 
 	mRequests, mErrors, mHits, mMisses *obs.Counter
 	mLatency                           *obs.Histogram
+
+	// Hardened-path metrics (the server.* family).
+	mAdmitted, mRejected  *obs.Counter
+	mSFLeaders, mSFShared *obs.Counter
+	mStreamed             *obs.Counter
+	mDrainRefused         *obs.Counter
 
 	// Engine metrics, shared by every surface that compiles into a query.
 	mQueryRequests, mQueryParseErrors *obs.Counter
@@ -48,15 +90,21 @@ type server struct {
 	mQueryExec                        *obs.Histogram
 }
 
-func newServer(paths []string, readers []*archive.Reader, dirs []string, catalogs []*archive.Catalog, cacheSize int, timeout time.Duration, reg *obs.Registry) *server {
-	return &server{
+func newServer(paths []string, readers []*archive.Reader, dirs []string, catalogs []*archive.Catalog, cfg serverConfig, reg *obs.Registry) *server {
+	if cfg.streamAbove == 0 {
+		cfg.streamAbove = defaultStreamAbove
+	}
+	s := &server{
 		paths:    paths,
 		readers:  readers,
 		dirs:     dirs,
 		catalogs: catalogs,
-		cache:    newLRU(cacheSize),
+		cache:    newLRU(cfg.cacheEntries, cfg.cacheBytes),
 		reg:      reg,
-		timeout:  timeout,
+		timeout:  cfg.timeout,
+
+		adm:         newAdmission(cfg.maxInflight, cfg.retryAfter),
+		streamAbove: cfg.streamAbove,
 
 		mRequests: reg.Counter("synserve.http.requests"),
 		mErrors:   reg.Counter("synserve.http.errors"),
@@ -64,13 +112,28 @@ func newServer(paths []string, readers []*archive.Reader, dirs []string, catalog
 		mMisses:   reg.Counter("synserve.cache.misses"),
 		mLatency:  reg.Histogram("synserve.http.latency_ns"),
 
+		mAdmitted:     reg.Counter("server.admission.admitted"),
+		mRejected:     reg.Counter("server.admission.rejected"),
+		mSFLeaders:    reg.Counter("server.singleflight.leaders"),
+		mSFShared:     reg.Counter("server.singleflight.shared"),
+		mStreamed:     reg.Counter("server.stream.responses"),
+		mDrainRefused: reg.Counter("server.drain.refused"),
+
 		mQueryRequests:    reg.Counter("query.requests"),
 		mQueryParseErrors: reg.Counter("query.parse_errors"),
 		mQueryRows:        reg.Counter("query.rows"),
 		mQueryPartials:    reg.Counter("query.partials_merged"),
 		mQueryExec:        reg.Histogram("query.exec_ns"),
 	}
+	reg.GaugeFunc("server.inflight", s.adm.inflight)
+	reg.GaugeFunc("server.cache.bytes", s.cache.bytesUsed)
+	reg.GaugeFunc("server.cache.entries", func() int64 { return int64(s.cache.len()) })
+	return s
 }
+
+// startDrain flips the server into draining mode: every new request is
+// refused with 503 + Retry-After while already-admitted work finishes.
+func (s *server) startDrain() { s.draining.Store(true) }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -80,7 +143,16 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/tables/tools", s.queryEndpoint("/v1/tables/tools", compileTools))
 	mux.HandleFunc("/v1/tables/origins", s.queryEndpoint("/v1/tables/origins", compileOrigins))
 	mux.HandleFunc("/v1/stats", s.endpoint(s.handleStats))
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.mDrainRefused.Inc()
+			w.Header().Set("Connection", "close")
+			w.Header().Set("Retry-After", s.adm.retryAfterHeader())
+			writeJSONError(w, http.StatusServiceUnavailable, "server draining")
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // httpError carries a status code through the handler's error return.
@@ -93,6 +165,14 @@ func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errOverloaded is the admission-control fast-fail: every slot is running a
+// scan, so the request is bounced immediately with a retry hint rather than
+// queued behind work that may never drain.
+var errOverloaded = &httpError{
+	code: http.StatusTooManyRequests,
+	msg:  "server overloaded: too many in-flight scans, retry after the hinted interval",
 }
 
 // errCode maps a handler error onto an HTTP status: explicit httpErrors keep
@@ -112,14 +192,29 @@ func errCode(err error) int {
 	return http.StatusInternalServerError
 }
 
+// writeError renders err with its mapped status, attaching the Retry-After
+// hint to backpressure statuses so well-behaved clients (the facade's
+// retrying Client among them) know when to come back.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	code := errCode(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", s.adm.retryAfterHeader())
+	}
+	writeJSONError(w, code, err.Error())
+}
+
+// renderFunc shapes an engine result into one endpoint's response body.
+// degraded is the flight's view of source health, captured after the walk.
+type renderFunc func(res *query.Result, degraded bool) (any, error)
+
 // queryEndpoint wraps a deprecated fixed-parameter GET endpoint whose
 // parameters compile into an engine query: method filtering,
 // instrumentation, compile → canonicalize → generation-keyed cache lookup →
-// engine run under the per-query deadline → historical response rendering.
-// The cache key is the canonicalized compiled query, not the raw URL, so
-// every spelling of the same request (parameter order, comma vs repeated
-// lists, a default spelled out) shares one entry — and shares its execution
-// path with POST /v1/query.
+// the shared hardened execution path → historical response rendering. The
+// cache key is the canonicalized compiled query, not the raw URL, so every
+// spelling of the same request (parameter order, comma vs repeated lists, a
+// default spelled out) shares one entry — and shares its execution path
+// (singleflight, admission, deadline) with POST /v1/query.
 func (s *server) queryEndpoint(path string, compile compileFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sp := obs.StartSpan(s.mLatency)
@@ -145,47 +240,210 @@ func (s *server) queryEndpoint(path string, compile compileFunc) http.HandlerFun
 			return
 		}
 		key := src.genToken() + path + "?" + q.Key()
-		if body, ok := s.cache.get(key); ok {
-			s.mHits.Inc()
-			writeJSON(w, body, "hit")
-			return
-		}
-		s.mMisses.Inc()
-		ctx := r.Context()
-		if s.timeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, s.timeout)
-			defer cancel()
-		}
-		res, err := src.runQuery(ctx, q)
-		if err != nil {
-			s.mErrors.Inc()
-			writeJSONError(w, errCode(err), err.Error())
-			return
-		}
-		out, err := render(res)
-		if err != nil {
-			s.mErrors.Inc()
-			writeJSONError(w, errCode(err), err.Error())
-			return
-		}
-		body, err := json.Marshal(out)
-		if err != nil {
-			s.mErrors.Inc()
-			writeJSONError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		body = append(body, '\n')
-		// A degraded body (corrupt blocks skipped, a segment unreadable) is
-		// never cached: the damage may heal — or be discovered — without a
-		// generation bump, and a cached incomplete result would outlive both.
-		// The check runs after the engine walk so corruption found during
-		// this very read already counts.
-		if !src.degraded() {
-			s.cache.put(key, body)
-		}
-		writeJSON(w, body, "miss")
+		s.execute(w, r, src, q, key, render)
 	}
+}
+
+// execute drives one compiled, canonicalized query through the hardened
+// path shared by every analytical endpoint:
+//
+//	cache lookup → singleflight join → admission control → engine run
+//	under the per-query deadline → render (streamed for large scan lists)
+//	→ cache fill.
+//
+// The flight leader runs the scan under a context detached from its own
+// request (followers may outlive the leader's client) but canceled when the
+// last attached request disconnects, so abandoned scans stop instead of
+// running to completion.
+func (s *server) execute(w http.ResponseWriter, r *http.Request, src *sources, q *query.Query, key string, render renderFunc) {
+	if body, ok := s.cache.get(key); ok {
+		s.mHits.Inc()
+		writeJSON(w, body, "hit")
+		return
+	}
+	s.mMisses.Inc()
+
+	f, leader := s.flights.join(key)
+	cacheState := "shared"
+	if leader {
+		cacheState = "miss"
+		s.mSFLeaders.Inc()
+		s.runFlight(r.Context(), src, q, key, f)
+	} else {
+		s.mSFShared.Inc()
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			// The client is gone; detach (possibly canceling the flight if
+			// we were the last waiter) and write nothing.
+			f.leave()
+			return
+		}
+	}
+	if f.err != nil {
+		s.mErrors.Inc()
+		s.writeError(w, f.err)
+		return
+	}
+
+	if q.SelectMode() && s.streamAbove >= 0 && len(f.res.Scans) > s.streamAbove {
+		s.streamScans(w, key, f.res, f.degraded, cacheState)
+		return
+	}
+	out, err := render(f.res, f.degraded)
+	if err != nil {
+		s.mErrors.Inc()
+		s.writeError(w, err)
+		return
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		s.mErrors.Inc()
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	// A degraded body (corrupt blocks skipped, a segment unreadable) is
+	// never cached: the damage may heal — or be discovered — without a
+	// generation bump, and a cached incomplete result would outlive both.
+	// The check runs after the engine walk so corruption found during this
+	// very read already counts.
+	if !f.degraded {
+		s.cache.put(key, body)
+	}
+	writeJSON(w, body, cacheState)
+}
+
+// runFlight is the leader's half of execute: admission control, the engine
+// run under the per-query deadline, and publishing the shared outcome.
+func (s *server) runFlight(reqCtx context.Context, src *sources, q *query.Query, key string, f *flight) {
+	if !s.adm.tryAcquire() {
+		s.mRejected.Inc()
+		s.flights.finish(key, f, nil, false, errOverloaded)
+		return
+	}
+	defer s.adm.release()
+	s.mAdmitted.Inc()
+
+	// The flight context is detached from any single request but bounded by
+	// the per-query deadline and by waiter interest: the watcher below makes
+	// the leader's own disconnect count like a follower's, so a flight every
+	// client abandoned cancels its scan.
+	base := context.Background()
+	var cancel context.CancelFunc
+	ctx := base
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(base, s.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(base)
+	}
+	f.setCancel(cancel)
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-reqCtx.Done():
+			f.leave()
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
+
+	if s.execHook != nil {
+		s.execHook()
+	}
+	res, err := src.runQuery(ctx, q)
+	s.flights.finish(key, f, res, src.degraded(), err)
+}
+
+// streamFlushEvery is the record interval between chunked flushes of a
+// streamed scan list; defaultStreamTeeCap bounds the cache-fill copy of a
+// streamed body when the cache itself has no byte budget.
+const (
+	streamFlushEvery    = 512
+	defaultStreamTeeCap = 8 << 20
+)
+
+// streamScans renders a large select-mode response incrementally: scans are
+// encoded one by one straight into the response writer and flushed in
+// chunks, so the server never materializes a second full copy of a huge
+// body (the chunked transfer encoding replaces Content-Length). A tee
+// buffer capped at the cache's per-entry bound still captures bodies small
+// enough to cache; past the cap the tee stops buffering, making the
+// per-request memory bound unconditional.
+func (s *server) streamScans(w http.ResponseWriter, key string, res *query.Result, degraded bool, cacheState string) {
+	s.mStreamed.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState)
+	capBytes := s.cache.entryCap()
+	if capBytes == 0 && s.cache != nil {
+		// Byte-unbounded cache: still bound the tee, so one huge streamed
+		// body cannot hold a full copy in memory just to maybe cache it.
+		capBytes = defaultStreamTeeCap
+	}
+	tee := newCapTee(w, capBytes)
+	fmt.Fprintf(tee, `{"matched":%d,"returned":%d,"truncated":%t,"degraded":%t,"scans":[`,
+		res.Matched, len(res.Scans), res.Truncated, degraded)
+	fl, _ := w.(http.Flusher)
+	for i, rec := range res.Scans {
+		if i > 0 {
+			tee.Write([]byte{','})
+		}
+		b, err := json.Marshal(toScanJSON(rec.Scan, rec.Origin))
+		if err != nil {
+			// Mid-stream, the status is already written; truncating the body
+			// is the only honest failure mode (and Marshal of scanJSON
+			// cannot actually fail).
+			return
+		}
+		tee.Write(b)
+		if fl != nil && (i+1)%streamFlushEvery == 0 {
+			fl.Flush()
+		}
+	}
+	tee.Write([]byte("]}\n"))
+	if body, ok := tee.buffered(); ok && !degraded {
+		s.cache.put(key, body)
+	}
+}
+
+// capTee writes through to an underlying writer while buffering a copy, up
+// to a byte cap; once the cap is exceeded the buffer is dropped and only the
+// pass-through continues.
+type capTee struct {
+	w        interface{ Write([]byte) (int, error) }
+	buf      []byte
+	cap      int64
+	overflow bool
+}
+
+func newCapTee(w interface{ Write([]byte) (int, error) }, capBytes int64) *capTee {
+	t := &capTee{w: w, cap: capBytes}
+	if capBytes <= 0 {
+		t.overflow = true // no cache to feed; never buffer
+	}
+	return t
+}
+
+func (t *capTee) Write(p []byte) (int, error) {
+	if !t.overflow {
+		if int64(len(t.buf)+len(p)) > t.cap {
+			t.overflow = true
+			t.buf = nil
+		} else {
+			t.buf = append(t.buf, p...)
+		}
+	}
+	return t.w.Write(p)
+}
+
+// buffered returns the complete teed body, or ok == false when the cap was
+// exceeded.
+func (t *capTee) buffered() ([]byte, bool) {
+	if t.overflow {
+		return nil, false
+	}
+	return t.buf, true
 }
 
 // endpoint wraps a live (uncached, engine-less) handler — /v1/stats — with
@@ -212,7 +470,7 @@ func (s *server) endpoint(h func(ctx context.Context, src *sources, q url.Values
 		res, err := h(ctx, src, r.URL.Query())
 		if err != nil {
 			s.mErrors.Inc()
-			writeJSONError(w, errCode(err), err.Error())
+			s.writeError(w, err)
 			return
 		}
 		body, err := json.Marshal(res)
@@ -347,8 +605,8 @@ type storeInfo struct {
 
 // handleStats reports the loaded archives, the live segment stores, and a
 // metrics snapshot (request/error counts, cache hits/misses, blocks scanned
-// vs pruned, segment discovery/compaction counters). Never cached: the
-// counters move with every request.
+// vs pruned, segment discovery/compaction counters, the server.* hardening
+// family). Never cached: the counters move with every request.
 func (s *server) handleStats(_ context.Context, src *sources, _ url.Values) (any, error) {
 	infos := make([]archiveInfo, 0, len(s.readers))
 	for i, rd := range s.readers {
@@ -382,6 +640,8 @@ func (s *server) handleStats(_ context.Context, src *sources, _ url.Values) (any
 		"archives":      infos,
 		"stores":        stores,
 		"cache_entries": s.cache.len(),
+		"cache_bytes":   s.cache.bytesUsed(),
+		"inflight":      s.adm.inflight(),
 		"degraded":      src.degraded(),
 		"faults":        snap.CountersWithPrefix("faults."),
 		"metrics":       snap,

@@ -71,7 +71,7 @@ func TestSegmentStoreServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cat.Close()
-	srv := newServer(nil, nil, []string{dir}, []*archive.Catalog{cat}, 32, 0, reg)
+	srv := newServer(nil, nil, []string{dir}, []*archive.Catalog{cat}, serverConfig{cacheEntries: 32}, reg)
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -159,7 +159,7 @@ func TestDegradedResponsesNotCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { rd.Close() })
-	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, 32, 0, obs.NewRegistry())
+	srv := newServer([]string{path}, []*archive.Reader{rd}, nil, nil, serverConfig{cacheEntries: 32}, obs.NewRegistry())
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 
@@ -195,7 +195,7 @@ func TestEmptyStoreServes(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cat.Close()
-	srv := newServer(nil, nil, []string{dir}, []*archive.Catalog{cat}, 8, 0, obs.NewRegistry())
+	srv := newServer(nil, nil, []string{dir}, []*archive.Catalog{cat}, serverConfig{cacheEntries: 8}, obs.NewRegistry())
 	ts := httptest.NewServer(srv.handler())
 	defer ts.Close()
 

@@ -1,0 +1,73 @@
+package loadgen
+
+import "fmt"
+
+// StandardMix is the default production-shaped request mix: a hot identical
+// query (exercises the result cache and, under concurrency, singleflight
+// collapse), cache-busting scan reads (every request is a fresh archive
+// walk), a pushdown-pruned POST /v1/query, a full-scan decade quantile, the
+// deprecated fixed-parameter table endpoints, and the stats page. Weights
+// roughly follow a dashboard-plus-analysts profile: mostly cheap repeated
+// reads, a steady trickle of expensive novel queries.
+func StandardMix() []Request {
+	return []Request{
+		{
+			Name:   "scans-hot",
+			Path:   "/v1/scans?year=2020&port=443&limit=50",
+			Weight: 4,
+		},
+		{
+			Name: "scans-cold",
+			PathFn: func(i uint64) string {
+				// Vary year and minrate so consecutive requests never share a
+				// canonical key: each one misses the cache and walks blocks.
+				return fmt.Sprintf("/v1/scans?year=%d&minrate=%d&limit=100",
+					2015+i%10, 100+i%89)
+			},
+			Weight: 2,
+		},
+		{
+			Name: "query-pruned",
+			Path: "/v1/query",
+			Body: func(i uint64) []byte {
+				return []byte(fmt.Sprintf(
+					`{"where":{"and":[{"field":"year","eq":%d},{"field":"port","in":[443]}]},"aggs":[{"op":"count"}]}`,
+					2015+i%10))
+			},
+			Weight: 2,
+		},
+		{
+			Name: "query-quantile",
+			Path: "/v1/query",
+			Body: func(i uint64) []byte {
+				// No filter: a full-decade scan the zone maps cannot prune.
+				return []byte(`{"aggs":[{"op":"quantile","field":"rate_pps","qs":[0.5,0.9,0.99]}]}`)
+			},
+			Weight: 1,
+		},
+		{
+			Name:   "tables-legacy",
+			Path:   "/v1/tables/ports?year=2021&top=10",
+			Weight: 2,
+		},
+		{
+			Name:   "stats",
+			Path:   "/v1/stats",
+			Weight: 1,
+		},
+	}
+}
+
+// HotMix is a single identical expensive query repeated by every client —
+// the worst case for naive servers (a thundering herd on one cache key) and
+// the best case for singleflight, which should collapse all concurrent
+// copies into one archive walk.
+func HotMix() []Request {
+	return []Request{{
+		Name: "query-hot",
+		Path: "/v1/query",
+		Body: func(uint64) []byte {
+			return []byte(`{"group_by":["tool"],"aggs":[{"op":"count"},{"op":"quantile","field":"rate_pps","qs":[0.5,0.99]}]}`)
+		},
+	}}
+}

@@ -90,6 +90,22 @@ func (f Field) MarshalJSON() ([]byte, error) {
 	return json.Marshal(f.String())
 }
 
+// UnmarshalJSON resolves a wire name back to the enum, so result rows
+// decoded from a /v1/query response (the facade's remote client does this)
+// round-trip.
+func (f *Field) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, ok := fieldsByName[s]
+	if !ok {
+		return errf("unknown field %q", s)
+	}
+	*f = v
+	return nil
+}
+
 // groupable reports whether rows may be grouped by f.
 func (f Field) groupable() bool {
 	switch f {

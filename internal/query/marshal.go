@@ -1,0 +1,138 @@
+package query
+
+import (
+	"encoding/json"
+
+	"github.com/synscan/synscan/internal/fingerprint"
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// MarshalJSON renders the query in the compact request form Parse accepts —
+// the /v1/query wire format — so a Query built with the fluent Builder can
+// be POSTed to a remote synserve (the facade's retrying Client does
+// exactly that) and round-trips: Parse(MarshalJSON(q)) has q's Key.
+func (q *Query) MarshalJSON() ([]byte, error) {
+	var req struct {
+		Where   json.RawMessage `json:"where,omitempty"`
+		GroupBy []string        `json:"group_by,omitempty"`
+		Aggs    []wireAgg       `json:"aggs,omitempty"`
+		OrderBy string          `json:"order_by,omitempty"`
+		Limit   int             `json:"limit,omitempty"`
+	}
+	if q.Where != nil {
+		raw, err := marshalExpr(q.Where)
+		if err != nil {
+			return nil, err
+		}
+		req.Where = raw
+	}
+	for _, f := range q.GroupBy {
+		req.GroupBy = append(req.GroupBy, f.String())
+	}
+	for _, a := range q.Aggs {
+		w := wireAgg{Op: a.Op.String(), K: a.K, Qs: a.Qs}
+		if a.Op != OpCount {
+			w.Field = a.Field.String()
+		}
+		req.Aggs = append(req.Aggs, w)
+	}
+	if q.Order == OrderKey {
+		req.OrderBy = "key"
+	}
+	req.Limit = q.Limit
+	return json.Marshal(&req)
+}
+
+type wireAgg struct {
+	Op    string    `json:"op"`
+	Field string    `json:"field,omitempty"`
+	K     int       `json:"k,omitempty"`
+	Qs    []float64 `json:"qs,omitempty"`
+}
+
+// marshalExpr renders one filter node in the wire form parseNode accepts.
+func marshalExpr(e Expr) (json.RawMessage, error) {
+	switch n := e.(type) {
+	case *andExpr:
+		return marshalKids("and", n.kids)
+	case *orExpr:
+		return marshalKids("or", n.kids)
+	case *notExpr:
+		kid, err := marshalExpr(n.kid)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(map[string]json.RawMessage{"not": kid})
+	case *inExpr:
+		return marshalIn(n)
+	case *qualExpr:
+		return json.Marshal(map[string]any{"field": FieldQualified.String(), "eq": n.want})
+	case *twoPhaseExpr:
+		return json.Marshal(map[string]any{"field": FieldTwoPhase.String(), "eq": n.want})
+	case *prefixExpr:
+		return json.Marshal(map[string]any{"field": FieldSrc.String(), "prefix": n.pfx.String()})
+	case *timeExpr:
+		m := map[string]any{"field": FieldTime.String()}
+		if n.min != nil {
+			m["min_ns"] = *n.min
+		}
+		if n.max != nil {
+			m["max_ns"] = *n.max
+		}
+		return json.Marshal(m)
+	case *rangeExpr:
+		m := map[string]any{"field": n.field.String()}
+		if n.min != nil {
+			m["min"] = *n.min
+		}
+		if n.max != nil {
+			m["max"] = *n.max
+		}
+		return json.Marshal(m)
+	}
+	return nil, errf("filter node %T has no wire form", e)
+}
+
+func marshalKids(op string, kids []Expr) (json.RawMessage, error) {
+	raws := make([]json.RawMessage, 0, len(kids))
+	for _, k := range kids {
+		raw, err := marshalExpr(k)
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, raw)
+	}
+	return json.Marshal(map[string][]json.RawMessage{op: raws})
+}
+
+// marshalIn renders a set-membership leaf, converting enum-coded members
+// back to the display names the parser accepts.
+func marshalIn(e *inExpr) (json.RawMessage, error) {
+	vals := make([]any, 0, len(e.ints)+len(e.strs))
+	switch e.field {
+	case FieldYear, FieldPort, FieldASN:
+		for _, v := range e.ints {
+			vals = append(vals, v)
+		}
+	case FieldTool:
+		for _, v := range e.ints {
+			vals = append(vals, tools.Tool(v).String())
+		}
+	case FieldType:
+		for _, v := range e.ints {
+			vals = append(vals, inetmodel.ScannerType(v).String())
+		}
+	case FieldISN:
+		for _, v := range e.ints {
+			vals = append(vals, fingerprint.ISNClass(v).String())
+		}
+	case FieldCountry, FieldOrg:
+		for _, s := range e.strs {
+			vals = append(vals, s)
+		}
+	default:
+		return nil, errf("field %s has no set-membership wire form", e.field)
+	}
+	return json.Marshal(map[string]any{"field": e.field.String(), "in": vals})
+}

@@ -1,0 +1,77 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/synscan/synscan/internal/inetmodel"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// TestMarshalRoundTrip: every builder-constructed query must survive
+// MarshalJSON → Parse with its canonical Key intact — the property the
+// remote client depends on to POST local queries at /v1/query.
+func TestMarshalRoundTrip(t *testing.T) {
+	pfx, err := inetmodel.ParsePrefix("10.0.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := 100.0, 5000.0
+	cases := []struct {
+		name  string
+		build func() (*Query, error)
+	}{
+		{"select-all", func() (*Query, error) { return NewBuilder().Build() }},
+		{"select-filtered", func() (*Query, error) {
+			return NewBuilder().Years(2020, 2021).Ports(443, 22).Limit(50).Build()
+		}},
+		{"count", func() (*Query, error) { return NewBuilder().Count().Build() }},
+		{"grouped-topk", func() (*Query, error) {
+			return NewBuilder().Qualified(true).GroupBy(FieldTool).
+				Count().TopK(FieldPort, 10).Build()
+		}},
+		{"quantiles", func() (*Query, error) {
+			return NewBuilder().Quantiles(FieldRate, 0.5, 0.9, 0.99).Build()
+		}},
+		{"tools-by-name", func() (*Query, error) {
+			return NewBuilder().Tools(tools.ToolZMap, tools.ToolMirai).Count().Build()
+		}},
+		{"combinators", func() (*Query, error) {
+			return NewBuilder().
+				Where(Or(YearIn(2020), And(PortAny(23), Not(Qualified(true))))).
+				Count().Build()
+		}},
+		{"src-prefix", func() (*Query, error) {
+			return NewBuilder().Where(SrcIn(pfx)).Count().Build()
+		}},
+		{"time-range", func() (*Query, error) {
+			return NewBuilder().Where(TimeBetween(1e15, 2e18)).Count().Build()
+		}},
+		{"num-range", func() (*Query, error) {
+			return NewBuilder().Where(NumRange(FieldRate, &min, &max)).Count().Build()
+		}},
+		{"order-key", func() (*Query, error) {
+			return NewBuilder().GroupBy(FieldYear).Count().OrderByKey().Build()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := json.Marshal(q)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			back, err := Parse(wire)
+			if err != nil {
+				t.Fatalf("parse of marshaled form %s: %v", wire, err)
+			}
+			if got, want := back.Key(), q.Key(); got != want {
+				t.Fatalf("round trip changed the query:\nwire %s\n got %s\nwant %s",
+					wire, got, want)
+			}
+		})
+	}
+}
