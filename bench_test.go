@@ -14,12 +14,16 @@ import (
 	"time"
 
 	"github.com/synscan/synscan/internal/analysis"
+	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
+	"github.com/synscan/synscan/internal/enrich"
 	"github.com/synscan/synscan/internal/fingerprint"
 	"github.com/synscan/synscan/internal/inetmodel"
 	"github.com/synscan/synscan/internal/obs"
 	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/reactive"
 	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/telescope"
 	"github.com/synscan/synscan/internal/tools"
 	"github.com/synscan/synscan/internal/workload"
 )
@@ -419,6 +423,189 @@ func BenchmarkShardedIngest(b *testing.B) {
 			return core.NewDetector(cfg, func(*Scan) {}, core.WithMetrics(obs.NewRegistry()))
 		})
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Zero-alloc hot paths
+//
+// These benchmarks cover the allocation-gated paths (see alloc_gate_test.go
+// and the per-package internal/alloctest budgets): steady-state frame decode,
+// detector batch absorb and pooled archive block reads must not allocate;
+// run with -benchmem to see the per-op numbers.
+
+// BenchmarkDecodeFrame: one reusable packet.Decoder over a wire-format
+// corpus, the synalyze/syningest replay hot path.
+func BenchmarkDecodeFrame(b *testing.B) {
+	stream := makeAblationStream(4096, 512)
+	frames := make([][]byte, len(stream))
+	var bytes int64
+	for i := range stream {
+		if i%7 == 0 {
+			stream[i].Flags = packet.FlagPSH | packet.FlagACK
+			stream[i].Payload = []byte("GET / HTTP/1.1\r\n")
+		}
+		frames[i] = stream[i].AppendFrame(nil)
+		bytes += int64(len(frames[i]))
+	}
+	var dec packet.Decoder
+	var p packet.Probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(frames[i%len(frames)], &p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorIngestBatch: the detector's steady-state absorb — warm
+// flows, resident destination/port sets — through the batch entry point.
+// Each op is one pass over the whole stream.
+func BenchmarkDetectorIngestBatch(b *testing.B) {
+	const sources, perSource = 32, 64
+	stream := make([]packet.Probe, 0, sources*perSource)
+	for s := 0; s < sources; s++ {
+		for i := 0; i < perSource; i++ {
+			stream = append(stream, packet.Probe{
+				Time:    int64(s*perSource+i) * int64(time.Millisecond),
+				Src:     uint32(s + 1),
+				Dst:     uint32(0x0a000000 + i%48),
+				DstPort: uint16(20 + i%8),
+				Seq:     uint32(i) * 977,
+				Flags:   packet.FlagSYN,
+			})
+		}
+	}
+	d := core.NewDetector(core.Config{TelescopeSize: 65536}, func(*Scan) {})
+	b.ReportAllocs()
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.IngestBatch(stream)
+	}
+}
+
+// benchScans closes a deterministic stream through the detector to get
+// realistic scans for the storage benchmarks.
+func benchScans(n, sources int) []*core.Scan {
+	var scans []*core.Scan
+	d := core.NewDetector(core.Config{TelescopeSize: 65536},
+		func(s *core.Scan) { scans = append(scans, s) })
+	stream := makeAblationStream(n, sources)
+	for i := range stream {
+		d.Ingest(&stream[i])
+	}
+	d.FlushAll()
+	return scans
+}
+
+// BenchmarkArchiveRawBlock: the pooled read path — ReadAt, checksum,
+// DEFLATE — without per-record decode on top. This is the path the
+// "archive-block-read" budget gates; a warmed scratch pool holds it near
+// zero allocations.
+func BenchmarkArchiveRawBlock(b *testing.B) {
+	scans := benchScans(50000, 4096)
+	path := b.TempDir() + "/bench.syn"
+	aw, err := archive.Create(path, archive.WriterConfig{TelescopeSize: 65536})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range scans {
+		if err := aw.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	r, err := archive.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	blocks := r.NumBlocks()
+	var raw int64
+	visit := func(data []byte) error { raw += int64(len(data)); return nil }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.RawBlock(i%blocks, visit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSegmentStoreQuery: a full catalog query — every sealed segment,
+// zone-map pruning, block decode — against a live segment store.
+func BenchmarkSegmentStoreQuery(b *testing.B) {
+	scans := benchScans(50000, 4096)
+	sw, err := archive.OpenSegmentDir(b.TempDir(), archive.SegmentConfig{
+		TelescopeSize: 65536, MaxSegmentScans: 2000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range scans {
+		if err := sw.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sw.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	cat, err := archive.OpenCatalog(sw.Dir(), archive.CatalogConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cat.Close()
+	defer sw.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := cat.View()
+		n := 0
+		for j := 0; j < v.Len(); j++ {
+			err := v.Reader(j).Scans(archive.Filter{}, func(*core.Scan, enrich.Origin) { n++ })
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		v.Release()
+		if n != len(scans) {
+			b.Fatalf("query returned %d scans, want %d", n, len(scans))
+		}
+	}
+}
+
+// BenchmarkReactiveObserve: the reactive telescope's ingress — membership,
+// responder, connection tracking — under a mixed SYN + handshake load.
+func BenchmarkReactiveObserve(b *testing.B) {
+	tel, err := telescope.New(telescope.Config{
+		Blocks: []telescope.PartialBlock{
+			{Prefix: inetmodel.MustPrefix("10.1.0.0/20"), MonitoredFraction: 0.5},
+		},
+		Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := reactive.New(tel, reactive.DefaultPolicy(7))
+	probes := make([]packet.Probe, 4096)
+	for i := range probes {
+		probes[i] = packet.Probe{
+			Time: int64(i) * int64(time.Millisecond), Src: uint32(0xC0A80000 + i%512),
+			Dst: tel.At(i % tel.Size()), SrcPort: uint16(30000 + i%512),
+			DstPort: uint16([]int{80, 443, 23, 8080}[i%4]),
+			Seq:     uint32(i) * 131, Flags: packet.FlagSYN, TTL: 64,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := probes[i%len(probes)]
+		p.Time += int64(i/len(probes)) * int64(time.Second)
+		rt.Observe(&p)
+	}
 }
 
 func BenchmarkWorkloadGeneration2024(b *testing.B) {

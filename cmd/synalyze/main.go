@@ -161,6 +161,10 @@ func main() {
 
 	packetsPerPort := stats.NewCounter[uint16]()
 	var total, parsed, syn, phase2 uint64
+	// One Decoder and one Probe for the whole replay: Decode reuses the
+	// probe's payload backing, so the frame loops below run allocation-free
+	// (the detector copies anything it keeps past the call).
+	var dec packet.Decoder
 	var p packet.Probe
 	ingest := func() {
 		if p.IsSYN() {
@@ -209,7 +213,7 @@ func main() {
 				log.Fatal(err)
 			}
 			total++
-			if err := p.UnmarshalFrame(data); err != nil {
+			if err := dec.Decode(data, &p); err != nil {
 				mUnparsed.Inc()
 				continue
 			}
@@ -234,7 +238,7 @@ func main() {
 			if rec.Truncated() {
 				mTruncated.Inc()
 			}
-			if err := p.UnmarshalFrame(rec.Data); err != nil {
+			if err := dec.Decode(rec.Data, &p); err != nil {
 				mUnparsed.Inc()
 				continue
 			}

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/synscan/synscan/internal/alloctest"
 	"github.com/synscan/synscan/internal/archive"
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
@@ -65,6 +66,15 @@ type record struct {
 	ArchiveScans    int     `json:"archive_scans"`
 	ArchiveBytes    int64   `json:"archive_bytes"`
 	ArchiveScanMBps float64 `json:"archive_scan_mb_per_s"`
+
+	// Allocation discipline on the gated hot paths, measured the same way the
+	// internal/alloctest budgets are enforced (warm state, GOMAXPROCS=1):
+	// steady-state heap allocations per frame decoded, per probe absorbed
+	// through the detector's batch entry, and per pooled archive block read.
+	AllocDecodePerFrame     float64 `json:"alloc_decode_per_frame"`
+	AllocAbsorbPerProbe     float64 `json:"alloc_detector_absorb_per_probe"`
+	AllocBlockReadPerBlock  float64 `json:"alloc_archive_block_read_per_block"`
+	AllocBlockReadBytesPerB float64 `json:"alloc_archive_block_read_bytes"`
 
 	DiscoveryRounds int     `json:"discovery_rounds"`
 	DiscoveryP50Ms  float64 `json:"segment_discovery_p50_ms"`
@@ -107,7 +117,7 @@ func main() {
 	log.SetPrefix("synbench: ")
 
 	out := flag.String("out", "-", `output path for the JSON record ("-" = stdout)`)
-	benchN := flag.Int("n", 9, "benchmark sequence number recorded in the output")
+	benchN := flag.Int("n", 10, "benchmark sequence number recorded in the output")
 	quick := flag.Bool("quick", false, "CI smoke mode: ~10x smaller workloads, not comparable to full runs")
 	servePath := flag.String("synserve", "", "prebuilt synserve binary (default: go build ./cmd/synserve)")
 	flag.Parse()
@@ -148,6 +158,11 @@ func main() {
 	rec.ArchiveScans = nScans
 	rec.ArchiveBytes, rec.ArchiveScanMBps = benchArchiveScan(archivePath, scans)
 	log.Printf("archive scan: %.1f MB/s over %d bytes", rec.ArchiveScanMBps, rec.ArchiveBytes)
+
+	benchAllocs(&rec, archivePath)
+	log.Printf("allocs/op: decode %.4f/frame, absorb %.4f/probe, block read %.2f (%.0f B)",
+		rec.AllocDecodePerFrame, rec.AllocAbsorbPerProbe,
+		rec.AllocBlockReadPerBlock, rec.AllocBlockReadBytesPerB)
 
 	rec.DiscoveryRounds = nRounds
 	rec.DiscoveryP50Ms, rec.DiscoveryMaxMs = benchDiscovery(filepath.Join(tmp, "store"), scans, nRounds)
@@ -285,6 +300,67 @@ func benchReactive(scale float64) (probes uint64, onewayPPS, reactivePPS, p2Shar
 		p2Share = float64(sum.Phase2Probes) / float64(n)
 	}
 	return probes, 1 / bestOneway, 1 / bestReactive, p2Share
+}
+
+// benchAllocs measures the steady-state allocation rates of the three gated
+// hot paths — frame decode, detector batch absorb, pooled archive block read
+// — with internal/alloctest's discipline (warm call first, GOMAXPROCS=1), so
+// the BENCH record carries the same numbers the test budgets enforce.
+func benchAllocs(rec *record, archivePath string) {
+	// Frame decode: one reusable Decoder, caller-owned probe.
+	r := rng.New(9)
+	pr := tools.NewMasscan(1, r)
+	frames := make([][]byte, 1024)
+	for i := range frames {
+		p := pr.Probe(uint32(i), 443)
+		frames[i] = p.AppendFrame(nil)
+	}
+	var dec packet.Decoder
+	var p packet.Probe
+	allocs, _ := alloctest.Measure(100, func() {
+		for _, f := range frames {
+			if err := dec.Decode(f, &p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	rec.AllocDecodePerFrame = allocs / float64(len(frames))
+
+	// Detector absorb: warm flows and resident destination/port sets, the
+	// regime a long-running telescope spends almost all its time in.
+	const sources, perSource = 32, 64
+	stream := make([]packet.Probe, 0, sources*perSource)
+	for s := 0; s < sources; s++ {
+		for i := 0; i < perSource; i++ {
+			stream = append(stream, packet.Probe{
+				Time:    int64(s*perSource+i) * int64(time.Millisecond),
+				Src:     uint32(s + 1),
+				Dst:     uint32(0x0a000000 + i%48),
+				DstPort: uint16(20 + i%8),
+				Seq:     uint32(i) * 977,
+				Flags:   packet.FlagSYN,
+			})
+		}
+	}
+	d := core.NewDetector(core.Config{TelescopeSize: 65536}, func(*core.Scan) {})
+	allocs, _ = alloctest.Measure(100, func() { d.IngestBatch(stream) })
+	rec.AllocAbsorbPerProbe = allocs / float64(len(stream))
+
+	// Pooled block read over the archive the scan benchmark just wrote.
+	rd, err := archive.Open(archivePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rd.Close()
+	blocks := rd.NumBlocks()
+	visit := func([]byte) error { return nil }
+	i := 0
+	rec.AllocBlockReadPerBlock, rec.AllocBlockReadBytesPerB = alloctest.Measure(1000, func() {
+		if err := rd.RawBlock(i%blocks, visit); err != nil {
+			log.Fatal(err)
+		}
+		i++
+	})
 }
 
 // makeScans builds n deterministic closed flows spread over several years

@@ -1,0 +1,61 @@
+package alloctest
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMeasureDistinguishesAllocation(t *testing.T) {
+	sink := make([]byte, 0, 64)
+	allocs, bytes := Measure(50, func() {
+		sink = append(sink[:0], 1, 2, 3) // reuses backing: no allocation
+	})
+	if allocs != 0 || bytes != 0 {
+		t.Fatalf("non-allocating fn measured at %.2f allocs/op, %.1f B/op", allocs, bytes)
+	}
+	var escape []byte
+	allocs, bytes = Measure(50, func() {
+		escape = make([]byte, 1024)
+	})
+	_ = escape
+	if allocs < 1 {
+		t.Fatalf("allocating fn measured at %.2f allocs/op", allocs)
+	}
+	if bytes < 1024 {
+		t.Fatalf("1 KiB/op fn measured at %.1f B/op", bytes)
+	}
+}
+
+func TestCheckWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.jsonl")
+	t.Setenv("ALLOCTEST_REPORT", path)
+	Check(t, "selftest-zero", 0, func() {})
+	Check(t, "selftest-budgeted", 8, func() { _ = make([]byte, 16) })
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var got []Result
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var r Result
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad report line %q: %v", sc.Text(), err)
+		}
+		got = append(got, r)
+	}
+	if len(got) != 2 {
+		t.Fatalf("%d report lines, want 2", len(got))
+	}
+	if got[0].Path != "selftest-zero" || !got[0].Pass || got[0].Budget != 0 {
+		t.Fatalf("first line %+v", got[0])
+	}
+	if got[1].Path != "selftest-budgeted" || !got[1].Pass {
+		t.Fatalf("second line %+v", got[1])
+	}
+}

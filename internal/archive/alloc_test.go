@@ -1,0 +1,34 @@
+package archive
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/alloctest"
+)
+
+// TestAllocBudgetBlockRead is the enforced budget for the pooled archive
+// read path: reading, checksumming and decompressing one block through the
+// scratch pool may allocate at most 2 times per block in steady state. The
+// headroom covers sync.Pool misses under GC pressure (one Get-side
+// allocation each); everything else is pooled — the read and raw buffers in
+// blockScratch, the DEFLATE state in internal/inflate (compress/flate would
+// cost ~17 allocations/block rebuilding Huffman link tables per stream, the
+// reason the archive carries its own inflater). Reported under
+// "archive-block-read".
+func TestAllocBudgetBlockRead(t *testing.T) {
+	scans, origins := testScans(4000, 23)
+	data := writeArchive(t, scans, origins, WriterConfig{TelescopeSize: 4096, BlockBytes: 16 << 10})
+	r := openArchive(t, data)
+	blocks := r.NumBlocks()
+	if blocks < 2 {
+		t.Fatalf("want multiple blocks, got %d", blocks)
+	}
+	visit := func([]byte) error { return nil }
+	i := 0
+	alloctest.Check(t, "archive-block-read", 2, func() {
+		if err := r.RawBlock(i%blocks, visit); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+}

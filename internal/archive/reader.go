@@ -1,8 +1,6 @@
 package archive
 
 import (
-	"bytes"
-	"compress/flate"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -15,6 +13,7 @@ import (
 
 	"github.com/synscan/synscan/internal/core"
 	"github.com/synscan/synscan/internal/enrich"
+	"github.com/synscan/synscan/internal/inflate"
 	"github.com/synscan/synscan/internal/obs"
 )
 
@@ -323,45 +322,122 @@ func (r *Reader) fail(err error) blockScans {
 	return blockScans{err: err}
 }
 
-// decodeBlock reads, checksums, decompresses and decodes one block, keeping
-// only scans matching p.
-func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
-	n := int64(z.CompressedLen)
+// blockScratch bundles the per-block scratch a decode cycles through: the
+// compressed read buffer, the decompressed raw buffer, and a reusable-state
+// DEFLATE decoder (internal/inflate keeps its Huffman tables across blocks,
+// so a warmed scratch decompresses without allocating — compress/flate
+// rebuilds its link tables per stream even when Reset). The unit lives in
+// scratchPool; decodeRecord copies every byte it keeps (ports, payload,
+// strings), so nothing decoded from a scratch — including the scans a
+// CatalogView query hands out — aliases it after release. That invariant is
+// pinned by TestPoolPoisoning.
+type blockScratch struct {
+	comp []byte
+	raw  []byte
+	inf  inflate.Decoder
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(blockScratch) }}
+
+// poisonScratch, when set (by tests only), scribbles every scratch buffer as
+// it returns to the pool so any decoded state still aliasing pooled memory
+// fails loudly instead of silently going stale.
+var poisonScratch atomic.Bool
+
+// release returns the scratch to the pool.
+func (s *blockScratch) release() {
+	if poisonScratch.Load() {
+		comp := s.comp[:cap(s.comp)]
+		for i := range comp {
+			comp[i] = 0xdb
+		}
+		raw := s.raw[:cap(s.raw)]
+		for i := range raw {
+			raw[i] = 0xdb
+		}
+	}
+	scratchPool.Put(s)
+}
+
+// readBlock fills s with block z: the compressed bytes (checksum verified for
+// version ≥ 2) in s.comp and the decompressed record bytes in s.raw. The
+// buffers are valid until s.release.
+func (r *Reader) readBlock(z *ZoneMap, s *blockScratch) error {
+	n := int(z.CompressedLen)
 	if r.ver >= version2 {
 		n += blockCRCLen
 	}
-	blk := make([]byte, n)
+	if cap(s.comp) < n {
+		s.comp = make([]byte, n)
+	}
+	blk := s.comp[:n]
 	if _, err := r.ra.ReadAt(blk, int64(z.Offset)); err != nil {
-		return r.fail(fmt.Errorf("archive: block at %d: %w", z.Offset, err))
+		return fmt.Errorf("archive: block at %d: %w", z.Offset, err)
 	}
 	comp := blk
 	if r.ver >= version2 {
 		want := binary.BigEndian.Uint32(blk[:blockCRCLen])
 		comp = blk[blockCRCLen:]
 		if crc32.ChecksumIEEE(comp) != want {
-			return r.fail(fmt.Errorf("%w: block at %d: checksum mismatch", ErrCorrupt, z.Offset))
+			return fmt.Errorf("%w: block at %d: checksum mismatch", ErrCorrupt, z.Offset)
 		}
 	}
 	// Capacity hints come from the (checksummed but still untrusted) index;
 	// clamp them so a crafted file cannot force absurd allocations before
 	// the decode fails.
-	rawCap := int64(z.RawLen)
-	if rawCap > 4*int64(DefaultBlockBytes) {
-		rawCap = 4 * int64(DefaultBlockBytes)
+	rawCap := int(z.RawLen)
+	if rawCap > 4*DefaultBlockBytes {
+		rawCap = 4 * DefaultBlockBytes
 	}
 	sp := obs.StartSpan(r.mDecompress)
-	fr := flate.NewReader(bytes.NewReader(comp))
-	buf := bytes.NewBuffer(make([]byte, 0, rawCap))
-	if _, err := io.Copy(buf, io.LimitReader(fr, int64(z.RawLen)+1)); err != nil {
-		return r.fail(fmt.Errorf("archive: block at %d: %w", z.Offset, err))
+	raw := s.raw[:0]
+	if cap(raw) < rawCap {
+		raw = make([]byte, 0, rawCap)
+	}
+	// Decompress with the output capped at RawLen+1 bytes (like the io.Copy
+	// + LimitReader regime this replaces): one extra byte proves an overlong
+	// block without letting a crafted stream balloon past the clamp.
+	raw, err := s.inf.AppendDecode(raw, comp, int(z.RawLen)+1)
+	s.raw = raw
+	if err != nil {
+		return fmt.Errorf("%w: block at %d: %v", ErrCorrupt, z.Offset, err)
 	}
 	sp.End()
-	raw := buf.Bytes()
 	if uint32(len(raw)) != z.RawLen {
-		return r.fail(fmt.Errorf("%w: block at %d: raw length %d != %d",
-			ErrCorrupt, z.Offset, len(raw), z.RawLen))
+		return fmt.Errorf("%w: block at %d: raw length %d != %d",
+			ErrCorrupt, z.Offset, len(raw), z.RawLen)
 	}
 	r.mBytes.Add(uint64(len(raw)))
+	return nil
+}
+
+// RawBlock reads, checksums and decompresses block i, handing the raw record
+// bytes to visit. The slice is pool-owned scratch, valid only for the
+// duration of the call — visit must copy anything it keeps. It exposes the
+// pooled read path without the per-record decode allocations on top, for the
+// allocation harness (cmd/synbench, the alloctest budgets).
+func (r *Reader) RawBlock(i int, visit func(raw []byte) error) error {
+	if i < 0 || i >= len(r.index) {
+		return fmt.Errorf("archive: block %d out of range [0,%d)", i, len(r.index))
+	}
+	s := scratchPool.Get().(*blockScratch)
+	defer s.release()
+	if err := r.readBlock(&r.index[i], s); err != nil {
+		return err
+	}
+	return visit(s.raw)
+}
+
+// decodeBlock reads, checksums, decompresses and decodes one block, keeping
+// only scans matching p. All scratch comes from (and returns to) the block
+// pool; the decoded scans copy every byte they keep, so they outlive it.
+func (r *Reader) decodeBlock(z *ZoneMap, p Predicate) blockScans {
+	s := scratchPool.Get().(*blockScratch)
+	defer s.release()
+	if err := r.readBlock(z, s); err != nil {
+		return r.fail(err)
+	}
+	raw := s.raw
 
 	// A record is at least 26 bytes, so the block bounds the scan count.
 	if uint64(z.Scans) > uint64(len(raw))/26+1 {

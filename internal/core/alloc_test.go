@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/synscan/synscan/internal/alloctest"
+	"github.com/synscan/synscan/internal/packet"
+)
+
+// TestAllocBudgetAbsorb is the enforced budget for the detector's
+// steady-state absorb: once flows, destination sets and port sets exist,
+// IngestBatch over a warm stream — same sources, resident keys, clock inside
+// the expiry window — must not allocate at all. This is the regime a
+// long-running telescope spends almost all its time in; the budget is
+// reported under "detector-absorb".
+func TestAllocBudgetAbsorb(t *testing.T) {
+	d := NewDetector(Config{TelescopeSize: testTelescopeSize}, nil)
+	const sources, perSource = 32, 64
+	stream := make([]packet.Probe, 0, sources*perSource)
+	for s := 0; s < sources; s++ {
+		for i := 0; i < perSource; i++ {
+			stream = append(stream, packet.Probe{
+				Time:    int64(s*perSource+i) * int64(time.Millisecond),
+				Src:     uint32(s + 1),
+				Dst:     uint32(0x0a000000 + i%48),
+				DstPort: uint16(20 + i%8),
+				Seq:     uint32(i) * 977,
+				Flags:   packet.FlagSYN,
+			})
+		}
+	}
+	alloctest.Check(t, "detector-absorb", 0, func() {
+		d.IngestBatch(stream)
+	})
+}

@@ -236,6 +236,11 @@ func finalize(cfg *Config, f *flow) *Scan {
 type Ingester interface {
 	// Ingest processes one accepted probe.
 	Ingest(*packet.Probe)
+	// IngestBatch processes a time-ordered slice of accepted probes,
+	// equivalent to calling Ingest on each in order. The slice and its
+	// probes belong to the caller again when IngestBatch returns; nothing
+	// in the detector retains a reference into it.
+	IngestBatch([]packet.Probe)
 	// FlushAll closes all remaining flows at end of capture.
 	FlushAll()
 	// ActiveFlows returns the number of currently open flows.
@@ -260,7 +265,61 @@ type Detector struct {
 	now        int64
 	met        *detMetrics // nil when metrics are disabled
 
+	// Free list of closed flows for reuse (threaded on next). Recycling
+	// keeps the open/close churn of a long-running telescope from
+	// allocating: a reused flow keeps its map buckets, so re-opening a
+	// source costs no allocations at all. Bounded (maxFreeFlows, and flows
+	// whose destination map grew past maxRecycledDsts are dropped) so a
+	// burst cannot pin memory forever.
+	free  *flow
+	nfree int
+
 	opened, closed, qualified uint64
+}
+
+// Flow recycling bounds: at most maxFreeFlows closed flows are retained for
+// reuse, and a flow whose destination map exceeded maxRecycledDsts entries
+// is released to the GC instead (clearing keeps map buckets, so one huge
+// campaign would otherwise leave an oversized map parked on the free list).
+const (
+	maxFreeFlows    = 1 << 14
+	maxRecycledDsts = 1 << 12
+)
+
+// newFlow returns a flow for src starting at start, reusing a recycled flow
+// when one is available. Every field is reset here; the free list is the
+// only place a flow outlives its close.
+func (d *Detector) newFlow(src uint32, start int64) *flow {
+	f := d.free
+	if f == nil {
+		return &flow{
+			src:   src,
+			start: start,
+			dsts:  make(map[uint32]uint8),
+			ports: make(map[uint16]struct{}),
+		}
+	}
+	d.free = f.next
+	d.nfree--
+	f.src, f.start = src, start
+	f.end, f.packets, f.linked = 0, 0, 0
+	f.votes = fingerprint.Votes{}
+	clear(f.dsts)
+	clear(f.ports)
+	f.prev, f.next = nil, nil
+	return f
+}
+
+// recycle parks a closed flow on the free list for reuse. finalize copied
+// everything the emitted Scan keeps, so nothing aliases the flow here.
+func (d *Detector) recycle(f *flow) {
+	if d.nfree >= maxFreeFlows || len(f.dsts) > maxRecycledDsts {
+		return
+	}
+	f.prev = nil
+	f.next = d.free
+	d.free = f
+	d.nfree++
 }
 
 // newSequentialDetector is the concrete sequential constructor behind
@@ -297,12 +356,7 @@ func (d *Detector) Ingest(p *packet.Probe) {
 
 	f := d.flows[p.Src]
 	if f == nil {
-		f = &flow{
-			src:   p.Src,
-			start: p.Time,
-			dsts:  make(map[uint32]uint8),
-			ports: make(map[uint16]struct{}),
-		}
+		f = d.newFlow(p.Src, p.Time)
 		d.flows[p.Src] = f
 		d.opened++
 		if d.met != nil {
@@ -325,6 +379,103 @@ func (d *Detector) Ingest(p *packet.Probe) {
 		d.met.packets.Inc()
 	}
 	f.absorb(p)
+	d.lruAppend(f)
+}
+
+// IngestBatch processes a time-ordered slice of probes, equivalent to calling
+// Ingest on each in order. Runs of consecutive probes from one source — the
+// shape the sharded router's per-source batching produces — take a fast path
+// that performs the expiry sweep, flow lookup and LRU relink once per run
+// instead of once per probe and folds the run's fingerprints in through
+// fingerprint.Votes.AddBatch, so the steady-state absorb allocates nothing.
+// The slice and its probes belong to the caller again when IngestBatch
+// returns; nothing in the detector retains a reference into it (the pair
+// cache drops payload headers, see Votes.setPrev).
+func (d *Detector) IngestBatch(ps []packet.Probe) {
+	for len(ps) > 0 {
+		src := ps[0].Src
+		n := 1
+		for n < len(ps) && ps[n].Src == src {
+			n++
+		}
+		d.ingestRun(ps[:n])
+		ps = ps[n:]
+	}
+}
+
+// ingestRun absorbs one same-source run. The fast path is taken only when it
+// is provably equivalent to the per-probe loop: with now' the clock after the
+// whole run and cutoff' = now' − Expiry, no resident flow may expire during
+// the run (d.head.end ≥ cutoff', since per-probe cutoffs only approach
+// cutoff' from below and ends only grow) and a freshly created flow must not
+// expire between its own probes (first probe time ≥ cutoff' — otherwise the
+// sequential detector would split the run into several flows). Anything else
+// replays per probe.
+func (d *Detector) ingestRun(run []packet.Probe) {
+	now := d.now
+	for i := range run {
+		if run[i].Time > now {
+			now = run[i].Time
+		}
+	}
+	cutoff := now - d.cfg.Expiry
+	f := d.flows[run[0].Src]
+	if (d.head != nil && d.head.end < cutoff) || (f == nil && run[0].Time < cutoff) {
+		for i := range run {
+			d.Ingest(&run[i])
+		}
+		return
+	}
+	d.now = now
+	if f == nil {
+		f = d.newFlow(run[0].Src, run[0].Time)
+		d.flows[f.src] = f
+		d.opened++
+		if d.met != nil {
+			d.met.opened.Inc()
+			d.met.active.Add(1)
+		}
+	} else {
+		d.lruUnlink(f)
+	}
+	phase1 := true
+	for i := range run {
+		p := &run[i]
+		if p.Time > f.end {
+			f.end = p.Time
+		} else if d.met != nil && p.Time < f.end {
+			d.met.endClamp.Inc()
+		}
+		if p.IsTCP() && p.Flags&packet.FlagSYN == 0 {
+			phase1 = false
+		}
+	}
+	if d.met != nil {
+		d.met.packets.Add(uint64(len(run)))
+	}
+	if phase1 {
+		// All probes route to the scout phase: do the per-destination and
+		// port bookkeeping here and hand the fingerprinting to the batched
+		// tally (equivalent to per-probe Votes.Add, proven by the
+		// differential tests).
+		f.packets += uint64(len(run))
+		for i := range run {
+			p := &run[i]
+			if old := f.dsts[p.Dst]; old&dstScout == 0 {
+				set := old | dstScout
+				f.dsts[p.Dst] = set
+				if set == dstLinked {
+					f.linked++
+				}
+			}
+			f.ports[p.DstPort] = struct{}{}
+		}
+		f.votes.AddBatch(run)
+	} else {
+		for i := range run {
+			f.absorb(&run[i])
+		}
+	}
 	d.lruAppend(f)
 }
 
@@ -380,6 +531,7 @@ func (d *Detector) close(f *flow) {
 	if d.emit != nil {
 		d.emit(s)
 	}
+	d.recycle(f)
 }
 
 // ActiveFlows returns the number of currently open flows.

@@ -79,6 +79,14 @@ func (d *NaiveDetector) Ingest(p *packet.Probe) {
 	f.absorb(p)
 }
 
+// IngestBatch processes a slice of probes one by one; the naive baseline has
+// no batched fast path (the sweep dominates regardless).
+func (d *NaiveDetector) IngestBatch(ps []packet.Probe) {
+	for i := range ps {
+		d.Ingest(&ps[i])
+	}
+}
+
 // FlushAll closes all remaining flows in source order.
 func (d *NaiveDetector) FlushAll() {
 	var srcs []uint32

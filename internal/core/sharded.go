@@ -73,9 +73,11 @@ type shard struct {
 
 // shardMsg is one unit of work: a batch of probes, optionally followed by a
 // clock watermark. Watermarks ride behind any probes already routed so that
-// per-source stream order is preserved.
+// per-source stream order is preserved. The batch is a pointer into the
+// router's sync.Pool so the worker can return it (and its per-slot payload
+// backings) without allocating a fresh slice header per recycle.
 type shardMsg struct {
-	batch     []packet.Probe
+	batch     *[]packet.Probe
 	watermark int64 // advance the shard clock to this time if > 0
 }
 
@@ -109,7 +111,7 @@ type ShardedDetector struct {
 	met    *shardedMetrics
 
 	mu            sync.Mutex
-	pending       [][]packet.Probe // per-shard partial batch
+	pending       []*[]packet.Probe // per-shard partial batch (pool-owned)
 	maxTime       int64
 	lastWatermark int64
 	done          bool
@@ -157,7 +159,7 @@ func newShardedDetector(cfg ShardedConfig, emit func(*Scan), reg *obs.Registry) 
 		cfg:     cfg,
 		shards:  make([]*shard, cfg.Workers),
 		emit:    emit,
-		pending: make([][]packet.Probe, cfg.Workers),
+		pending: make([]*[]packet.Probe, cfg.Workers),
 	}
 	if reg != nil {
 		sd.met = &shardedMetrics{
@@ -208,8 +210,8 @@ func (sd *ShardedDetector) run(idx int, sh *shard) {
 		if sd.cfg.StallHook != nil {
 			sd.cfg.StallHook(idx)
 		}
-		for i := range msg.batch {
-			sh.det.Ingest(&msg.batch[i])
+		if msg.batch != nil {
+			sh.det.IngestBatch(*msg.batch)
 		}
 		if msg.watermark > 0 {
 			if sd.met != nil {
@@ -222,8 +224,11 @@ func (sd *ShardedDetector) run(idx int, sh *shard) {
 			sh.det.AdvanceTime(msg.watermark)
 		}
 		if msg.batch != nil {
-			b := msg.batch[:0]
-			sd.pool.Put(&b)
+			// Truncate in place and return the same pointer: the slots (and
+			// their payload backings) are reused by the router's next fill,
+			// with no per-recycle header allocation.
+			*msg.batch = (*msg.batch)[:0]
+			sd.pool.Put(msg.batch)
 		}
 		sh.publish()
 	}
@@ -239,10 +244,10 @@ func (sh *shard) publish() {
 }
 
 // observeBatch records one dispatched batch's fill level.
-func (sd *ShardedDetector) observeBatch(batch []packet.Probe) {
+func (sd *ShardedDetector) observeBatch(batch *[]packet.Probe) {
 	if sd.met != nil && batch != nil {
 		sd.met.batches.Inc()
-		sd.met.batchFill.Observe(int64(len(batch)))
+		sd.met.batchFill.Observe(int64(len(*batch)))
 	}
 }
 
@@ -253,21 +258,62 @@ func (sd *ShardedDetector) shardOf(src uint32) int {
 	return int((h >> 33) % uint64(len(sd.shards)))
 }
 
-// Ingest routes one probe to its source's shard. The probe is copied into
-// the current batch, so callers may reuse p. Blocks when the target shard's
-// queue is full. Must not be called after FlushAll.
+// Ingest routes one probe to its source's shard. The probe is deep-copied
+// into the current batch — payload bytes included — so callers may reuse p
+// and its Payload backing immediately (the packet.Decoder contract). Blocks
+// when the target shard's queue is full. Must not be called after FlushAll.
 func (sd *ShardedDetector) Ingest(p *packet.Probe) {
 	sd.mu.Lock()
 	if sd.done {
 		sd.mu.Unlock()
 		panic("core: ShardedDetector.Ingest after FlushAll")
 	}
-	i := sd.shardOf(p.Src)
-	if sd.pending[i] == nil {
-		sd.pending[i] = (*sd.pool.Get().(*[]packet.Probe))[:0]
+	sd.ingestLocked(p)
+	sd.mu.Unlock()
+}
+
+// IngestBatch routes a slice of probes under one lock acquisition. Same
+// copying and blocking semantics as Ingest.
+func (sd *ShardedDetector) IngestBatch(ps []packet.Probe) {
+	if len(ps) == 0 {
+		return
 	}
-	sd.pending[i] = append(sd.pending[i], *p)
-	full := len(sd.pending[i]) >= sd.cfg.BatchSize
+	sd.mu.Lock()
+	if sd.done {
+		sd.mu.Unlock()
+		panic("core: ShardedDetector.Ingest after FlushAll")
+	}
+	for i := range ps {
+		sd.ingestLocked(&ps[i])
+	}
+	sd.mu.Unlock()
+}
+
+// ingestLocked appends one probe to its shard's pending batch and dispatches
+// full batches and watermark broadcasts. Caller holds sd.mu.
+func (sd *ShardedDetector) ingestLocked(p *packet.Probe) {
+	i := sd.shardOf(p.Src)
+	pb := sd.pending[i]
+	if pb == nil {
+		pb = sd.pool.Get().(*[]packet.Probe)
+		sd.pending[i] = pb
+	}
+	// Copy the probe into the next slot, reusing the slot's payload backing
+	// from a previous cycle of this pool buffer: the caller's Payload may be
+	// a decoder-owned buffer that is overwritten before the worker runs.
+	b := *pb
+	var keep []byte
+	if n := len(b); n < cap(b) {
+		b = b[:n+1]
+		keep = b[n].Payload
+	} else {
+		b = append(b, packet.Probe{})
+	}
+	slot := &b[len(b)-1]
+	*slot = *p
+	slot.Payload = append(keep[:0], p.Payload...)
+	*pb = b
+	full := len(b) >= sd.cfg.BatchSize
 	if p.Time > sd.maxTime {
 		sd.maxTime = p.Time
 	}
@@ -282,7 +328,6 @@ func (sd *ShardedDetector) Ingest(p *packet.Probe) {
 			sd.observeBatch(batch)
 			sd.shards[j].ch <- shardMsg{batch: batch, watermark: wm}
 		}
-		sd.mu.Unlock()
 		return
 	}
 	if full {
@@ -291,7 +336,6 @@ func (sd *ShardedDetector) Ingest(p *packet.Probe) {
 		sd.observeBatch(batch)
 		sd.shards[i].ch <- shardMsg{batch: batch}
 	}
-	sd.mu.Unlock()
 }
 
 // FlushAll drains the queues, flushes every shard's detector, merges the

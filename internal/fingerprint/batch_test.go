@@ -1,0 +1,121 @@
+package fingerprint
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/packet"
+	"github.com/synscan/synscan/internal/rng"
+	"github.com/synscan/synscan/internal/tools"
+)
+
+// batchStreams builds per-tool probe slices (every fingerprint relation plus
+// a mixed stream) for the batch/sequential differential tests.
+func batchStreams(n int) map[string][]packet.Probe {
+	r := rng.New(42)
+	probers := map[string]tools.Prober{
+		"zmap":    tools.NewZMap(0x0a000001, r.Derive("z")),
+		"masscan": tools.NewMasscan(0x0a000002, r.Derive("m")),
+		"nmap":    tools.NewNMap(0x0a000003, r.Derive("n")),
+		"mirai":   tools.NewMirai(0x0a000004, r.Derive("mi")),
+		"unicorn": tools.NewUnicorn(0x0a000005, r.Derive("u")),
+	}
+	out := make(map[string][]packet.Probe, len(probers)+1)
+	var mixed []packet.Probe
+	for name, pr := range probers {
+		ps := make([]packet.Probe, n)
+		for i := range ps {
+			ps[i] = pr.Probe(uint32(0xc0a80000+i), uint16(80+i%3))
+			ps[i].Time = int64(i)
+		}
+		out[name] = ps
+		mixed = append(mixed, ps[:n/2]...)
+	}
+	out["mixed"] = mixed
+	return out
+}
+
+// votesEqual compares two tallies field by field, pair cache included
+// (Votes holds a Probe, whose Payload slice makes it non-comparable by ==).
+func votesEqual(a, b *Votes) bool {
+	if a.Packets != b.Packets || a.Pairs != b.Pairs || a.ZMap != b.ZMap ||
+		a.Masscan != b.Masscan || a.Mirai != b.Mirai || a.NMap != b.NMap ||
+		a.Unicorn != b.Unicorn || a.RegularISN != b.RegularISN ||
+		a.IrregularISN != b.IrregularISN || a.Handshakes != b.Handshakes ||
+		a.Payloads != b.Payloads || a.PayloadBytes != b.PayloadBytes ||
+		a.PayloadPrefix != b.PayloadPrefix || a.PayloadPrefixLen != b.PayloadPrefixLen ||
+		a.hasPrev != b.hasPrev {
+		return false
+	}
+	pa, pb := &a.prev, &b.prev
+	return pa.Time == pb.Time && pa.Src == pb.Src && pa.Dst == pb.Dst &&
+		pa.SrcPort == pb.SrcPort && pa.DstPort == pb.DstPort &&
+		pa.Seq == pb.Seq && pa.Ack == pb.Ack && pa.IPID == pb.IPID &&
+		pa.TTL == pb.TTL && pa.Flags == pb.Flags && pa.Window == pb.Window &&
+		pa.Proto == pb.Proto && len(pa.Payload) == len(pb.Payload)
+}
+
+// TestAddBatchMatchesSequential is the fingerprint half of the differential
+// suite: AddBatch over any split of a stream must produce the exact Votes
+// value (pair cache included) that per-probe Add produces.
+func TestAddBatchMatchesSequential(t *testing.T) {
+	for name, ps := range batchStreams(257) {
+		var seq Votes
+		for i := range ps {
+			seq.Add(&ps[i])
+		}
+		// Whole-slice, singletons, and ragged chunks — including empty ones.
+		splits := [][]int{{len(ps)}, {1, 1, 1, len(ps) - 3}, {0, 7, 0, 64, len(ps) - 71}, {3, len(ps) - 3}}
+		for si, split := range splits {
+			var bat Votes
+			rest := ps
+			for _, k := range split {
+				bat.AddBatch(rest[:k])
+				rest = rest[k:]
+			}
+			bat.AddBatch(rest)
+			if !votesEqual(&bat, &seq) {
+				t.Fatalf("%s split %d: AddBatch %+v != Add %+v", name, si, bat, seq)
+			}
+			if bat.Classify() != seq.Classify() || bat.ISN() != seq.ISN() {
+				t.Fatalf("%s split %d: classification drifted", name, si)
+			}
+		}
+	}
+}
+
+// TestAddBatchDropsPayloadHeader pins the aliasing rule: the pair cache must
+// not retain payload bytes (they may belong to a pooled batch buffer that is
+// recycled after the call).
+func TestAddBatchDropsPayloadHeader(t *testing.T) {
+	ps := []packet.Probe{{Src: 1, Seq: 9, Payload: []byte("secret")}}
+	var v Votes
+	v.AddBatch(ps)
+	if v.prev.Payload != nil {
+		t.Fatal("pair cache retained a payload header")
+	}
+	var w Votes
+	w.Add(&ps[0])
+	if w.prev.Payload != nil {
+		t.Fatal("Add retained a payload header")
+	}
+}
+
+// BenchmarkVotesAddBatch quantifies the batch amortization on the pure
+// fingerprint path against per-probe Add.
+func BenchmarkVotesAddBatch(b *testing.B) {
+	ps := batchStreams(512)["masscan"]
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		var v Votes
+		for i := 0; i < b.N; i++ {
+			v.Add(&ps[i&511])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		var v Votes
+		for i := 0; i < b.N; i += len(ps) {
+			v.AddBatch(ps)
+		}
+	})
+}

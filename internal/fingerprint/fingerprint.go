@@ -130,6 +130,38 @@ type Votes struct {
 
 // Add folds one probe into the vote tally.
 func (v *Votes) Add(p *packet.Probe) {
+	v.addSingles(p)
+	if v.hasPrev {
+		v.addPair(&v.prev, p)
+	}
+	v.setPrev(p)
+}
+
+// AddBatch folds a slice of probes into the tally, equivalent to calling Add
+// on each in order but amortized for the batched ingest path: pairwise tests
+// compare neighboring slice elements in place, so the pair cache is copied
+// once per batch instead of once per packet.
+func (v *Votes) AddBatch(ps []packet.Probe) {
+	if len(ps) == 0 {
+		return
+	}
+	prev := &v.prev
+	if !v.hasPrev {
+		v.addSingles(&ps[0])
+		prev = &ps[0]
+		ps = ps[1:]
+	}
+	for i := range ps {
+		p := &ps[i]
+		v.addSingles(p)
+		v.addPair(prev, p)
+		prev = p
+	}
+	v.setPrev(prev)
+}
+
+// addSingles applies the per-packet fingerprints to one probe.
+func (v *Votes) addSingles(p *packet.Probe) {
 	v.Packets++
 	if IsZMap(p) {
 		v.ZMap++
@@ -140,27 +172,37 @@ func (v *Votes) Add(p *packet.Probe) {
 	if IsMirai(p) {
 		v.Mirai++
 	}
-	if v.hasPrev {
-		v.Pairs++
-		if d := p.Seq - v.prev.Seq; d != 0 && d < isnRegularWindow {
-			v.RegularISN++
-		} else {
-			v.IrregularISN++
-		}
-		// Identical sequence numbers satisfy both pairwise relations
-		// trivially (x == 0); only count them when the sequence actually
-		// varies, otherwise a constant-seq custom scanner would be
-		// misclassified as NMap.
-		if x := v.prev.Seq ^ p.Seq; x != 0 {
-			if PairNMap(&v.prev, p) {
-				v.NMap++
-			}
-		}
-		if PairUnicorn(&v.prev, p) && p.Seq != v.prev.Seq {
-			v.Unicorn++
+}
+
+// addPair applies the pairwise fingerprints and the ISN-delta classifier to
+// one consecutive probe pair.
+func (v *Votes) addPair(prev, p *packet.Probe) {
+	v.Pairs++
+	if d := p.Seq - prev.Seq; d != 0 && d < isnRegularWindow {
+		v.RegularISN++
+	} else {
+		v.IrregularISN++
+	}
+	// Identical sequence numbers satisfy both pairwise relations
+	// trivially (x == 0); only count them when the sequence actually
+	// varies, otherwise a constant-seq custom scanner would be
+	// misclassified as NMap.
+	if x := prev.Seq ^ p.Seq; x != 0 {
+		if PairNMap(prev, p) {
+			v.NMap++
 		}
 	}
+	if PairUnicorn(prev, p) && p.Seq != prev.Seq {
+		v.Unicorn++
+	}
+}
+
+// setPrev installs the pair cache. The payload header is dropped: the
+// pairwise tests never read it, and retaining it would pin (or, for pooled
+// batches, alias) buffers owned by the decode layer.
+func (v *Votes) setPrev(p *packet.Probe) {
 	v.prev = *p
+	v.prev.Payload = nil
 	v.hasPrev = true
 }
 

@@ -1,0 +1,437 @@
+// Package inflate is a reusable-state DEFLATE (RFC 1951) decompressor for
+// the archive's pooled block reads.
+//
+// The standard library's compress/flate allocates its Huffman overflow link
+// tables on every dynamic-Huffman stream — ~17 allocations per archive
+// block, even with the flate.Reader itself pooled and Reset. This decoder
+// exists to close that gap: all decode state (the flat Huffman lookup
+// tables, the scratch code-length array) lives in the Decoder and is reused
+// across streams, so a warmed Decoder performs zero heap allocations per
+// block. That is what makes the "archive-block-read" allocation budget
+// (internal/alloctest) hold.
+//
+// Scope is deliberately narrow: whole-buffer decompression of a complete
+// DEFLATE stream into an append-target, with an output limit. No streaming,
+// no dictionary preset. Correctness is pinned differentially against
+// compress/flate — every stream the standard writer produces (all levels,
+// stored/fixed/dynamic blocks) must decode byte-identically, enforced by the
+// package tests and FuzzInflate.
+package inflate
+
+import (
+	"errors"
+	"math/bits"
+)
+
+var (
+	// ErrCorrupt reports a malformed or truncated DEFLATE stream.
+	ErrCorrupt = errors.New("inflate: corrupt deflate stream")
+	// ErrTooLarge reports that decoding would exceed the caller's limit.
+	ErrTooLarge = errors.New("inflate: output exceeds limit")
+)
+
+// maxCodeLen is the longest Huffman code DEFLATE permits.
+const maxCodeLen = 15
+
+// table is one canonical Huffman decode table: a flat lookup sized 1<<max
+// (max = longest code in use), indexed by the next max input bits in stream
+// (LSB-first) order. Entries pack symbol<<4 | codeLength; 0 marks a bit
+// pattern no code covers (possible in the degenerate incomplete codings
+// DEFLATE allows — hitting one during decode is ErrCorrupt). The entries
+// backing array is retained across builds; steady-state rebuilds allocate
+// nothing.
+type table struct {
+	entries []uint16
+	mask    uint32
+	max     uint
+}
+
+// build constructs the canonical code table for the given per-symbol code
+// lengths (0 = symbol absent). Over-subscribed codings are rejected;
+// incomplete codings are permitted (their gaps error at decode time), which
+// matches the degenerate single-code streams compress/flate emits.
+func (t *table) build(lengths []byte) error {
+	var count [maxCodeLen + 1]int
+	max := 0
+	for _, n := range lengths {
+		if n == 0 {
+			continue
+		}
+		count[n]++
+		if int(n) > max {
+			max = int(n)
+		}
+	}
+	if max == 0 {
+		// No codes at all. Keep a 1-entry invalid table: any decode errors.
+		t.entries = append(t.entries[:0], 0, 0)
+		t.mask = 1
+		t.max = 1
+		return nil
+	}
+	// Over-subscription check and canonical first-code computation.
+	left := 1
+	var next [maxCodeLen + 1]int
+	code := 0
+	for n := 1; n <= max; n++ {
+		left <<= 1
+		left -= count[n]
+		if left < 0 {
+			return ErrCorrupt
+		}
+		code = (code + count[n-1]) << 1
+		next[n] = code
+	}
+
+	size := 1 << max
+	if cap(t.entries) < size {
+		t.entries = make([]uint16, size)
+	} else {
+		t.entries = t.entries[:size]
+		clear(t.entries)
+	}
+	t.mask = uint32(size - 1)
+	t.max = uint(max)
+	for sym, n := range lengths {
+		if n == 0 {
+			continue
+		}
+		c := next[n]
+		next[n]++
+		// Codes are MSB-first; the bit stream arrives LSB-first, so the
+		// table is indexed by the bit-reversed code, replicated across
+		// every possible suffix.
+		rev := int(bits.Reverse16(uint16(c)) >> (16 - n))
+		e := uint16(sym)<<4 | uint16(n)
+		for i := rev; i < size; i += 1 << n {
+			t.entries[i] = e
+		}
+	}
+	return nil
+}
+
+// Decoder holds all decompression state. The zero value is ready; reuse one
+// Decoder per goroutine to amortize its table storage across streams. Not
+// safe for concurrent use.
+type Decoder struct {
+	src    []byte
+	pos    int
+	bitbuf uint64
+	nbits  uint
+
+	litlen, dist, clen table
+	fixedLit, fixedDst table
+	fixedBuilt         bool
+
+	lens [288 + 32]byte
+}
+
+// fill tops up the bit buffer from the source (LSB-first).
+func (d *Decoder) fill() {
+	for d.nbits <= 56 && d.pos < len(d.src) {
+		d.bitbuf |= uint64(d.src[d.pos]) << d.nbits
+		d.pos++
+		d.nbits += 8
+	}
+}
+
+// getBits consumes n bits (n ≤ 32).
+func (d *Decoder) getBits(n uint) (uint32, error) {
+	if d.nbits < n {
+		d.fill()
+		if d.nbits < n {
+			return 0, ErrCorrupt
+		}
+	}
+	v := uint32(d.bitbuf) & (1<<n - 1)
+	d.bitbuf >>= n
+	d.nbits -= n
+	return v, nil
+}
+
+// decodeSym consumes one Huffman-coded symbol via t.
+func (d *Decoder) decodeSym(t *table) (uint32, error) {
+	if d.nbits < t.max {
+		d.fill()
+	}
+	e := t.entries[uint32(d.bitbuf)&t.mask]
+	n := uint(e & 0xf)
+	if n == 0 || n > d.nbits {
+		return 0, ErrCorrupt
+	}
+	d.bitbuf >>= n
+	d.nbits -= n
+	return uint32(e >> 4), nil
+}
+
+// Length and distance code expansion (RFC 1951 §3.2.5).
+var (
+	lenBase = [29]uint16{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+		35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+	lenExtra = [29]uint8{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+		3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+	distBase = [30]uint16{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+		257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+	distExtra = [30]uint8{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+		7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+	// clenOrder is the transmission order of the code-length code lengths.
+	clenOrder = [19]uint8{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+)
+
+// buildFixed constructs the fixed-Huffman tables (§3.2.6) once per Decoder.
+func (d *Decoder) buildFixed() error {
+	var lit [288]byte
+	for i := range lit {
+		switch {
+		case i < 144:
+			lit[i] = 8
+		case i < 256:
+			lit[i] = 9
+		case i < 280:
+			lit[i] = 7
+		default:
+			lit[i] = 8
+		}
+	}
+	if err := d.fixedLit.build(lit[:]); err != nil {
+		return err
+	}
+	var dst [32]byte
+	for i := range dst {
+		dst[i] = 5
+	}
+	if err := d.fixedDst.build(dst[:]); err != nil {
+		return err
+	}
+	d.fixedBuilt = true
+	return nil
+}
+
+// readDynamicHeader parses a dynamic-Huffman block header (§3.2.7) and
+// builds d.litlen and d.dist.
+func (d *Decoder) readDynamicHeader() error {
+	hlit, err := d.getBits(5)
+	if err != nil {
+		return err
+	}
+	hdist, err := d.getBits(5)
+	if err != nil {
+		return err
+	}
+	hclen, err := d.getBits(4)
+	if err != nil {
+		return err
+	}
+	nlit, ndist, nclen := int(hlit)+257, int(hdist)+1, int(hclen)+4
+	if nlit > 286 || ndist > 30 {
+		return ErrCorrupt
+	}
+	var clens [19]byte
+	for i := 0; i < nclen; i++ {
+		v, err := d.getBits(3)
+		if err != nil {
+			return err
+		}
+		clens[clenOrder[i]] = byte(v)
+	}
+	if err := d.clen.build(clens[:]); err != nil {
+		return err
+	}
+	// Literal/length and distance code lengths share one run-length coded
+	// sequence (repeats may cross the boundary).
+	total := nlit + ndist
+	lens := d.lens[:total]
+	for i := 0; i < total; {
+		sym, err := d.decodeSym(&d.clen)
+		if err != nil {
+			return err
+		}
+		switch {
+		case sym < 16:
+			lens[i] = byte(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return ErrCorrupt
+			}
+			rep, err := d.getBits(2)
+			if err != nil {
+				return err
+			}
+			n := int(rep) + 3
+			if i+n > total {
+				return ErrCorrupt
+			}
+			prev := lens[i-1]
+			for j := 0; j < n; j++ {
+				lens[i] = prev
+				i++
+			}
+		case sym == 17 || sym == 18:
+			bitsN, base := uint(3), 3
+			if sym == 18 {
+				bitsN, base = 7, 11
+			}
+			rep, err := d.getBits(bitsN)
+			if err != nil {
+				return err
+			}
+			n := int(rep) + base
+			if i+n > total {
+				return ErrCorrupt
+			}
+			for j := 0; j < n; j++ {
+				lens[i] = 0
+				i++
+			}
+		default:
+			return ErrCorrupt
+		}
+	}
+	if err := d.litlen.build(lens[:nlit]); err != nil {
+		return err
+	}
+	return d.dist.build(lens[nlit : nlit+ndist])
+}
+
+// inflateBlock decodes one Huffman-compressed block body into dst.
+func (d *Decoder) inflateBlock(dst []byte, lit, dist *table, origin, limit int) ([]byte, error) {
+	for {
+		sym, err := d.decodeSym(lit)
+		if err != nil {
+			return dst, err
+		}
+		if sym < 256 {
+			if len(dst) >= limit {
+				return dst, ErrTooLarge
+			}
+			dst = append(dst, byte(sym))
+			continue
+		}
+		if sym == 256 {
+			return dst, nil // end of block
+		}
+		if sym > 285 {
+			return dst, ErrCorrupt
+		}
+		li := sym - 257
+		length := int(lenBase[li])
+		if e := uint(lenExtra[li]); e > 0 {
+			x, err := d.getBits(e)
+			if err != nil {
+				return dst, err
+			}
+			length += int(x)
+		}
+		dsym, err := d.decodeSym(dist)
+		if err != nil {
+			return dst, err
+		}
+		if dsym > 29 {
+			return dst, ErrCorrupt
+		}
+		distance := int(distBase[dsym])
+		if e := uint(distExtra[dsym]); e > 0 {
+			x, err := d.getBits(e)
+			if err != nil {
+				return dst, err
+			}
+			distance += int(x)
+		}
+		if distance > len(dst)-origin {
+			return dst, ErrCorrupt // reference before the stream's start
+		}
+		if len(dst)+length > limit {
+			return dst, ErrTooLarge
+		}
+		p := len(dst) - distance
+		if distance >= length {
+			dst = append(dst, dst[p:p+length]...)
+		} else {
+			for j := 0; j < length; j++ {
+				dst = append(dst, dst[p+j])
+			}
+		}
+	}
+}
+
+// AppendDecode decompresses the complete DEFLATE stream in src, appending
+// the output to dst and returning the extended slice. Decoding fails with
+// ErrTooLarge as soon as the output would exceed limit bytes total (len of
+// the returned slice, including what dst already held). On error the
+// returned slice holds the output produced so far. Bytes in src beyond the
+// final block are ignored, matching compress/flate.
+func (d *Decoder) AppendDecode(dst, src []byte, limit int) ([]byte, error) {
+	d.src = src
+	d.pos = 0
+	d.bitbuf = 0
+	d.nbits = 0
+	defer func() { d.src = nil }()
+	origin := len(dst)
+	for {
+		bfinal, err := d.getBits(1)
+		if err != nil {
+			return dst, err
+		}
+		btype, err := d.getBits(2)
+		if err != nil {
+			return dst, err
+		}
+		switch btype {
+		case 0: // stored
+			// Discard bits to the byte boundary, then LEN/~LEN.
+			skip := d.nbits & 7
+			d.bitbuf >>= skip
+			d.nbits -= skip
+			ln, err := d.getBits(16)
+			if err != nil {
+				return dst, err
+			}
+			nln, err := d.getBits(16)
+			if err != nil {
+				return dst, err
+			}
+			if uint16(ln) != ^uint16(nln) {
+				return dst, ErrCorrupt
+			}
+			n := int(ln)
+			if len(dst)+n > limit {
+				return dst, ErrTooLarge
+			}
+			for n > 0 && d.nbits >= 8 {
+				dst = append(dst, byte(d.bitbuf))
+				d.bitbuf >>= 8
+				d.nbits -= 8
+				n--
+			}
+			if n > 0 {
+				if d.pos+n > len(d.src) {
+					return dst, ErrCorrupt
+				}
+				dst = append(dst, d.src[d.pos:d.pos+n]...)
+				d.pos += n
+			}
+		case 1: // fixed Huffman
+			if !d.fixedBuilt {
+				if err := d.buildFixed(); err != nil {
+					return dst, err
+				}
+			}
+			if dst, err = d.inflateBlock(dst, &d.fixedLit, &d.fixedDst, origin, limit); err != nil {
+				return dst, err
+			}
+		case 2: // dynamic Huffman
+			if err := d.readDynamicHeader(); err != nil {
+				return dst, err
+			}
+			if dst, err = d.inflateBlock(dst, &d.litlen, &d.dist, origin, limit); err != nil {
+				return dst, err
+			}
+		default:
+			return dst, ErrCorrupt
+		}
+		if bfinal == 1 {
+			return dst, nil
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package packet
+
+import (
+	"testing"
+
+	"github.com/synscan/synscan/internal/alloctest"
+)
+
+// TestAllocBudgetDecode is the enforced budget for the frame-decode hot
+// path: a warmed Decoder must perform zero heap allocations per corpus pass
+// — payload frames, transport variants and damaged input included. The
+// budget is reported under "decode" (see internal/alloctest).
+func TestAllocBudgetDecode(t *testing.T) {
+	var d Decoder
+	var p Probe
+	corpus := decoderCorpus()
+	alloctest.Check(t, "decode", 0, func() {
+		for _, frame := range corpus {
+			_ = d.Decode(frame, &p)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package packet
+
+// Decoder is the reusable frame parser of the zero-alloc ingest path. It
+// follows the gopacket DecodingLayerParser idiom: the layer structs live in
+// the Decoder and are re-parsed in place, and the decoded tuple is written
+// into a caller-owned Probe out-param, so a steady-state capture loop —
+// one Decoder, one Probe, millions of frames — performs no per-packet heap
+// allocation. Probe.UnmarshalFrame remains as the convenience form for
+// one-shot decodes; the two are proven field-identical by the differential
+// tests and the shared fuzz corpus.
+//
+// Ownership rules (enforced by the alloctest budget `decode`):
+//
+//   - The Probe is the caller's. Decode overwrites every field except Time
+//     (the timestamp comes from the capture layer, not the wire).
+//   - Probe.Payload's backing array is reused across Decode calls: a decode
+//     that extracts TCP payload appends into Payload[:0] instead of
+//     allocating. Payload bytes are therefore COPIES of the frame (never
+//     aliases), but they are only valid until the caller's next Decode into
+//     the same Probe — hand-offs that outlive the probe (batching into a
+//     channel, retaining in a flow) must copy, which is exactly what
+//     ShardedDetector.Ingest and fingerprint.Votes do.
+//   - The Decoder itself is not safe for concurrent use; give each capture
+//     goroutine its own (the struct is ~100 bytes).
+type Decoder struct {
+	eth  Ethernet
+	ip   IPv4
+	tcp  TCP
+	udp  UDP
+	icmp ICMPEcho
+}
+
+// Decode parses an Ethernet+IPv4 frame into p, reusing p's Payload backing
+// array. Semantics are identical to Probe.UnmarshalFrame: TCP, UDP and ICMP
+// echo transports are decoded (Proto records which); other protocols and
+// non-IPv4 frames return ErrNotTCP / ErrNotIPv4, which the telescope counts
+// and drops. On error p's contents are unspecified (reuse it anyway — the
+// next successful Decode overwrites everything).
+func (d *Decoder) Decode(frame []byte, p *Probe) error {
+	if err := d.eth.DecodeFromBytes(frame); err != nil {
+		return err
+	}
+	if d.eth.EtherType != EtherTypeIPv4 {
+		return ErrNotIPv4
+	}
+	if err := d.ip.DecodeFromBytes(frame[EthernetHeaderLen:]); err != nil {
+		return err
+	}
+	if d.ip.FragOffset != 0 {
+		// Later fragments carry no transport header; scanners never
+		// fragment.
+		return ErrNotTCP
+	}
+	// The probe keeps its zero-length Payload backing through every decode
+	// (payload-less or not) so one early payload-carrying frame warms the
+	// buffer for the rest of the capture.
+	payload := p.Payload[:0]
+	*p = Probe{Time: p.Time, Src: d.ip.Src, Dst: d.ip.Dst, IPID: d.ip.ID, TTL: d.ip.TTL}
+	p.Payload = payload
+	rest := frame[EthernetHeaderLen+d.ip.HeaderLen():]
+	switch d.ip.Protocol {
+	case ProtoTCP:
+		if err := d.tcp.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.SrcPort, p.DstPort = d.tcp.SrcPort, d.tcp.DstPort
+		p.Seq, p.Ack = d.tcp.Seq, d.tcp.Ack
+		p.Flags = d.tcp.Flags
+		p.Window = d.tcp.Window
+		// Payload: the bytes between the TCP header and the IP total
+		// length, bounded by the capture. Copied into the probe's reused
+		// backing, because capture layers recycle the frame buffer between
+		// records.
+		end := int(d.ip.TotalLen) - d.ip.HeaderLen()
+		if end > len(rest) {
+			end = len(rest)
+		}
+		if off := d.tcp.HeaderLen(); end > off {
+			p.Payload = append(p.Payload, rest[off:end]...)
+		}
+		return nil
+	case ProtoUDP:
+		if err := d.udp.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.Proto = ProtoUDP
+		p.SrcPort, p.DstPort = d.udp.SrcPort, d.udp.DstPort
+		return nil
+	case ProtoICMP:
+		if err := d.icmp.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		p.Proto = ProtoICMP
+		p.Flags = d.icmp.Type
+		p.SrcPort = d.icmp.ID
+		p.Seq = uint32(d.icmp.Seq)
+		return nil
+	default:
+		return ErrNotTCP
+	}
+}

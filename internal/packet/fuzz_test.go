@@ -71,6 +71,49 @@ func FuzzHandshakeFrame(f *testing.F) {
 	})
 }
 
+// FuzzDecoder drives the reusable Decoder with the same corpus as
+// FuzzUnmarshalFrame and holds it to the one-shot parser's behavior: same
+// error, same fields, payload bytes equal — with one Decoder and one Probe
+// reused across every input, so any corpus-order state leak surfaces.
+func FuzzDecoder(f *testing.F) {
+	valid := (&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Flags: FlagSYN}).MarshalFrame()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(make([]byte, 14))
+	f.Add((&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: ProtoUDP}).MarshalFrame())
+	f.Add((&Probe{Src: 1, Dst: 2, Flags: ICMPEchoRequest, Proto: ProtoICMP}).MarshalFrame())
+	f.Add((&Probe{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Flags: FlagPSH | FlagACK,
+		Payload: []byte("SSH-2.0-")}).MarshalFrame())
+	for cut := 1; cut < len(valid); cut += 7 {
+		f.Add(valid[:cut])
+	}
+	corrupt := append([]byte{}, valid...)
+	corrupt[14] = 0x45 | 0x0a
+	f.Add(corrupt)
+
+	var d Decoder
+	var got Probe
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var want Probe
+		wantErr := want.UnmarshalFrame(data)
+		gotErr := d.Decode(data, &got)
+		if wantErr != gotErr {
+			t.Fatalf("Decode err %v, UnmarshalFrame err %v", gotErr, wantErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if got.Src != want.Src || got.Dst != want.Dst ||
+			got.SrcPort != want.SrcPort || got.DstPort != want.DstPort ||
+			got.Seq != want.Seq || got.Ack != want.Ack ||
+			got.IPID != want.IPID || got.TTL != want.TTL ||
+			got.Flags != want.Flags || got.Window != want.Window ||
+			got.Proto != want.Proto || string(got.Payload) != string(want.Payload) {
+			t.Fatalf("Decode %+v != UnmarshalFrame %+v", got, want)
+		}
+	})
+}
+
 // FuzzDecodeBinary does the same for the compact fixed-width codec.
 func FuzzDecodeBinary(f *testing.F) {
 	valid := (&Probe{Time: 1, Src: 2, Dst: 3}).AppendBinary(nil)
